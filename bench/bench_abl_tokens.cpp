@@ -1,0 +1,93 @@
+// Ablations of PTB's design constants (DESIGN.md "design choices"):
+//   1. token-wire width (2/4/8 bits; paper uses 4 wires each way),
+//   2. balancer round-trip latency (3/5/10 cycles per the paper's Xilinx
+//      estimates, plus the pessimistic 10-cycle and a 20-cycle stress),
+//   3. k-means group count (paper: 8 groups -> <1% accounting error),
+//   4. PTHT size.
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+#include "power/power_model.hpp"
+
+using namespace ptb;
+
+namespace {
+
+double aopb_pct_for(const SimConfig& cfg, const WorkloadProfile& p,
+                    const RunResult& base) {
+  const RunResult r = run_one(p, cfg);
+  return base.aopb > 0 ? 100.0 * r.aopb / base.aopb : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "PTB design-constant sensitivity");
+  const auto& fft = benchmark_by_name("fft");
+  const auto& unstructured = benchmark_by_name("unstructured");
+  const auto& ocean = benchmark_by_name("ocean");
+
+  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  BaseRunCache cache;
+
+  {
+    Table t({"wire bits", "fft AoPB %", "ocean AoPB %", "unstr AoPB %"});
+    for (std::uint32_t bits : {2u, 4u, 8u}) {
+      SimConfig cfg = make_sim_config(8, ptb);
+      cfg.ptb.token_wire_bits = bits;
+      const auto row = t.add_row();
+      t.set(row, 0, static_cast<std::int64_t>(bits));
+      t.set(row, 1, aopb_pct_for(cfg, fft, cache.get(fft, 8)), 2);
+      t.set(row, 2, aopb_pct_for(cfg, ocean, cache.get(ocean, 8)), 2);
+      t.set(row, 3,
+            aopb_pct_for(cfg, unstructured, cache.get(unstructured, 8)), 2);
+    }
+    t.print("Ablation 1: token-wire width (8 cores; paper uses 4 bits)");
+  }
+  {
+    Table t({"wire latency", "fft AoPB %", "ocean AoPB %", "unstr AoPB %"});
+    for (std::uint32_t lat : {3u, 5u, 10u, 20u}) {
+      SimConfig cfg = make_sim_config(8, ptb);
+      cfg.ptb.wire_latency_override = lat;
+      const auto row = t.add_row();
+      t.set(row, 0, static_cast<std::int64_t>(lat));
+      t.set(row, 1, aopb_pct_for(cfg, fft, cache.get(fft, 8)), 2);
+      t.set(row, 2, aopb_pct_for(cfg, ocean, cache.get(ocean, 8)), 2);
+      t.set(row, 3,
+            aopb_pct_for(cfg, unstructured, cache.get(unstructured, 8)), 2);
+    }
+    t.print("Ablation 2: balancer round-trip latency (cycles)");
+  }
+  {
+    Table t({"k-means groups", "aggregate error %", "per-instr |error| %"});
+    for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+      PowerConfig pcfg;
+      pcfg.kmeans_groups = k;
+      BaseEnergyModel m(pcfg, 1);
+      const auto row = t.add_row();
+      t.set(row, 0, static_cast<std::int64_t>(k));
+      t.set(row, 1, 100.0 * m.grouping_error(), 4);
+      t.set(row, 2, 100.0 * m.grouping_abs_error(), 3);
+    }
+    t.print("Ablation 3: instruction grouping (paper: 8 groups, <1% error)");
+  }
+  {
+    Table t({"PTHT entries", "fft AoPB %", "fft energy %"});
+    for (std::uint32_t entries : {512u, 2048u, 8192u}) {
+      SimConfig cfg = make_sim_config(8, ptb);
+      cfg.power.ptht_entries = entries;
+      const RunResult& base = cache.get(fft, 8);
+      const RunResult r = run_one(fft, cfg);
+      const Normalized n = normalize(base, r);
+      const auto row = t.add_row();
+      t.set(row, 0, static_cast<std::int64_t>(entries));
+      t.set(row, 1, n.aopb_pct, 2);
+      t.set(row, 2, n.energy_pct, 2);
+    }
+    t.print("Ablation 4: PTHT capacity (paper: 8K entries)");
+  }
+  return 0;
+}

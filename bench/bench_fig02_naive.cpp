@@ -1,0 +1,17 @@
+// Figure 2: normalized energy and AoPB for a 16-core CMP with a 50% power
+// budget under the NAIVE equal-split policy (DVFS / DFS / 2Level). This is
+// the paper's motivation: per-core techniques that work in a single-core
+// setting fail to match the budget for parallel workloads.
+#include "bench_util.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 2",
+                      "naive equal power split, 16-core CMP, 50% budget");
+  BaseRunCache cache;
+  FigureGrid grid = bench::run_suite_grid(16, naive_techniques(), cache);
+  grid.append_average();
+  print_energy_aopb(grid, "Figure 2 (16 cores, naive split)");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3: execution-time breakdown (lock-acquisition / lock-release /
+// barrier / busy) for every benchmark at 2, 4, 8 and 16 cores.
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 3",
+                      "execution time breakdown for 2-16 cores (%)");
+  Table table({"benchmark", "cores", "Lock-Acq", "Lock-Rel", "Barrier",
+               "Busy"});
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  for (const auto& profile : benchmark_suite()) {
+    for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
+      const RunResult r = run_one(profile, make_sim_config(cores, none));
+      Cycle sums[kNumExecStates] = {};
+      Cycle total = 0;
+      for (const auto& c : r.cores) {
+        for (std::uint32_t s = 0; s < kNumExecStates; ++s) {
+          sums[s] += c.state_cycles[s];
+          total += c.state_cycles[s];
+        }
+      }
+      const auto row = table.add_row();
+      table.set(row, 0, profile.name);
+      table.set(row, 1, static_cast<std::int64_t>(cores));
+      const double t = static_cast<double>(total);
+      table.set(row, 2, 100.0 * static_cast<double>(
+                            sums[static_cast<int>(ExecState::kLockAcq)]) / t,
+                1);
+      table.set(row, 3, 100.0 * static_cast<double>(
+                            sums[static_cast<int>(ExecState::kLockRel)]) / t,
+                1);
+      table.set(row, 4, 100.0 * static_cast<double>(
+                            sums[static_cast<int>(ExecState::kBarrier)]) / t,
+                1);
+      table.set(row, 5, 100.0 * static_cast<double>(
+                            sums[static_cast<int>(ExecState::kBusy)]) / t,
+                1);
+    }
+  }
+  table.print("Figure 3: time in each execution state (% of core-cycles)");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: suite-average normalized energy and AoPB for 2-16 cores under
+// both PTB token-distribution policies (ToOne / ToAll), against DVFS, DFS
+// and the naive 2-level hybrid.
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header(
+      "Figure 9", "suite averages for 2-16 cores and both PTB policies");
+
+  Table energy({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level"});
+  Table aopb({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level"});
+  BaseRunCache cache;
+  for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
+    // The non-PTB columns do not depend on the policy: run them once.
+    const auto naive_avg =
+        bench::run_suite_averages(cores, naive_techniques(), cache);
+    for (PtbPolicy policy : {PtbPolicy::kToOne, PtbPolicy::kToAll}) {
+      const std::vector<TechniqueSpec> ptb_only{
+          standard_techniques(policy).back()};
+      const auto ptb_avg = bench::run_suite_averages(cores, ptb_only, cache);
+      const std::string label =
+          std::to_string(cores) + "Core_" +
+          (policy == PtbPolicy::kToOne ? "ToOne" : "ToAll");
+      const auto er = energy.add_row();
+      const auto ar = aopb.add_row();
+      energy.set(er, 0, label);
+      aopb.set(ar, 0, label);
+      for (std::size_t i = 0; i < naive_avg.size(); ++i) {
+        energy.set(er, i + 1, naive_avg[i].energy_pct, 2);
+        aopb.set(ar, i + 1, naive_avg[i].aopb_pct, 2);
+      }
+      energy.set(er, 4, ptb_avg[0].energy_pct, 2);
+      aopb.set(ar, 4, ptb_avg[0].aopb_pct, 2);
+    }
+  }
+  energy.print("Figure 9 (left): normalized energy (%)");
+  aopb.print("Figure 9 (right): normalized AoPB (%)");
+  return 0;
+}

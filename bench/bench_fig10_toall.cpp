@@ -1,0 +1,16 @@
+// Figure 10: per-benchmark normalized energy and AoPB for a 16-core CMP
+// with the ToAll PTB token-distribution policy.
+#include "bench_util.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 10", "16-core detail, PTB policy = ToAll");
+  BaseRunCache cache;
+  FigureGrid grid =
+      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kToAll),
+                            cache);
+  grid.append_average();
+  print_energy_aopb(grid, "Figure 10 (16 cores, ToAll)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 11: per-benchmark normalized energy and AoPB for a 16-core CMP
+// with the ToOne PTB token-distribution policy (everything to the single
+// neediest core — best for lock-bound workloads like Unstructured and
+// Water-NSQ, whose critical sections serialize the application).
+#include "bench_util.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 11", "16-core detail, PTB policy = ToOne");
+  BaseRunCache cache;
+  FigureGrid grid =
+      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kToOne),
+                            cache);
+  grid.append_average();
+  print_energy_aopb(grid, "Figure 11 (16 cores, ToOne)");
+  return 0;
+}

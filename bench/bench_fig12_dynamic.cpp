@@ -1,0 +1,18 @@
+// Figure 12: per-benchmark normalized energy and AoPB for a 16-core CMP
+// using the DYNAMIC policy selector (lock-spinning -> ToOne, barrier
+// spinning -> ToAll; Section IV.B of the paper).
+#include "bench_util.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 12",
+                      "16-core detail, dynamic ToOne/ToAll selector");
+  BaseRunCache cache;
+  FigureGrid grid =
+      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic),
+                            cache);
+  grid.append_average();
+  print_energy_aopb(grid, "Figure 12 (16 cores, dynamic policy)");
+  return 0;
+}

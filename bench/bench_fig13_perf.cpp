@@ -1,0 +1,19 @@
+// Figure 13: per-benchmark performance slowdown for a 16-core CMP with the
+// dynamic policy selector. The paper's observation: PTB stays within ~2% of
+// DVFS on average while matching the budget far more accurately;
+// Unstructured is the worst case for the microarchitectural techniques.
+#include "bench_util.hpp"
+
+using namespace ptb;
+
+int main() {
+  bench::print_header("Figure 13",
+                      "performance slowdown, 16 cores, dynamic selector");
+  BaseRunCache cache;
+  FigureGrid grid =
+      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic),
+                            cache);
+  grid.append_average();
+  print_slowdown(grid, "Figure 13 (16 cores, dynamic policy)");
+  return 0;
+}

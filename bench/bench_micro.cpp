@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks of the simulator substrates: simulation
+// throughput, PTHT access, k-means grouping, mesh routing, balancer cycle.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/balancer.hpp"
+#include "mem/memory_system.hpp"
+#include "noc/mesh.hpp"
+#include "power/kmeans.hpp"
+#include "power/ptht.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace ptb;
+
+void BM_PthtLookup(benchmark::State& state) {
+  Ptht t(8192);
+  for (Pc pc = 0; pc < 8192; ++pc) t.update(pc * 4, 12.5);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lookup(rng.next_below(8192) * 4, 10.0));
+  }
+}
+BENCHMARK(BM_PthtLookup);
+
+void BM_PthtUpdate(benchmark::State& state) {
+  Ptht t(8192);
+  Rng rng(2);
+  for (auto _ : state) {
+    t.update(rng.next_below(8192) * 4, 12.5);
+  }
+  benchmark::DoNotOptimize(t.lookups);
+}
+BENCHMARK(BM_PthtUpdate);
+
+void BM_KMeans8Groups(benchmark::State& state) {
+  std::vector<double> samples;
+  Rng data(3);
+  for (int i = 0; i < 4608; ++i) samples.push_back(data.next_double() * 100);
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(kmeans_1d(samples, 8, 64, rng));
+  }
+}
+BENCHMARK(BM_KMeans8Groups);
+
+void BM_MeshRoute(benchmark::State& state) {
+  NocConfig cfg;
+  Mesh mesh(cfg, 4, 4);
+  Rng rng(5);
+  Cycle now = 0;
+  for (auto _ : state) {
+    const auto from = static_cast<std::uint32_t>(rng.next_below(16));
+    const auto to = static_cast<std::uint32_t>(rng.next_below(16));
+    benchmark::DoNotOptimize(mesh.route(from, to, 72, now));
+    now += 4;
+  }
+}
+BENCHMARK(BM_MeshRoute);
+
+void BM_BalancerCycle(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  PtbConfig cfg;
+  cfg.enabled = true;
+  PtbLoadBalancer b(cfg, cores, 100.0);
+  Rng rng(6);
+  std::vector<double> power(cores), eff;
+  for (auto& p : power) p = rng.next_double() * 200.0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    b.cycle(now++, power, true, PtbPolicy::kToAll, eff);
+  }
+  state.SetItemsProcessed(state.iterations() * cores);
+}
+BENCHMARK(BM_BalancerCycle)->Arg(4)->Arg(16);
+
+void BM_MemoryAccessL1Hit(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.num_cores = 4;
+  Mesh mesh(cfg.noc, 2, 2);
+  MemorySystem mem(cfg, mesh);
+  mem.access(0, MemAccessType::kLoad, 0x1000, 0);
+  Cycle now = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem.access(0, MemAccessType::kLoad, 0x1000, now));
+    ++now;
+  }
+}
+BENCHMARK(BM_MemoryAccessL1Hit);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // Whole-CMP throughput in simulated core-cycles per second.
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto& profile = benchmark_by_name("blackscholes");
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  std::uint64_t core_cycles = 0;
+  for (auto _ : state) {
+    const RunResult r = run_one(profile, make_sim_config(cores, none));
+    core_cycles += r.cycles * cores;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(core_cycles));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWithPtb(benchmark::State& state) {
+  const auto& profile = benchmark_by_name("blackscholes");
+  TechniqueSpec ptb{"ptb", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  std::uint64_t core_cycles = 0;
+  for (auto _ : state) {
+    const RunResult r = run_one(profile, make_sim_config(8, ptb));
+    core_cycles += r.cycles * 8;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(core_cycles));
+}
+BENCHMARK(BM_SimulatorWithPtb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb::bench {
+
+/// Runs every suite benchmark under each technique at `cores`, normalized
+/// against cached base runs. Returns the grid without the average row.
+inline FigureGrid run_suite_grid(std::uint32_t cores,
+                                 const std::vector<TechniqueSpec>& techs,
+                                 BaseRunCache& cache) {
+  FigureGrid grid;
+  for (const auto& t : techs) grid.technique_labels.push_back(t.label);
+  for (const auto& profile : benchmark_suite()) {
+    const RunResult& base = cache.get(profile, cores);
+    std::vector<Normalized> row;
+    row.reserve(techs.size());
+    for (const auto& t : techs) {
+      const RunResult r = run_one(profile, make_sim_config(cores, t));
+      row.push_back(normalize(base, r));
+    }
+    grid.row_labels.push_back(profile.name);
+    grid.grid.push_back(std::move(row));
+  }
+  return grid;
+}
+
+/// Average one technique column over the suite at `cores` (no per-benchmark
+/// rows — for the scaling figures).
+inline std::vector<Normalized> run_suite_averages(
+    std::uint32_t cores, const std::vector<TechniqueSpec>& techs,
+    BaseRunCache& cache) {
+  FigureGrid g = run_suite_grid(cores, techs, cache);
+  g.append_average();
+  return g.grid.back();
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("(normalized to the no-power-control base case; budget = 50%%"
+              " of peak)\n");
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace ptb::bench

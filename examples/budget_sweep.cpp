@@ -1,0 +1,55 @@
+// Sweeps the global power budget from 30% to 90% of peak on one benchmark
+// and reports how each technique's energy / accuracy / performance responds
+// — the kind of design-space exploration the library is meant for.
+//
+//   $ ./budget_sweep [benchmark] [cores]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptb;
+  const std::string bench = argc > 1 ? argv[1] : "ocean";
+  const std::uint32_t cores =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+  const WorkloadProfile& profile = benchmark_by_name(bench);
+
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  TechniqueSpec dvfs{"DVFS", TechniqueKind::kDvfs, false, PtbPolicy::kToAll,
+                     0.0};
+
+  Table table({"budget %", "DVFS AoPB %", "PTB AoPB %", "DVFS energy %",
+               "PTB energy %", "PTB slowdown %"});
+  for (double frac : {0.3, 0.4, 0.5, 0.6, 0.7, 0.9}) {
+    SimConfig base_cfg = make_sim_config(cores, none);
+    base_cfg.budget_fraction = frac;
+    const RunResult base = run_one(profile, base_cfg);
+
+    SimConfig dvfs_cfg = make_sim_config(cores, dvfs);
+    dvfs_cfg.budget_fraction = frac;
+    const RunResult rd = run_one(profile, dvfs_cfg);
+
+    SimConfig ptb_cfg = make_sim_config(cores, ptb);
+    ptb_cfg.budget_fraction = frac;
+    const RunResult rp = run_one(profile, ptb_cfg);
+
+    const Normalized nd = normalize(base, rd);
+    const Normalized np = normalize(base, rp);
+    const auto row = table.add_row();
+    table.set(row, 0, frac * 100.0, 0);
+    table.set(row, 1, nd.aopb_pct, 1);
+    table.set(row, 2, np.aopb_pct, 1);
+    table.set(row, 3, nd.energy_pct, 2);
+    table.set(row, 4, np.energy_pct, 2);
+    table.set(row, 5, np.slowdown_pct, 2);
+  }
+  std::printf("Benchmark %s on %u cores.\n\n", profile.name.c_str(), cores);
+  table.print("Budget sweep: accuracy and cost vs budget tightness");
+  return 0;
+}

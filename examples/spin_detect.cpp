@@ -1,0 +1,54 @@
+// Spin detection two ways: the paper's indirect power-pattern detector
+// (Figure 6) versus the BCT hardware of Li et al. [12], both watching the
+// same core as it computes, spins on a contended lock, and wakes up.
+#include <cstdio>
+
+#include "core/spin_power_detector.hpp"
+#include "sim/cmp.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace ptb;
+
+  // A 4-core run of the lock-bound benchmark, recording core 0's power.
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  SimConfig cfg = make_sim_config(4, none);
+  const WorkloadProfile& profile = benchmark_by_name("unstructured");
+  CmpSimulator sim(cfg, profile);
+  RunOptions opts;
+  opts.record_core_traces = true;
+  const RunResult r = sim.run(opts);
+
+  // Feed the recorded power trace to the power-pattern detector.
+  const double local_budget = sim.budgets().local_budget();
+  SpinPowerDetector detector(0.75 * local_budget, 32);
+  std::uint64_t spin_samples = 0;
+  const auto& trace = r.core_power_traces[0];
+  for (double p : trace.values()) {
+    if (detector.tick(p)) ++spin_samples;
+  }
+
+  const auto& t = sim.tracker(0);
+  const double true_spin_frac =
+      static_cast<double>(t.cycles_in(ExecState::kLockAcq) +
+                          t.cycles_in(ExecState::kBarrier)) /
+      static_cast<double>(t.total_cycles());
+
+  std::printf("Benchmark %s, core 0 of 4, %llu cycles.\n\n",
+              profile.name.c_str(),
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("Ground truth:       %.1f%% of cycles spent spinning\n",
+              100.0 * true_spin_frac);
+  std::printf("Power-pattern view: %.1f%% of trace samples flagged, across "
+              "%llu spin episodes\n",
+              100.0 * static_cast<double>(spin_samples) / trace.size(),
+              static_cast<unsigned long long>(detector.detections()));
+  std::printf("BCT hardware:       %llu spin detections at commit\n",
+              static_cast<unsigned long long>(sim.core(0).bct().detections()));
+  std::printf("\nThe power-pattern detector needs no instrumentation — it "
+              "watches the same\ntoken stream PTB already aggregates "
+              "(Section IV.B of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's Figure 5 motivation: four cores under a 40 W global budget
+// (10 W local shares). Without balancing, cores 3 and 4 throttle in cycles
+// where cores 1 and 2 leave budget on the table; with PTB the spare tokens
+// cover the deficit. This example replays the figure's exact numbers.
+#include <cstdio>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace ptb;
+  constexpr double kGlobalBudget = 40.0;
+  constexpr double kLocalBudget = 10.0;
+
+  // Figure 5's per-cycle core powers (watts).
+  const std::vector<std::vector<double>> cycles{
+      {8.0, 6.0, 15.0, 13.0},   // cycle 1: total 42 > 40
+      {9.0, 8.0, 15.0, 9.0},    // cycle 2: total 41 > 40
+      {9.0, 11.0, 8.0, 11.0},   // cycle 3: total 39 < 40 -> no action
+      {12.0, 11.0, 13.0, 14.0}, // cycle 4: total 50 > 40 -> all throttle
+  };
+
+  PtbConfig cfg;
+  cfg.enabled = true;
+  cfg.wire_latency_override = 1;
+  PtbLoadBalancer balancer(cfg, 4, kLocalBudget);
+
+  Table table({"cycle", "total W", "over budget?", "naive throttled",
+               "PTB throttled"});
+  std::vector<double> eff;
+  Cycle now = 0;
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const auto& p = cycles[i];
+    double total = 0.0;
+    for (double w : p) total += w;
+    const bool over = total > kGlobalBudget;
+
+    int naive_throttled = 0;
+    for (double w : p)
+      if (over && w > kLocalBudget) ++naive_throttled;
+
+    // Run the balancer twice per figure-cycle so this cycle's spare tokens
+    // can land (1-cycle wires) before counting who still must throttle.
+    balancer.cycle(now++, p, over, PtbPolicy::kToAll, eff);
+    balancer.cycle(now++, p, over, PtbPolicy::kToAll, eff);
+    int ptb_throttled = 0;
+    for (std::size_t c = 0; c < p.size(); ++c)
+      if (over && p[c] > eff[c]) ++ptb_throttled;
+
+    const auto row = table.add_row();
+    table.set(row, 0, static_cast<std::int64_t>(i + 1));
+    table.set(row, 1, total, 0);
+    table.set(row, 2, over ? "yes" : "no");
+    table.set(row, 3, static_cast<std::int64_t>(naive_throttled));
+    table.set(row, 4, static_cast<std::int64_t>(ptb_throttled));
+  }
+  table.print("Figure 5: why equal splitting wastes tokens (40 W budget)");
+  std::printf(
+      "Naive equal shares throttle cores 3&4 even when cores 1&2 have\n"
+      "spare watts; PTB lends the spare tokens and avoids the slowdown.\n");
+  return 0;
+}

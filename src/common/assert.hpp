@@ -1,0 +1,27 @@
+// Lightweight always-on assertion used to check simulator invariants.
+//
+// The simulator is deterministic; an invariant violation is always a bug, so
+// these stay enabled in release builds (they are off the per-cycle fast path
+// except where explicitly noted).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptb::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "PTB_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace ptb::detail
+
+#define PTB_ASSERT(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) [[unlikely]] {                                     \
+      ::ptb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator (instruction mixes, memory
+// address streams, branch outcomes, workload imbalance) is drawn from one of
+// these generators, seeded from the experiment seed, so whole-CMP runs are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ptb {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator for the hot paths.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // tiny modulo bias of a 64-bit multiply is irrelevant for a simulator.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Approximately normal (Irwin-Hall of 4 uniforms), mean 0, std 1.
+  double next_gaussian() {
+    double acc = 0.0;
+    for (int i = 0; i < 4; ++i) acc += next_double();
+    // Sum of 4 U(0,1): mean 2, var 4/12 -> std = sqrt(1/3)*2 ... use exact:
+    // var = 4 * (1/12) = 1/3; std = 0.57735.
+    return (acc - 2.0) / 0.5773502691896258;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ptb

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  PTB_ASSERT(hi > lo && buckets > 0, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  double idx = (x - lo_) / width_;
+  std::size_t i;
+  if (idx < 0.0) {
+    i = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>(idx);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::percentile(double p) const {
+  PTB_ASSERT(p >= 0.0 && p <= 1.0, "percentile must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc >= target) return bucket_lo(i) + width_;
+  }
+  return hi_;
+}
+
+TimeSeries::TimeSeries(std::size_t max_points) : max_points_(max_points) {
+  PTB_ASSERT(max_points >= 2, "time series needs at least two points");
+}
+
+void TimeSeries::add(double t, double v) {
+  if (seen_++ % stride_ != 0) return;
+  if (times_.size() >= max_points_) {
+    // Decimate in place: keep every other retained point, double the stride.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < times_.size(); r += 2, ++w) {
+      times_[w] = times_[r];
+      values_[w] = values_[r];
+    }
+    times_.resize(w);
+    values_.resize(w);
+    stride_ *= 2;
+    if ((seen_ - 1) % stride_ != 0) return;
+  }
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+}  // namespace ptb

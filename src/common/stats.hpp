@@ -1,0 +1,85 @@
+// Statistics primitives used by the power/energy accounting and the
+// experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ptb {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  /// Value below which the given fraction of samples fall (bucket-granular).
+  double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Decimating time-series recorder: keeps at most `max_points` samples by
+/// doubling the decimation stride when full. Used for per-cycle power traces
+/// (Figure 6) without unbounded memory.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t max_points = 1 << 14);
+
+  void add(double t, double v);
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t size() const { return times_.size(); }
+
+ private:
+  std::size_t max_points_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t seen_ = 0;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace ptb

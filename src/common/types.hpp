@@ -1,0 +1,31 @@
+// Fundamental scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace ptb {
+
+/// Global simulation cycle count (nominal 3 GHz clock).
+using Cycle = std::uint64_t;
+
+/// Core / node index inside the CMP (0 .. num_cores-1).
+using CoreId = std::uint32_t;
+
+/// Physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+
+/// Program counter of a simulated micro-op.
+using Pc = std::uint64_t;
+
+/// Power measured in power-tokens (see power/tokens.hpp for the unit).
+/// Stored as double; all accounting paths avoid accumulating rounding error
+/// by summing per-cycle quantities once.
+using Tokens = double;
+
+/// Sentinel for "no core".
+inline constexpr CoreId kNoCore = static_cast<CoreId>(-1);
+
+/// Sentinel cycle meaning "never" / "not scheduled".
+inline constexpr Cycle kNeverCycle = static_cast<Cycle>(-1);
+
+}  // namespace ptb

@@ -1,0 +1,122 @@
+#include "core/balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+std::uint32_t PtbLoadBalancer::latency_for_cores(std::uint32_t num_cores) {
+  // Paper (Section III.E.2, Xilinx ISE): 4-core: 1+1+1 = 3 cycles;
+  // 8-core: 2+1+2 = 5; 16-core: 4+2+4 = 10. Beyond 16 the paper clusters
+  // the balancer per 16 cores, so the latency stays at 10.
+  if (num_cores <= 4) return 3;
+  if (num_cores <= 8) return 5;
+  if (num_cores <= 16) return 10;
+  // Extrapolation beyond the paper's data points: wire spans keep growing
+  // with the mesh diagonal (~+4 cycles per doubling).
+  std::uint32_t lat = 10;
+  for (std::uint32_t n = 16; n < num_cores; n *= 2) lat += 4;
+  return lat;
+}
+
+PtbLoadBalancer::PtbLoadBalancer(const PtbConfig& cfg,
+                                 std::uint32_t num_cores, double local_budget)
+    : num_cores_(num_cores), local_budget_(local_budget),
+      latency_(cfg.wire_latency_override != 0 ? cfg.wire_latency_override
+                                              : latency_for_cores(num_cores)),
+      max_count_((1u << cfg.token_wire_bits) - 1),
+      quantum_(local_budget / static_cast<double>(max_count_)),
+      ring_(latency_ + 1), pool_arriving_(ring_, 0.0),
+      returning_(ring_, std::vector<double>(num_cores, 0.0)),
+      outstanding_(num_cores, 0.0) {
+  PTB_ASSERT(local_budget > 0.0, "local budget must be positive");
+  PTB_ASSERT(cfg.token_wire_bits >= 1 && cfg.token_wire_bits <= 16,
+             "token wire width out of range");
+}
+
+void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
+                            bool global_over, PtbPolicy policy,
+                            std::vector<double>& eff_budget) {
+  PTB_ASSERT(est_power.size() == num_cores_, "power vector arity mismatch");
+  eff_budget.resize(num_cores_);
+  const std::size_t s = slot(now);
+
+  // 1. Donations sent `latency_` cycles ago land: the pool becomes
+  //    grantable and the donors' budgets recover.
+  const double pool = pool_arriving_[s];
+  pool_arriving_[s] = 0.0;
+  for (CoreId i = 0; i < num_cores_; ++i) {
+    outstanding_[i] -= returning_[s][i];
+    if (outstanding_[i] < 0.0) outstanding_[i] = 0.0;  // float guard
+    returning_[s][i] = 0.0;
+    eff_budget[i] = local_budget_ - outstanding_[i];
+  }
+
+  // 2. Distribute the arriving pool among over-budget cores. Grants are
+  //    capped at each core's deficit (tokens beyond a core's need would
+  //    just bounce back next cycle); undeliverable tokens evaporate —
+  //    nothing is banked across cycles.
+  if (pool > 0.0) {
+    std::uint32_t needy = 0;
+    CoreId neediest = kNoCore;
+    double worst_deficit = 0.0;
+    for (CoreId i = 0; i < num_cores_; ++i) {
+      const double deficit = est_power[i] - eff_budget[i];
+      if (deficit > 0.0) {
+        ++needy;
+        if (deficit > worst_deficit) {
+          worst_deficit = deficit;
+          neediest = i;
+        }
+      }
+    }
+    double remaining = pool;
+    if (needy > 0) {
+      ++grant_events;
+      if (policy == PtbPolicy::kToOne) {
+        const double grant = std::min(remaining, worst_deficit);
+        eff_budget[neediest] += grant;
+        tokens_granted += grant;
+        remaining -= grant;
+      } else {
+        // ToAll: one equal share per over-budget core (the paper's "equally
+        // distribute the extra tokens"), capped at each core's deficit.
+        const double share = remaining / static_cast<double>(needy);
+        for (CoreId i = 0; i < num_cores_; ++i) {
+          const double deficit = est_power[i] - eff_budget[i];
+          if (deficit <= 0.0) continue;
+          const double grant = std::min(share, deficit);
+          eff_budget[i] += grant;
+          tokens_granted += grant;
+          remaining -= grant;
+        }
+      }
+    }
+    tokens_evaporated += remaining;
+  }
+
+  // 3. Cores with spare tokens donate (only while the CMP is globally over
+  //    budget), quantized to the wire width and capped by it.
+  if (global_over) {
+    const std::size_t arrive = slot(now + latency_);
+    for (CoreId i = 0; i < num_cores_; ++i) {
+      const double spare = eff_budget[i] - est_power[i];
+      if (spare <= 0.0) continue;
+      const auto counts = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(spare / quantum_), max_count_);
+      if (counts == 0) continue;
+      const double amount = static_cast<double>(counts) * quantum_;
+      outstanding_[i] += amount;
+      returning_[arrive][i] += amount;
+      pool_arriving_[arrive] += amount;
+      tokens_donated += amount;
+      ++donation_events;
+      // The donor honours the tightened budget immediately.
+      eff_budget[i] -= amount;
+    }
+  }
+}
+
+}  // namespace ptb

@@ -1,0 +1,68 @@
+// The PTB load-balancer (Sections III.E and IV of the paper) — the paper's
+// primary contribution.
+//
+// Every cycle, cores under their local power budget offer their spare
+// tokens; the centralized balancer re-grants them to cores over budget.
+// Tokens are a currency (counts travel on a dedicated wire layer, not the
+// tokens themselves): 4 wires each way bound a message to 0..15 quanta.
+// Nothing is banked across cycles. A donating core tightens its own budget
+// by the donated amount until the grant lands (wire latency: 3 cycles at
+// 2-4 cores, 5 at 8, 10 at 16 — Xilinx ISE estimates from the paper).
+//
+// Policies: ToAll (split among all over-budget cores) and ToOne (all to the
+// neediest core); the dynamic selector in core/policy.hpp switches between
+// them based on the kind of spinning observed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class PtbLoadBalancer {
+ public:
+  PtbLoadBalancer(const PtbConfig& cfg, std::uint32_t num_cores,
+                  double local_budget);
+
+  /// One balancing round. `est_power[i]` is core i's PTHT-estimated
+  /// instantaneous power; `global_over` gates donation (cores only donate
+  /// while the CMP exceeds the global budget); `policy` distributes the
+  /// arriving pool. On return `eff_budget[i]` is core i's budget this cycle
+  /// (local share - outstanding donations + arriving grants).
+  void cycle(Cycle now, const std::vector<double>& est_power,
+             bool global_over, PtbPolicy policy,
+             std::vector<double>& eff_budget);
+
+  std::uint32_t wire_latency() const { return latency_; }
+  /// Tokens represented by one wire count (budget / (2^bits - 1)).
+  double token_quantum() const { return quantum_; }
+
+  /// Paper-configured round-trip latency for a core count.
+  static std::uint32_t latency_for_cores(std::uint32_t num_cores);
+
+  // --- statistics ---
+  double tokens_donated = 0.0;
+  double tokens_granted = 0.0;
+  double tokens_evaporated = 0.0;  // arrived with no needy core
+  std::uint64_t donation_events = 0;
+  std::uint64_t grant_events = 0;
+
+ private:
+  std::size_t slot(Cycle t) const { return t % ring_; }
+
+  std::uint32_t num_cores_;
+  double local_budget_;
+  std::uint32_t latency_;
+  std::uint32_t max_count_;  // 2^wire_bits - 1
+  double quantum_;
+  std::size_t ring_;
+
+  std::vector<double> pool_arriving_;            // [ring]
+  std::vector<std::vector<double>> returning_;   // [ring][core]
+  std::vector<double> outstanding_;              // per core
+};
+
+}  // namespace ptb

@@ -1,0 +1,107 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "dvfs/dvfs.hpp"
+
+namespace ptb {
+
+ThriftyBarrierController::ThriftyBarrierController(std::uint32_t num_cores,
+                                                   Cycle wake_penalty)
+    : wake_penalty_(wake_penalty), cores_(num_cores) {}
+
+bool ThriftyBarrierController::tick(CoreId i, Cycle now, ExecState state,
+                                    std::uint64_t episode, bool quiescent) {
+  PerCore& c = cores_[i];
+
+  if (state == ExecState::kBarrier) {
+    if (!c.in_barrier) {
+      c.in_barrier = true;
+      c.entered_at = now;
+      c.entry_episode = episode;
+    }
+    // Sleep only once the arrival has drained from the pipeline (the core
+    // is quiescing in its spin loop) and the barrier has not yet released,
+    // when the predicted wait amortizes the wake cost (HPCA'04).
+    if (!c.asleep && quiescent && episode == c.entry_episode &&
+        c.predicted_wait > 2.0 * static_cast<double>(wake_penalty_)) {
+      c.asleep = true;
+      c.wake_at = kNeverCycle;  // until the release signal
+      ++sleeps;
+    }
+    if (c.asleep) {
+      if (episode != c.entry_episode && c.wake_at == kNeverCycle) {
+        // The barrier released: start the wake-up ramp.
+        c.wake_at = now + wake_penalty_;
+      }
+      if (c.wake_at != kNeverCycle && now >= c.wake_at) {
+        c.asleep = false;
+      } else {
+        ++sleep_cycles;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (c.in_barrier) {
+    // Left the barrier: record the actual wait for the predictor.
+    c.in_barrier = false;
+    c.asleep = false;
+    c.wake_at = kNeverCycle;
+    const double wait = static_cast<double>(now - c.entered_at);
+    c.predicted_wait = 0.5 * c.predicted_wait + 0.5 * wait;
+  }
+  return false;
+}
+
+MeetingPointsController::MeetingPointsController(std::uint32_t num_cores)
+    : cores_(num_cores), mode_(num_cores, 0), slack_ema_(num_cores, 0.0) {}
+
+void MeetingPointsController::close_episode(Cycle now) {
+  // Everyone has passed the meeting point: convert each thread's waiting
+  // time into a slack fraction of the phase and pick the DVFS mode for the
+  // next phase (PACT'08 thread delaying: slow the early arrivers, never
+  // the critical thread).
+  ++episodes;
+  const double phase =
+      std::max<double>(1.0, static_cast<double>(now - phase_start_));
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const double frac = cores_[i].wait_sample / phase;
+    slack_ema_[i] = 0.5 * slack_ema_[i] + 0.5 * frac;
+    if (slack_ema_[i] > 0.45) {
+      mode_[i] = 4;
+    } else if (slack_ema_[i] > 0.30) {
+      mode_[i] = 3;
+    } else if (slack_ema_[i] > 0.12) {
+      mode_[i] = 2;
+    } else {
+      mode_[i] = 0;  // the critical thread runs at full speed
+    }
+    cores_[i].wait_sample = 0.0;
+  }
+  phase_start_ = now;
+}
+
+void MeetingPointsController::tick(CoreId i, Cycle now, ExecState state) {
+  PerCore& c = cores_[i];
+  const bool waiting_now = (state == ExecState::kBarrier);
+  if (waiting_now && !c.waiting) {
+    c.waiting = true;
+    c.arrived_at = now;
+    ++waiting_count_;
+    saw_waiter_ = true;
+  } else if (!waiting_now && c.waiting) {
+    c.waiting = false;
+    c.wait_sample = static_cast<double>(now - c.arrived_at);
+    PTB_ASSERT(waiting_count_ > 0, "waiting count underflow");
+    if (--waiting_count_ == 0 && saw_waiter_) {
+      // The barrier episode fully drained: finalize the phase.
+      close_episode(now);
+      saw_waiter_ = false;
+    }
+  }
+}
+
+}  // namespace ptb

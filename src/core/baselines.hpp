@@ -1,0 +1,92 @@
+// Prior-art energy mechanisms the paper positions PTB against:
+//
+//  * Thrifty Barrier (Li, Martínez & Huang, HPCA 2004 — reference [13]):
+//    a core arriving at a barrier predicts its wait from history and goes
+//    to sleep when the predicted wait amortizes the wake-up cost; the
+//    barrier release wakes all sleepers (paying the wake penalty).
+//
+//  * Meeting Points (Cai et al., PACT 2008 — reference [11]): thread
+//    delaying — per barrier episode, measure each thread's slack (how long
+//    it waited) and DVFS-slow the non-critical threads for the next phase
+//    so everyone arrives together.
+//
+// Both reduce energy around synchronization; neither enforces a power
+// budget — which is the paper's argument for PTB (Sections II.C and III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+class ThriftyBarrierController {
+ public:
+  /// `wake_penalty`: cycles from the release signal until a slept core can
+  /// execute again (HPCA'04 models DVFS/sleep-state exit).
+  ThriftyBarrierController(std::uint32_t num_cores, Cycle wake_penalty = 200);
+
+  /// Per-cycle, per-core. `state` is the core's execution state, `episode`
+  /// the global barrier-episode counter (increments on each release), and
+  /// `quiescent` whether the core's ROB is empty — a core may only sleep
+  /// once its barrier-arrival operation has fully drained, otherwise the
+  /// last arriver could sleep before releasing the barrier (deadlock).
+  /// Returns true while the core must sleep (not tick).
+  bool tick(CoreId i, Cycle now, ExecState state, std::uint64_t episode,
+            bool quiescent);
+
+  Cycle wake_penalty() const { return wake_penalty_; }
+
+  // Statistics.
+  std::uint64_t sleeps = 0;
+  std::uint64_t sleep_cycles = 0;
+
+ private:
+  struct PerCore {
+    bool in_barrier = false;
+    bool asleep = false;
+    Cycle entered_at = 0;
+    Cycle wake_at = kNeverCycle;
+    double predicted_wait = 0.0;  // EMA of past barrier waits
+    std::uint64_t entry_episode = 0;
+  };
+
+  Cycle wake_penalty_;
+  std::vector<PerCore> cores_;
+};
+
+class MeetingPointsController {
+ public:
+  explicit MeetingPointsController(std::uint32_t num_cores);
+
+  /// Per-cycle, per-core: observe barrier entry/exit and maintain slack.
+  void tick(CoreId i, Cycle now, ExecState state);
+
+  /// DVFS mode this core should run at for the current phase (index into
+  /// kDvfsModes; 0 = full speed).
+  std::uint32_t mode_for(CoreId i) const { return mode_[i]; }
+
+  // Statistics.
+  std::uint64_t episodes = 0;
+
+ private:
+  void close_episode(Cycle now);
+
+  struct PerCore {
+    bool waiting = false;
+    Cycle arrived_at = 0;
+    double wait_sample = 0.0;  // this episode's measured wait
+  };
+
+  std::vector<PerCore> cores_;
+  std::vector<std::uint32_t> mode_;
+  std::vector<double> slack_ema_;  // fraction of the phase spent waiting
+  std::uint32_t waiting_count_ = 0;
+  bool saw_waiter_ = false;
+  Cycle phase_start_ = 0;
+};
+
+}  // namespace ptb

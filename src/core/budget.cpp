@@ -1,0 +1,2 @@
+// BudgetManager is header-only; this TU anchors the library target.
+#include "core/budget.hpp"

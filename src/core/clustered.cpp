@@ -1,0 +1,63 @@
+#include "core/clustered.hpp"
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+ClusteredBalancer::ClusteredBalancer(const PtbConfig& cfg,
+                                     std::uint32_t num_cores,
+                                     std::uint32_t cluster_size,
+                                     double local_budget)
+    : num_cores_(num_cores), cluster_size_(cluster_size) {
+  PTB_ASSERT(cluster_size >= 1, "cluster size must be positive");
+  for (std::uint32_t base = 0; base < num_cores; base += cluster_size) {
+    const std::uint32_t n = std::min(cluster_size, num_cores - base);
+    PtbConfig sub = cfg;
+    if (sub.wire_latency_override == 0) {
+      // Each cluster's wires span only its own members.
+      sub.wire_latency_override = PtbLoadBalancer::latency_for_cores(n);
+    }
+    clusters_.push_back(
+        std::make_unique<PtbLoadBalancer>(sub, n, local_budget));
+  }
+  cluster_power_.reserve(cluster_size);
+  cluster_eff_.reserve(cluster_size);
+}
+
+void ClusteredBalancer::cycle(Cycle now, const std::vector<double>& est_power,
+                              double cluster_budget_total, PtbPolicy policy,
+                              std::vector<double>& eff_budget) {
+  PTB_ASSERT(est_power.size() == num_cores_, "power vector arity mismatch");
+  eff_budget.resize(num_cores_);
+  std::uint32_t base = 0;
+  for (auto& cluster : clusters_) {
+    const std::uint32_t n =
+        std::min(cluster_size_, num_cores_ - base);
+    cluster_power_.assign(est_power.begin() + base,
+                          est_power.begin() + base + n);
+    double cluster_total = 0.0;
+    for (double p : cluster_power_) cluster_total += p;
+    const double cluster_budget =
+        cluster_budget_total * static_cast<double>(n) /
+        static_cast<double>(num_cores_);
+    const bool over = cluster_total > cluster_budget;
+    cluster->cycle(now, cluster_power_, over, policy, cluster_eff_);
+    for (std::uint32_t i = 0; i < n; ++i)
+      eff_budget[base + i] = cluster_eff_[i];
+    base += n;
+  }
+}
+
+double ClusteredBalancer::tokens_donated() const {
+  double t = 0.0;
+  for (const auto& c : clusters_) t += c->tokens_donated;
+  return t;
+}
+
+double ClusteredBalancer::tokens_granted() const {
+  double t = 0.0;
+  for (const auto& c : clusters_) t += c->tokens_granted;
+  return t;
+}
+
+}  // namespace ptb

@@ -1,0 +1,54 @@
+// Clustered PTB (Section III.E.2): "one approach to make PTB more scalable
+// (>32 cores) consists of clustering the PTB load-balancer into groups of 8
+// or 16 cores and replicating the structure as needed" — the paper argues a
+// group of 8-16 cores already carries enough slack to balance well.
+//
+// Each cluster runs its own PtbLoadBalancer over its members at the small-
+// cluster wire latency; clusters do not exchange tokens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/balancer.hpp"
+
+namespace ptb {
+
+class ClusteredBalancer {
+ public:
+  /// Partitions `num_cores` into contiguous clusters of at most
+  /// `cluster_size` cores (the paper suggests 8 or 16).
+  ClusteredBalancer(const PtbConfig& cfg, std::uint32_t num_cores,
+                    std::uint32_t cluster_size, double local_budget);
+
+  /// Same contract as PtbLoadBalancer::cycle, applied per cluster. The
+  /// `global_over` gate uses each *cluster's* aggregate (a cluster only has
+  /// its own wires), which is what makes the scheme scalable.
+  void cycle(Cycle now, const std::vector<double>& est_power,
+             double cluster_budget_total, PtbPolicy policy,
+             std::vector<double>& eff_budget);
+
+  std::uint32_t num_clusters() const {
+    return static_cast<std::uint32_t>(clusters_.size());
+  }
+  std::uint32_t cluster_size() const { return cluster_size_; }
+  std::uint32_t wire_latency() const {
+    return clusters_.empty() ? 0 : clusters_[0]->wire_latency();
+  }
+
+  double tokens_donated() const;
+  double tokens_granted() const;
+
+ private:
+  std::uint32_t num_cores_;
+  std::uint32_t cluster_size_;
+  std::vector<std::unique_ptr<PtbLoadBalancer>> clusters_;
+  // Scratch buffers reused per cycle (no allocation on the cycle path).
+  std::vector<double> cluster_power_;
+  std::vector<double> cluster_eff_;
+};
+
+}  // namespace ptb

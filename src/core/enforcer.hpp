@@ -1,0 +1,35 @@
+// Per-core power enforcer: binds a TechniqueKind to its controllers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/two_level.hpp"
+
+namespace ptb {
+
+class Core;
+
+class PowerEnforcer {
+ public:
+  PowerEnforcer(const SimConfig& cfg, TechniqueKind kind);
+
+  /// One cycle of local enforcement against `budget`.
+  void tick(Cycle now, double est_power, double budget, bool enforce,
+            double relax_threshold, Core& core);
+
+  double vdd_ratio() const;
+  double freq_ratio() const;
+  /// True while a DVFS transition stalls the core.
+  bool stalled(Cycle now) const;
+
+  TechniqueKind kind() const { return kind_; }
+  const TwoLevelController& controller() const { return ctrl_; }
+
+ private:
+  TechniqueKind kind_;
+  TwoLevelController ctrl_;
+};
+
+}  // namespace ptb

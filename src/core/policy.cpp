@@ -1,0 +1,71 @@
+#include "core/policy.hpp"
+
+namespace ptb {
+
+DynamicPolicySelector::DynamicPolicySelector(const PtbConfig& cfg,
+                                             std::uint32_t num_cores,
+                                             double spin_threshold)
+    : was_spinning_(num_cores, false) {
+  (void)cfg;
+  detectors_.reserve(num_cores);
+  for (std::uint32_t i = 0; i < num_cores; ++i)
+    detectors_.emplace_back(spin_threshold, 32);
+}
+
+void DynamicPolicySelector::account(PtbPolicy p) {
+  last_ = p;
+  if (p == PtbPolicy::kToOne) {
+    ++to_one_cycles;
+  } else {
+    ++to_all_cycles;
+  }
+}
+
+PtbPolicy DynamicPolicySelector::select(
+    const std::vector<ExecState>& states) {
+  std::uint32_t lock_spinners = 0;
+  std::uint32_t barrier_spinners = 0;
+  for (ExecState s : states) {
+    if (s == ExecState::kLockAcq) ++lock_spinners;
+    if (s == ExecState::kBarrier) ++barrier_spinners;
+  }
+  // Lock spinning present and dominant => prioritize the critical section
+  // holder (ToOne); otherwise spread toward the barrier (ToAll).
+  const PtbPolicy p = (lock_spinners > barrier_spinners)
+                          ? PtbPolicy::kToOne
+                          : PtbPolicy::kToAll;
+  account(p);
+  return p;
+}
+
+PtbPolicy DynamicPolicySelector::select_heuristic(
+    Cycle now, const std::vector<double>& est_power) {
+  // Count spin exits this cycle from the power-pattern detectors.
+  std::uint32_t exits_now = 0;
+  std::uint32_t spinning_now = 0;
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    const bool sp = detectors_[i].tick(est_power[i]);
+    if (was_spinning_[i] && !sp) ++exits_now;
+    if (sp) ++spinning_now;
+    was_spinning_[i] = sp;
+  }
+  // A wave of simultaneous (within a short window) exits looks like a
+  // barrier release; isolated exits look like lock handoffs.
+  constexpr Cycle kWave = 64;
+  if (exits_now > 0) {
+    if (now - last_exit_cycle_ <= kWave) {
+      recent_exits_ += exits_now;
+    } else {
+      recent_exits_ = exits_now;
+    }
+    last_exit_cycle_ = now;
+    heuristic_current_ =
+        (recent_exits_ >= 2) ? PtbPolicy::kToAll : PtbPolicy::kToOne;
+  } else if (spinning_now == 0) {
+    heuristic_current_ = PtbPolicy::kToAll;  // nothing spinning: default
+  }
+  account(heuristic_current_);
+  return heuristic_current_;
+}
+
+}  // namespace ptb

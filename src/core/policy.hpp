@@ -1,0 +1,53 @@
+// Dynamic power-sharing policy selector (Section IV.B of the paper).
+//
+// ToAll suits barriers (speed *all* remaining cores toward the barrier);
+// ToOne suits locks (give everything to the core in the critical section).
+// The selector switches per cycle based on what kind of spinning dominates.
+//
+// The paper's reported results use application-assisted classification
+// (ground truth); it notes a pure heuristic is possible, e.g. monitoring
+// how many cores stop spinning simultaneously via their power tokens. Both
+// are implemented; PtbConfig::dynamic_uses_ground_truth selects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/spin_power_detector.hpp"
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+class DynamicPolicySelector {
+ public:
+  DynamicPolicySelector(const PtbConfig& cfg, std::uint32_t num_cores,
+                        double spin_threshold);
+
+  /// Ground-truth variant: reads the cores' actual exec states.
+  PtbPolicy select(const std::vector<ExecState>& states);
+
+  /// Heuristic variant: observes only per-core estimated power. Cores whose
+  /// power-pattern spin ends simultaneously (a release wave) indicate a
+  /// barrier; isolated exits indicate lock handoffs.
+  PtbPolicy select_heuristic(Cycle now, const std::vector<double>& est_power);
+
+  PtbPolicy last() const { return last_; }
+
+  // Statistics.
+  std::uint64_t to_one_cycles = 0;
+  std::uint64_t to_all_cycles = 0;
+
+ private:
+  void account(PtbPolicy p);
+
+  std::vector<SpinPowerDetector> detectors_;
+  std::vector<bool> was_spinning_;
+  Cycle last_exit_cycle_ = 0;
+  std::uint32_t recent_exits_ = 0;
+  PtbPolicy last_ = PtbPolicy::kToAll;
+  PtbPolicy heuristic_current_ = PtbPolicy::kToAll;
+};
+
+}  // namespace ptb

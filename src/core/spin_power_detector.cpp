@@ -1,0 +1,2 @@
+// SpinPowerDetector is header-only; this TU anchors the library target.
+#include "core/spin_power_detector.hpp"

@@ -1,0 +1,51 @@
+// Indirect spin detection from power patterns (Figure 6 of the paper).
+//
+// A core entering a spin state shows a characteristic per-cycle power
+// signature: after the last burst of useful computation, power drops and
+// stabilizes well under the budget. Observing estimated power only (no
+// instrumentation, no performance counters), the detector declares spinning
+// after the power stays below a threshold for a confirmation window.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ptb {
+
+class SpinPowerDetector {
+ public:
+  /// `threshold` is the absolute power level (tokens/cycle) under which a
+  /// core is presumed spinning; `confirm_cycles` debounces bursts.
+  SpinPowerDetector(double threshold, std::uint32_t confirm_cycles)
+      : threshold_(threshold), confirm_(confirm_cycles) {}
+
+  /// Feed one cycle of the core's estimated power. Returns the verdict.
+  bool tick(double est_power) {
+    const bool was = spinning_;
+    if (est_power < threshold_) {
+      if (below_ < confirm_) ++below_;
+      spinning_ = (below_ >= confirm_);
+    } else {
+      below_ = 0;
+      spinning_ = false;
+    }
+    if (spinning_ && !was) ++detections_;
+    if (!spinning_ && was) ++exits_;
+    return spinning_;
+  }
+
+  bool spinning() const { return spinning_; }
+  std::uint64_t detections() const { return detections_; }
+  std::uint64_t exits() const { return exits_; }
+
+ private:
+  double threshold_;
+  std::uint32_t confirm_;
+  std::uint32_t below_ = 0;
+  bool spinning_ = false;
+  std::uint64_t detections_ = 0;
+  std::uint64_t exits_ = 0;
+};
+
+}  // namespace ptb

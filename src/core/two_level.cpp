@@ -1,0 +1,45 @@
+#include "core/two_level.hpp"
+
+#include "cpu/core.hpp"
+
+namespace ptb {
+
+TwoLevelController::TwoLevelController(const SimConfig& cfg, bool use_dvfs,
+                                       bool use_microarch, bool freq_only)
+    : cfg_(cfg), dvfs_(cfg.dvfs, cfg.power, freq_only), use_dvfs_(use_dvfs),
+      use_microarch_(use_microarch) {}
+
+void TwoLevelController::tick(Cycle now, double est_power, double budget,
+                              bool enforce, double relax_threshold,
+                              Core& core) {
+  if (use_dvfs_) dvfs_.tick(now, est_power, budget, enforce);
+
+  if (!use_microarch_) {
+    ++level_cycles[0];
+    return;
+  }
+  // Level 2: per-cycle spike removal. The trigger point moves out with the
+  // relaxed-accuracy threshold of Section IV.C.
+  const double trigger = budget * (1.0 + relax_threshold);
+  if (!enforce || est_power <= trigger) {
+    level_ = 0;
+  } else {
+    const double ratio = est_power / trigger;
+    if (ratio > 1.30) {
+      level_ = 3;  // fetch gating
+    } else if (ratio > 1.15) {
+      level_ = 2;  // serialized fetch
+    } else {
+      level_ = 1;  // halved fetch width
+    }
+  }
+  ++level_cycles[level_];
+  switch (level_) {
+    case 0: core.set_fetch_limit(cfg_.core.fetch_width); break;
+    case 1: core.set_fetch_limit(cfg_.core.fetch_width / 2); break;
+    case 2: core.set_fetch_limit(1); break;
+    default: core.set_fetch_limit(0); break;
+  }
+}
+
+}  // namespace ptb

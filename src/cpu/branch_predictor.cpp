@@ -1,0 +1,36 @@
+#include "cpu/branch_predictor.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+GsharePredictor::GsharePredictor(const CoreConfig& cfg) {
+  // 64 KB of 2-bit counters ~= 4 counters per byte; we store one per byte
+  // for simplicity but size the *index space* as the paper's table.
+  const std::uint32_t entries = cfg.bp_table_bytes * 4;
+  PTB_ASSERT(std::has_single_bit(entries), "predictor entries power of 2");
+  counters_.assign(entries, 1);  // weakly not-taken
+  mask_ = entries - 1;
+  history_mask_ = (1ull << cfg.bp_history_bits) - 1;
+}
+
+bool GsharePredictor::predict(Pc pc) const {
+  ++lookups;
+  return counters_[index_of(pc)] >= 2;
+}
+
+void GsharePredictor::update(Pc pc, bool taken) {
+  std::uint8_t& ctr = counters_[index_of(pc)];
+  const bool predicted = ctr >= 2;
+  if (predicted != taken) ++mispredicts;
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+}  // namespace ptb

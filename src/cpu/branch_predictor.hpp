@@ -1,0 +1,37 @@
+// Gshare branch predictor (Table 1: 64 KB, 16-bit history).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(const CoreConfig& cfg);
+
+  bool predict(Pc pc) const;
+
+  /// Update with the architected outcome and speculatively shift the history
+  /// (simple immediate-update model, standard in fast timing simulators).
+  void update(Pc pc, bool taken);
+
+  // Statistics.
+  mutable std::uint64_t lookups = 0;
+  std::uint64_t mispredicts = 0;
+
+ private:
+  std::size_t index_of(Pc pc) const {
+    return ((pc >> 2) ^ history_) & mask_;
+  }
+
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating
+  std::size_t mask_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,32 @@
+#include "cpu/functional_units.hpp"
+
+namespace ptb {
+
+FunctionalUnits::FunctionalUnits(const CoreConfig& cfg) {
+  auto set = [&](OpClass c, std::uint32_t lim, std::uint32_t lat) {
+    limit_[static_cast<std::size_t>(c)] = lim;
+    latency_[static_cast<std::size_t>(c)] = lat;
+  };
+  set(OpClass::kIntAlu, cfg.int_alu, 1);
+  set(OpClass::kIntMult, cfg.int_mult, 3);
+  set(OpClass::kFpAlu, cfg.fp_alu, 2);
+  set(OpClass::kFpMult, cfg.fp_mult, 4);
+  // Memory ops consume an L1D port (address generation on an int ALU is
+  // folded into the port limit); branches use an int ALU slot.
+  set(OpClass::kLoad, cfg.l1d_ports, 1);
+  set(OpClass::kStore, cfg.l1d_ports, 1);
+  set(OpClass::kAtomicRmw, cfg.l1d_ports, 1);
+  set(OpClass::kBranch, cfg.int_alu, 1);
+  set(OpClass::kNop, cfg.issue_width, 1);
+}
+
+bool FunctionalUnits::try_issue(OpClass c) {
+  auto& used = used_[static_cast<std::size_t>(c)];
+  if (used >= limit_[static_cast<std::size_t>(c)]) return false;
+  ++used;
+  return true;
+}
+
+void FunctionalUnits::begin_cycle() { used_.fill(0); }
+
+}  // namespace ptb

@@ -1,0 +1,34 @@
+// Functional-unit pools (Table 1: 6 IntAlu, 2 IntMult, 4 FpAlu, 4 FpMult).
+// All units are fully pipelined: the pool bounds issues per class per cycle;
+// latency determines completion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "isa/microop.hpp"
+
+namespace ptb {
+
+class FunctionalUnits {
+ public:
+  explicit FunctionalUnits(const CoreConfig& cfg);
+
+  /// Execution latency in cycles for an op class (memory classes return the
+  /// address-generation latency; the cache access is timed separately).
+  std::uint32_t latency(OpClass c) const {
+    return latency_[static_cast<std::size_t>(c)];
+  }
+
+  /// Try to claim a unit for this cycle; call begin_cycle() once per cycle.
+  bool try_issue(OpClass c);
+  void begin_cycle();
+
+ private:
+  std::array<std::uint32_t, kNumOpClasses> limit_{};
+  std::array<std::uint32_t, kNumOpClasses> used_{};
+  std::array<std::uint32_t, kNumOpClasses> latency_{};
+};
+
+}  // namespace ptb

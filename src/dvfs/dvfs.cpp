@@ -1,0 +1,47 @@
+#include "dvfs/dvfs.hpp"
+
+#include <cmath>
+
+namespace ptb {
+
+DvfsController::DvfsController(const DvfsConfig& cfg,
+                               const PowerConfig& power, bool freq_only)
+    : cfg_(cfg), vdd_nominal_(power.vdd_nominal), freq_only_(freq_only) {}
+
+Cycle DvfsController::transition_cycles(double delta_v) const {
+  const double mv = std::abs(delta_v) * 1000.0;
+  const double cycles = mv / cfg_.mv_per_cycle;
+  // Even a frequency-only change costs one cycle of PLL resync.
+  return cycles < 1.0 ? 1 : static_cast<Cycle>(std::ceil(cycles));
+}
+
+void DvfsController::change_mode(Cycle now, std::uint32_t next) {
+  if (next == mode_) return;
+  const double dv = (vdd_of(next) - vdd_of(mode_)) * vdd_nominal_;
+  transition_until_ = now + transition_cycles(dv);
+  mode_ = next;
+  ++transitions;
+}
+
+void DvfsController::tick(Cycle now, double inst_power, double budget,
+                          bool enforce) {
+  window_acc_ += inst_power;
+  if (++window_n_ < cfg_.window_cycles) return;
+  const double avg = window_acc_ / static_cast<double>(window_n_);
+  window_acc_ = 0.0;
+  window_n_ = 0;
+  if (in_transition(now)) return;  // settle before deciding again
+
+  if (!enforce) {
+    // Globally under budget: relax toward full speed.
+    if (mode_ > 0) change_mode(now, mode_ - 1);
+    return;
+  }
+  if (avg > budget && mode_ + 1 < kDvfsModes.size()) {
+    change_mode(now, mode_ + 1);
+  } else if (avg < budget * cfg_.up_hysteresis && mode_ > 0) {
+    change_mode(now, mode_ - 1);
+  }
+}
+
+}  // namespace ptb

@@ -1,0 +1,21 @@
+#include "isa/microop.hpp"
+
+namespace ptb {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kIntAlu: return "IntAlu";
+    case OpClass::kIntMult: return "IntMult";
+    case OpClass::kFpAlu: return "FpAlu";
+    case OpClass::kFpMult: return "FpMult";
+    case OpClass::kLoad: return "Load";
+    case OpClass::kStore: return "Store";
+    case OpClass::kBranch: return "Branch";
+    case OpClass::kAtomicRmw: return "AtomicRmw";
+    case OpClass::kNop: return "Nop";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace ptb

@@ -1,0 +1,77 @@
+// Micro-op model: the unit of work flowing through the simulated cores.
+//
+// Programs (src/workloads) emit MicroOps; the core model (src/cpu) times
+// them; the power model (src/power) charges them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ptb {
+
+enum class OpClass : std::uint8_t {
+  kIntAlu = 0,
+  kIntMult,
+  kFpAlu,
+  kFpMult,
+  kLoad,
+  kStore,
+  kBranch,
+  kAtomicRmw,  // test&set / fetch&inc on a sync variable
+  kNop,
+  kCount,
+};
+
+inline constexpr std::uint32_t kNumOpClasses =
+    static_cast<std::uint32_t>(OpClass::kCount);
+
+const char* op_class_name(OpClass c);
+
+/// Synchronization role of a micro-op, used by the spin tracker (Figure 3
+/// breakdown) and by the program state machines. The core itself treats
+/// sync ops as ordinary memory ops; semantics live in sync/sync_state.
+enum class SyncRole : std::uint8_t {
+  kNone = 0,
+  kLockTestLoad,    // spin-load of a lock word
+  kLockTryAcquire,  // atomic test&set attempt
+  kLockRelease,     // store unlocking
+  kBarrierArrive,   // atomic fetch&inc of the barrier counter
+  kBarrierSpinLoad, // spin-load of the barrier sense word
+};
+
+struct MicroOp {
+  Pc pc = 0;
+  OpClass cls = OpClass::kNop;
+
+  // Register dependencies expressed as distances to older in-flight ops
+  // (1 = the immediately preceding op). 0 = no dependency. Distances larger
+  // than current ROB occupancy resolve immediately.
+  std::uint8_t dep1 = 0;
+  std::uint8_t dep2 = 0;
+
+  // Memory operands (kLoad / kStore / kAtomicRmw).
+  Addr addr = 0;
+
+  // Branches: the architected outcome. The predictor guesses; a mismatch
+  // costs a front-end flush.
+  bool branch_taken = false;
+
+  // True for ops whose *result value* the program needs before it can emit
+  // the next op (spin loads, lock attempts). Fetch stalls behind them once
+  // they are in flight.
+  bool blocks_generation = false;
+
+  SyncRole sync = SyncRole::kNone;
+
+  // Sync object index (lock id / barrier id) for ops with a SyncRole.
+  std::uint32_t sync_id = 0;
+
+  bool is_memory() const {
+    return cls == OpClass::kLoad || cls == OpClass::kStore ||
+           cls == OpClass::kAtomicRmw;
+  }
+  bool is_branch() const { return cls == OpClass::kBranch; }
+};
+
+}  // namespace ptb

@@ -1,0 +1,85 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+const char* coherence_state_name(CoherenceState s) {
+  switch (s) {
+    case CoherenceState::kInvalid: return "I";
+    case CoherenceState::kShared: return "S";
+    case CoherenceState::kExclusive: return "E";
+    case CoherenceState::kOwned: return "O";
+    case CoherenceState::kModified: return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t assoc,
+             std::uint32_t line_bytes, std::uint32_t index_shift)
+    : assoc_(assoc), index_shift_(index_shift) {
+  PTB_ASSERT(std::has_single_bit(line_bytes), "line size must be power of 2");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+  PTB_ASSERT(assoc > 0, "associativity must be positive");
+  const std::uint32_t lines = size_bytes / line_bytes;
+  PTB_ASSERT(lines % assoc == 0, "size/assoc/line mismatch");
+  sets_ = lines / assoc;
+  PTB_ASSERT(std::has_single_bit(sets_), "set count must be power of 2");
+  lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+Cache::Line* Cache::find(Addr a) {
+  const Addr line = line_of(a);
+  Line* base = &lines_[static_cast<std::size_t>(set_of(line)) * assoc_];
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Line& l = base[w];
+    if (l.state != CoherenceState::kInvalid && l.tag == line) {
+      l.lru = ++lru_clock_;
+      return &l;
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(Addr a) const {
+  const Addr line = line_of(a);
+  const Line* base = &lines_[static_cast<std::size_t>(set_of(line)) * assoc_];
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const Line& l = base[w];
+    if (l.state != CoherenceState::kInvalid && l.tag == line) return &l;
+  }
+  return nullptr;
+}
+
+Cache::Line Cache::insert(Addr a, CoherenceState st) {
+  PTB_ASSERT(st != CoherenceState::kInvalid, "cannot insert an invalid line");
+  const Addr line = line_of(a);
+  Line* base = &lines_[static_cast<std::size_t>(set_of(line)) * assoc_];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Line& l = base[w];
+    PTB_ASSERT(l.state == CoherenceState::kInvalid || l.tag != line,
+               "insert of already-resident line");
+    if (l.state == CoherenceState::kInvalid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  Line evicted = *victim;
+  if (evicted.state != CoherenceState::kInvalid) ++evictions;
+  victim->tag = line;
+  victim->state = st;
+  victim->lru = ++lru_clock_;
+  victim->sharers = 0;
+  victim->owner = kNoCore;
+  return evicted;
+}
+
+void Cache::invalidate(Addr a) {
+  if (Line* l = find(a)) l->state = CoherenceState::kInvalid;
+}
+
+}  // namespace ptb

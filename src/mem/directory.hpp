@@ -1,0 +1,96 @@
+// Directory-based MOESI coherence controller.
+//
+// The directory is embedded in the (inclusive) L2 bank lines: each L2 line
+// tracks the set of L1 sharers and the owning core (M/E/O copy), exactly one
+// home bank per line (address-interleaved). Transactions are processed in
+// arrival order; the MemorySystem serializes concurrent transactions to the
+// same line, so the controller never observes protocol races and the
+// single-writer/multiple-reader invariant holds between transactions.
+//
+// L2 line states are reused from CoherenceState with the meaning:
+//   kExclusive = present, clean w.r.t. memory
+//   kModified  = present, dirty w.r.t. memory
+// L1 copies are tracked by the directory metadata (sharers / owner).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "noc/mesh.hpp"
+
+namespace ptb {
+
+/// Timing + bookkeeping outcome of one directory transaction.
+struct DirOutcome {
+  Cycle done = 0;              // cycle at which the requester has the line
+  bool data_from_owner = false;
+  std::uint32_t invalidations = 0;
+  bool l2_miss = false;
+};
+
+class DirectoryController {
+ public:
+  DirectoryController(const SimConfig& cfg, Mesh& mesh,
+                      std::vector<Cache>& l1i, std::vector<Cache>& l1d);
+
+  /// Read request from core `req` for `line` (line address), arriving at the
+  /// home bank at `at`. Grants S (or E when unshared). `instruction` selects
+  /// which L1 array the fill goes to.
+  DirOutcome get_shared(CoreId req, Addr line, Cycle at, bool instruction);
+
+  /// Write/upgrade request: grants M, invalidating all other copies.
+  DirOutcome get_modified(CoreId req, Addr line, Cycle at);
+
+  /// Owner eviction notification (dirty writeback or clean-exclusive PutE).
+  /// Timing is off the requester critical path; state updates immediately.
+  void put_owner(CoreId from, Addr line, bool dirty, Cycle at);
+
+  /// Functional (zero-time) warmup: installs `line` in its home L2 bank and,
+  /// when `c != kNoCore`, into that core's L1 (exclusive => E + ownership,
+  /// else S). Used to skip the cold-start DRAM phase before timed runs, as
+  /// architectural simulators conventionally do.
+  void warm(CoreId c, Addr line, bool instruction, bool exclusive);
+
+  /// Home bank (== mesh node) for a line address.
+  CoreId home_of(Addr line) const {
+    return static_cast<CoreId>(line % num_cores_);
+  }
+
+  // --- statistics ---
+  std::uint64_t gets_requests = 0;
+  std::uint64_t getm_requests = 0;
+  std::uint64_t owner_forwards = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_recalls = 0;
+  std::uint64_t writebacks = 0;
+
+  Cache& l2_bank(CoreId b) { return l2_banks_[b]; }
+  const Cache& l2_bank(CoreId b) const { return l2_banks_[b]; }
+  DramModel& dram() { return dram_; }
+  const DramModel& dram() const { return dram_; }
+
+ private:
+  /// Ensures `line` is resident in its home L2 bank; returns the cycle the
+  /// data is available at the bank and the resident line pointer.
+  Cache::Line* ensure_resident(Addr line, Cycle& t, DirOutcome& out);
+
+  /// Invalidate every L1 copy of `line` recorded in `entry` except `keep`;
+  /// returns the cycle by which all acks have reached `ack_to`'s node.
+  Cycle invalidate_copies(Cache::Line* entry, Addr line, CoreId keep,
+                          CoreId ack_to, Cycle t, DirOutcome& out);
+
+  const SimConfig& cfg_;
+  Mesh& mesh_;
+  std::vector<Cache>& l1i_;
+  std::vector<Cache>& l1d_;
+  std::vector<Cache> l2_banks_;
+  DramModel dram_;
+  std::uint32_t num_cores_;
+};
+
+}  // namespace ptb

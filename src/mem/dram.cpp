@@ -1,0 +1,47 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+DramModel::DramModel(const MemConfig& cfg)
+    : cfg_(cfg),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.banks_per_channel) {
+  PTB_ASSERT(!banks_.empty(), "DRAM needs at least one bank");
+}
+
+std::size_t DramModel::bank_of(Addr line) const {
+  // Interleave consecutive lines across channels, then banks — the usual
+  // controller mapping that spreads streams.
+  return static_cast<std::size_t>(line) % banks_.size();
+}
+
+Addr DramModel::row_of(Addr line) const {
+  const Addr lines_per_row = cfg_.row_bytes / 64;
+  return (line / banks_.size()) / lines_per_row;
+}
+
+Cycle DramModel::access(Addr line, Cycle at) {
+  ++accesses;
+  if (!cfg_.banked) return at + cfg_.dram_latency;
+
+  Bank& bank = banks_[bank_of(line)];
+  const Addr row = row_of(line);
+  const Cycle start = std::max(at + cfg_.t_bus, bank.next_free);
+  Cycle latency;
+  if (bank.open_row == row) {
+    ++row_hits;
+    latency = cfg_.t_cas;
+  } else {
+    ++row_misses;
+    latency = cfg_.t_pre + cfg_.t_act + cfg_.t_cas;
+    bank.open_row = row;
+  }
+  const Cycle done = start + latency;
+  bank.next_free = done;  // closed until the column access finishes
+  return done + cfg_.t_bus;
+}
+
+}  // namespace ptb

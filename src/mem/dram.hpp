@@ -1,0 +1,47 @@
+// Main-memory timing model.
+//
+// Table 1 of the paper gives a flat 300-cycle memory latency, which is the
+// default. The banked model refines it with channels, banks, row buffers
+// and per-bank queuing — useful for the DRAM-sensitivity ablation and for
+// workloads whose miss streams have row locality (or pathological bank
+// conflicts) that a flat latency cannot express.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class DramModel {
+ public:
+  explicit DramModel(const MemConfig& cfg);
+
+  /// Cycle at which the line's data is available at the memory controller,
+  /// for a request arriving at `at`. Mutates bank state (row buffers,
+  /// queues) when the banked model is enabled.
+  Cycle access(Addr line, Cycle at);
+
+  bool banked() const { return cfg_.banked; }
+
+  // --- statistics (banked model only) ---
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t accesses = 0;
+
+ private:
+  struct Bank {
+    Addr open_row = static_cast<Addr>(-1);
+    Cycle next_free = 0;
+  };
+
+  std::size_t bank_of(Addr line) const;
+  Addr row_of(Addr line) const;
+
+  MemConfig cfg_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace ptb

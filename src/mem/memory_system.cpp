@@ -1,0 +1,138 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+namespace {
+constexpr std::uint64_t kBusyPruneInterval = 1 << 16;
+}
+
+MemorySystem::MemorySystem(const SimConfig& cfg, Mesh& mesh)
+    : cfg_(cfg), mesh_(mesh), busy_prune_countdown_(kBusyPruneInterval),
+      mshr_outstanding_(cfg.num_cores) {
+  l1i_.reserve(cfg.num_cores);
+  l1d_.reserve(cfg.num_cores);
+  for (std::uint32_t i = 0; i < cfg.num_cores; ++i) {
+    l1i_.emplace_back(cfg.l1i.size_bytes, cfg.l1i.assoc, cfg.l1i.line_bytes);
+    l1d_.emplace_back(cfg.l1d.size_bytes, cfg.l1d.assoc, cfg.l1d.line_bytes);
+  }
+  dir_ = std::make_unique<DirectoryController>(cfg, mesh, l1i_, l1d_);
+}
+
+Cycle MemorySystem::mshr_admit(CoreId c, Cycle start) {
+  auto& out = mshr_outstanding_[c];
+  // Drop completed entries.
+  std::erase_if(out, [start](Cycle d) { return d <= start; });
+  while (out.size() >= cfg_.l1d.mshrs) {
+    const auto it = std::min_element(out.begin(), out.end());
+    start = std::max(start, *it);
+    out.erase(it);
+  }
+  return start;
+}
+
+void MemorySystem::mshr_record(CoreId c, Cycle done) {
+  mshr_outstanding_[c].push_back(done);
+}
+
+MemAccessResult MemorySystem::access(CoreId c, MemAccessType type, Addr addr,
+                                     Cycle now) {
+  const bool instruction = (type == MemAccessType::kIFetch);
+  Cache& l1 = instruction ? l1i_[c] : l1d_[c];
+  const Addr line = l1.line_of(addr);
+
+  switch (type) {
+    case MemAccessType::kIFetch: ++ifetches; break;
+    case MemAccessType::kLoad: ++loads; break;
+    case MemAccessType::kStore: ++stores; break;
+    case MemAccessType::kAtomicRmw: ++atomics; break;
+  }
+
+  // Serialize behind any in-flight transaction on this line.
+  Cycle start = now;
+  if (auto it = line_busy_.find(line); it != line_busy_.end()) {
+    if (it->second > start) start = it->second;
+  }
+  if (--busy_prune_countdown_ == 0) {
+    busy_prune_countdown_ = kBusyPruneInterval;
+    std::erase_if(line_busy_, [now](const auto& kv) {
+      return kv.second <= now;
+    });
+  }
+
+  const std::uint32_t hit_lat =
+      instruction ? cfg_.l1i.hit_latency : cfg_.l1d.hit_latency;
+
+  // --- L1 lookup ---
+  const bool needs_write =
+      (type == MemAccessType::kStore || type == MemAccessType::kAtomicRmw);
+  if (Cache::Line* hit = l1.find(addr)) {
+    if (!needs_write) {
+      ++l1.hits;
+      return {start + hit_lat, true};
+    }
+    if (hit->state == CoherenceState::kModified) {
+      ++l1.hits;
+      return {start + hit_lat, true};
+    }
+    if (hit->state == CoherenceState::kExclusive) {
+      hit->state = CoherenceState::kModified;  // silent E->M upgrade
+      ++l1.hits;
+      return {start + hit_lat, true};
+    }
+    // S or O: needs an upgrade through the directory (falls through).
+  }
+  ++l1.misses;
+  ++l1_misses;
+
+  // --- miss path ---
+  start = mshr_admit(c, start);
+  const Cycle req_sent = start + hit_lat;  // detect the miss first
+  const Cycle at_home = mesh_.route(c, dir_->home_of(line),
+                                    cfg_.noc.ctrl_msg_bytes, req_sent);
+  DirOutcome out;
+  if (needs_write) {
+    out = dir_->get_modified(c, line, at_home);
+  } else {
+    out = dir_->get_shared(c, line, at_home, instruction);
+  }
+  const Cycle done = out.done + 1;  // L1 fill
+  // Only ownership-changing transactions serialize the line: GetM (and
+  // upgrades) must be exclusive, while concurrent GetS requests stream
+  // read copies from the home bank in parallel (as directory protocols
+  // pipeline them). RMW atomicity only needs the GetM ordering.
+  if (needs_write) line_busy_[line] = done;
+  mshr_record(c, done);
+  return {done, false};
+}
+
+void MemorySystem::check_swmr() const {
+  // For every line resident anywhere: if some core holds it M or E, no other
+  // core may hold any valid copy.
+  std::unordered_map<Addr, std::pair<int, int>> seen;  // line -> {me, valid}
+  auto scan = [&](const Cache& cache) {
+    for (const auto& l : cache.all_lines()) {
+      if (l.state == CoherenceState::kInvalid) continue;
+      auto& [me, valid] = seen[l.tag];
+      if (l.state == CoherenceState::kModified ||
+          l.state == CoherenceState::kExclusive) {
+        ++me;
+      }
+      ++valid;
+    }
+  };
+  for (const auto& c : l1i_) scan(c);
+  for (const auto& c : l1d_) scan(c);
+  for (const auto& [line, counts] : seen) {
+    const auto& [me, valid] = counts;
+    PTB_ASSERT(me <= 1, "two cores hold the same line in M/E");
+    PTB_ASSERT(me == 0 || valid == 1,
+               "an M/E copy coexists with another valid copy");
+  }
+}
+
+}  // namespace ptb

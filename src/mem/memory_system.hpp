@@ -1,0 +1,76 @@
+// Per-core L1 front end (L1I + L1D, MSHRs) over the MOESI directory and the
+// mesh. This is the interface the core model calls for every memory micro-op
+// and instruction fetch.
+//
+// Concurrency model: each access computes its complete timing at issue
+// ("time-warp"), reserving mesh bandwidth along the way. A per-line
+// busy-until map serializes transactions that touch the same line, which is
+// what preserves coherence ordering (and makes atomic RMWs atomic: their
+// completion order on one line equals their processing order).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "noc/mesh.hpp"
+
+namespace ptb {
+
+enum class MemAccessType : std::uint8_t {
+  kIFetch = 0,
+  kLoad,
+  kStore,
+  kAtomicRmw,
+};
+
+struct MemAccessResult {
+  Cycle done = 0;    // cycle at which the access's value/permission is ready
+  bool l1_hit = false;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const SimConfig& cfg, Mesh& mesh);
+
+  /// Performs one access for core `c` starting no earlier than `now`.
+  MemAccessResult access(CoreId c, MemAccessType type, Addr addr, Cycle now);
+
+  Cache& l1i(CoreId c) { return l1i_[c]; }
+  Cache& l1d(CoreId c) { return l1d_[c]; }
+  const Cache& l1i(CoreId c) const { return l1i_[c]; }
+  const Cache& l1d(CoreId c) const { return l1d_[c]; }
+  DirectoryController& directory() { return *dir_; }
+  const DirectoryController& directory() const { return *dir_; }
+
+  /// Verifies the single-writer/multiple-reader invariant across all L1s.
+  /// Aborts via PTB_ASSERT on violation. Test/debug hook.
+  void check_swmr() const;
+
+  // --- statistics (aggregate) ---
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t ifetches = 0;
+  std::uint64_t l1_misses = 0;
+
+ private:
+  Cycle mshr_admit(CoreId c, Cycle start);
+  void mshr_record(CoreId c, Cycle done);
+
+  const SimConfig& cfg_;
+  Mesh& mesh_;
+  std::vector<Cache> l1i_;
+  std::vector<Cache> l1d_;
+  std::unique_ptr<DirectoryController> dir_;
+  std::unordered_map<Addr, Cycle> line_busy_;
+  std::uint64_t busy_prune_countdown_;
+  std::vector<std::vector<Cycle>> mshr_outstanding_;  // per core
+};
+
+}  // namespace ptb

@@ -1,0 +1,94 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+namespace {
+constexpr std::uint32_t kDirPlusX = 0;
+constexpr std::uint32_t kDirMinusX = 1;
+constexpr std::uint32_t kDirPlusY = 2;
+constexpr std::uint32_t kDirMinusY = 3;
+}  // namespace
+
+Mesh::Mesh(const NocConfig& cfg, std::uint32_t width, std::uint32_t height)
+    : cfg_(cfg), width_(width), height_(height),
+      link_free_(static_cast<std::size_t>(width) * height * 4, 0) {
+  PTB_ASSERT(width >= 1 && height >= 1, "mesh must be non-empty");
+  PTB_ASSERT(cfg.flit_bytes > 0 && cfg.link_flits_per_cycle > 0,
+             "flit parameters must be positive");
+}
+
+std::uint32_t Mesh::hops(std::uint32_t from, std::uint32_t to) const {
+  const int fx = static_cast<int>(from % width_);
+  const int fy = static_cast<int>(from / width_);
+  const int tx = static_cast<int>(to % width_);
+  const int ty = static_cast<int>(to / width_);
+  return static_cast<std::uint32_t>(std::abs(fx - tx) + std::abs(fy - ty));
+}
+
+std::uint32_t Mesh::flits_for(std::uint32_t bytes) const {
+  return (bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+}
+
+std::uint32_t Mesh::link_id(std::uint32_t node, std::uint32_t dir) const {
+  return node * 4 + dir;
+}
+
+Cycle Mesh::unloaded_latency(std::uint32_t h, std::uint32_t bytes) const {
+  const std::uint32_t ser =
+      (flits_for(bytes) + cfg_.link_flits_per_cycle - 1) /
+      cfg_.link_flits_per_cycle;
+  // Wormhole/cut-through: the head pays link latency per hop; the body
+  // serializes once behind it; +1 ejection.
+  return static_cast<Cycle>(h) * cfg_.link_latency + ser + 1;
+}
+
+Cycle Mesh::route(std::uint32_t from, std::uint32_t to, std::uint32_t bytes,
+                  Cycle now) {
+  PTB_ASSERT(from < nodes() && to < nodes(), "mesh endpoint out of range");
+  ++messages_;
+  const std::uint32_t flits = flits_for(bytes);
+  const std::uint32_t ser =
+      (flits + cfg_.link_flits_per_cycle - 1) / cfg_.link_flits_per_cycle;
+
+  if (from == to) return now + 1;  // local loopback: one-cycle ejection
+
+  // Wormhole/cut-through routing: the head flit advances one link latency
+  // per hop; each link stays busy for the serialization time behind it, so
+  // contention queues messages but a message does not re-pay its own length
+  // at every hop.
+  std::uint32_t x = from % width_;
+  std::uint32_t y = from / width_;
+  const std::uint32_t tx = to % width_;
+  const std::uint32_t ty = to / width_;
+  Cycle head = now;
+  while (x != tx || y != ty) {
+    std::uint32_t dir;
+    std::uint32_t node = y * width_ + x;
+    if (x != tx) {
+      dir = (tx > x) ? kDirPlusX : kDirMinusX;
+      x = (tx > x) ? x + 1 : x - 1;
+    } else {
+      dir = (ty > y) ? kDirPlusY : kDirMinusY;
+      y = (ty > y) ? y + 1 : y - 1;
+    }
+    Cycle& free = link_free_[link_id(node, dir)];
+    const Cycle depart = std::max(head, free);
+    free = depart + ser;  // the link is busy while the body streams through
+    head = depart + cfg_.link_latency;
+    flit_hops_ += flits;
+  }
+  return head + ser + 1;  // tail drains + ejection
+}
+
+std::uint64_t Mesh::drain_flit_hops() {
+  const std::uint64_t delta = flit_hops_ - flit_hops_drained_;
+  flit_hops_drained_ = flit_hops_;
+  return delta;
+}
+
+}  // namespace ptb

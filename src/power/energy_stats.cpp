@@ -1,0 +1,2 @@
+// EnergyAccounting is header-only; this TU anchors the library target.
+#include "power/energy_stats.hpp"

@@ -1,0 +1,40 @@
+// Energy and Area-over-the-Power-Budget (AoPB) accounting.
+//
+// AoPB (paper Section III.A, Figure 1) is the energy between the power
+// budget line and the power curve, counted only where the curve is above
+// the budget. The lower the AoPB, the more accurately a technique matches
+// the budget (ideal = 0).
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class EnergyAccounting {
+ public:
+  explicit EnergyAccounting(double budget_tokens_per_cycle)
+      : budget_(budget_tokens_per_cycle) {}
+
+  /// Record one global cycle of total power (tokens/cycle).
+  void record_cycle(double total_power) {
+    energy_ += total_power;
+    if (total_power > budget_) aopb_ += total_power - budget_;
+    power_stat_.add(total_power);
+  }
+
+  double budget() const { return budget_; }
+  /// Total energy in tokens (1 cycle * 1 token/cycle = 1 token of energy).
+  double energy() const { return energy_; }
+  /// Energy above the budget line, in tokens.
+  double aopb() const { return aopb_; }
+  const RunningStat& power_stat() const { return power_stat_; }
+
+ private:
+  double budget_;
+  double energy_ = 0.0;
+  double aopb_ = 0.0;
+  RunningStat power_stat_;
+};
+
+}  // namespace ptb

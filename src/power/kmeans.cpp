@@ -1,0 +1,91 @@
+#include "power/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+std::uint32_t nearest_centroid(const std::vector<double>& centroids,
+                               double x) {
+  // Binary search on the sorted centroids, then compare neighbours.
+  const auto it = std::lower_bound(centroids.begin(), centroids.end(), x);
+  if (it == centroids.begin()) return 0;
+  if (it == centroids.end())
+    return static_cast<std::uint32_t>(centroids.size() - 1);
+  const auto hi = static_cast<std::uint32_t>(it - centroids.begin());
+  const auto lo = hi - 1;
+  return (x - centroids[lo] <= centroids[hi] - x) ? lo : hi;
+}
+
+KMeansResult kmeans_1d(const std::vector<double>& samples, std::uint32_t k,
+                       std::uint32_t max_iters, Rng& rng) {
+  PTB_ASSERT(!samples.empty(), "k-means needs samples");
+  PTB_ASSERT(k >= 1, "k must be >= 1");
+  KMeansResult res;
+  res.assignment.resize(samples.size());
+
+  // k-means++ seeding: first centroid uniform, then proportional to squared
+  // distance from the nearest chosen centroid.
+  std::vector<double>& c = res.centroids;
+  c.push_back(samples[rng.next_below(samples.size())]);
+  std::vector<double> d2(samples.size());
+  while (c.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double cc : c) {
+        const double d = samples[i] - cc;
+        best = std::min(best, d * d);
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      c.push_back(samples[rng.next_below(samples.size())]);
+      continue;
+    }
+    double pick = rng.next_double() * total;
+    std::size_t idx = 0;
+    for (; idx + 1 < samples.size(); ++idx) {
+      if (pick < d2[idx]) break;
+      pick -= d2[idx];
+    }
+    c.push_back(samples[idx]);
+  }
+  std::sort(c.begin(), c.end());
+
+  std::vector<double> sum(k);
+  std::vector<std::uint64_t> cnt(k);
+  for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(cnt.begin(), cnt.end(), 0ull);
+    bool changed = false;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const std::uint32_t a = nearest_centroid(c, samples[i]);
+      if (a != res.assignment[i]) {
+        res.assignment[i] = a;
+        changed = true;
+      }
+      sum[a] += samples[i];
+      ++cnt[a];
+    }
+    for (std::uint32_t j = 0; j < k; ++j)
+      if (cnt[j] > 0) c[j] = sum[j] / static_cast<double>(cnt[j]);
+    std::sort(c.begin(), c.end());
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    res.assignment[i] = nearest_centroid(c, samples[i]);
+    const double d = samples[i] - c[res.assignment[i]];
+    res.inertia += d * d;
+  }
+  return res;
+}
+
+}  // namespace ptb

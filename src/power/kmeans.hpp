@@ -1,0 +1,30 @@
+// 1-D k-means used to group instructions by base power cost.
+//
+// The paper profiles SPECint2000 to obtain per-instruction base power, then
+// groups instructions with a k-means into 8 groups; the grouped values drive
+// the Power Token History Table with <1% aggregate error (Section III.B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ptb {
+
+struct KMeansResult {
+  std::vector<double> centroids;           // sorted ascending, size k
+  std::vector<std::uint32_t> assignment;   // per input sample
+  std::uint32_t iterations = 0;
+  double inertia = 0.0;                    // sum of squared distances
+};
+
+/// Lloyd's algorithm on scalars with k-means++-style seeding (deterministic
+/// given `rng`). `samples` must be non-empty and k >= 1.
+KMeansResult kmeans_1d(const std::vector<double>& samples, std::uint32_t k,
+                       std::uint32_t max_iters, Rng& rng);
+
+/// Index of the centroid nearest to `x` (centroids must be sorted).
+std::uint32_t nearest_centroid(const std::vector<double>& centroids, double x);
+
+}  // namespace ptb

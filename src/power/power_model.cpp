@@ -1,0 +1,115 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+namespace {
+
+// Deterministic 64-bit mix for per-PC jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BaseEnergyModel::BaseEnergyModel(const PowerConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg) {
+  class_mean_[static_cast<std::size_t>(OpClass::kIntAlu)] = cfg.base_int_alu;
+  class_mean_[static_cast<std::size_t>(OpClass::kIntMult)] = cfg.base_int_mult;
+  class_mean_[static_cast<std::size_t>(OpClass::kFpAlu)] = cfg.base_fp_alu;
+  class_mean_[static_cast<std::size_t>(OpClass::kFpMult)] = cfg.base_fp_mult;
+  class_mean_[static_cast<std::size_t>(OpClass::kLoad)] = cfg.base_load;
+  class_mean_[static_cast<std::size_t>(OpClass::kStore)] = cfg.base_store;
+  class_mean_[static_cast<std::size_t>(OpClass::kBranch)] = cfg.base_branch;
+  class_mean_[static_cast<std::size_t>(OpClass::kAtomicRmw)] =
+      cfg.base_atomic;
+  class_mean_[static_cast<std::size_t>(OpClass::kNop)] = cfg.base_nop;
+
+  // Synthesize the profiling population the k-means groups: a few hundred
+  // static instructions per class, jittered around the class mean — the
+  // stand-in for the paper's SPECint2000 profiling run.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<double> samples;
+  constexpr std::uint32_t kPerClass = 512;
+  samples.reserve(kPerClass * kNumOpClasses);
+  for (std::uint32_t c = 0; c < kNumOpClasses; ++c) {
+    for (std::uint32_t i = 0; i < kPerClass; ++i) {
+      const Pc pc = (static_cast<Pc>(c) << 32) | (i * 4);
+      samples.push_back(class_mean_[c] * jitter_factor(pc));
+    }
+  }
+  KMeansResult km = kmeans_1d(samples, cfg.kmeans_groups, 64, rng);
+  centroids_ = km.centroids;
+
+  double exact_sum = 0.0;
+  double grouped_sum = 0.0;
+  double abs_err_sum = 0.0;
+  for (double s : samples) {
+    const double g = centroids_[nearest_centroid(centroids_, s)];
+    exact_sum += s;
+    grouped_sum += g;
+    abs_err_sum += std::abs(g - s) / s;
+  }
+  grouping_error_ = std::abs(grouped_sum - exact_sum) / exact_sum;
+  grouping_abs_error_ = abs_err_sum / static_cast<double>(samples.size());
+}
+
+double BaseEnergyModel::jitter_factor(Pc pc) const {
+  // Uniform in [1 - jitter, 1 + jitter], deterministic per PC.
+  const double u =
+      static_cast<double>(mix64(pc) >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + cfg_.base_jitter * (2.0 * u - 1.0);
+}
+
+double BaseEnergyModel::exact_base(OpClass cls, Pc pc) const {
+  return class_mean_[static_cast<std::size_t>(cls)] * jitter_factor(pc);
+}
+
+double BaseEnergyModel::grouped_base(OpClass cls, Pc pc) const {
+  return centroids_[nearest_centroid(centroids_, exact_base(cls, pc))];
+}
+
+double core_cycle_power(const PowerConfig& cfg, const CoreActivity& a) {
+  const double v2 = a.vdd_ratio * a.vdd_ratio;
+  double dynamic = 0.0;
+  if (a.active) {
+    if (a.gated) {
+      dynamic = cfg.clock_gated_dynamic;
+    } else {
+      dynamic = a.fetch_tokens +
+                static_cast<double>(a.rob_occupancy) * cfg.residency_token;
+      // Structure overheads modeled as fractions of core dynamic power:
+      // the PTHT itself and (when enabled) the PTB wires.
+      dynamic *= 1.0 + cfg.ptht_overhead_frac;
+    }
+  }
+  return cfg.leakage_per_core * a.vdd_ratio + cfg.uncore_per_core +
+         dynamic * v2;
+}
+
+double analytic_peak_core_power(const PowerConfig& cfg,
+                                const CoreConfig& core) {
+  // Class-mix mean weighted toward a typical busy mix (compute-dominated,
+  // see workloads/): roughly 45% int, 20% fp, 25% mem, 10% branch.
+  const double mix_mean = 0.35 * cfg.base_int_alu + 0.10 * cfg.base_int_mult +
+                          0.12 * cfg.base_fp_alu + 0.08 * cfg.base_fp_mult +
+                          0.17 * cfg.base_load + 0.08 * cfg.base_store +
+                          0.10 * cfg.base_branch;
+  const double fetch_peak = cfg.peak_fetch_frac *
+                            static_cast<double>(core.fetch_width) * mix_mean;
+  const double rob_peak = cfg.peak_rob_frac *
+                          static_cast<double>(core.rob_entries) *
+                          cfg.residency_token;
+  return cfg.leakage_per_core + cfg.uncore_per_core +
+         (fetch_peak + rob_peak) * (1.0 + cfg.ptht_overhead_frac);
+}
+
+}  // namespace ptb

@@ -1,0 +1,50 @@
+// Power Token History Table (PTHT): an 8K-entry, PC-indexed table holding the
+// power cost (in tokens) of each static instruction's last execution
+// (Section III.B of the paper). Updated at commit, read at fetch to estimate
+// per-cycle power without performance counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptb {
+
+class Ptht {
+ public:
+  /// `entries` must be a power of two (paper: 8192).
+  explicit Ptht(std::uint32_t entries);
+
+  /// Estimated tokens for the instruction at `pc`; returns `cold_default`
+  /// when the entry is cold or tagged for a different pc.
+  double lookup(Pc pc, double cold_default) const;
+
+  /// Records the tokens consumed by the committed instruction at `pc`.
+  void update(Pc pc, double tokens);
+
+  std::uint32_t entries() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+
+  // Statistics.
+  mutable std::uint64_t lookups = 0;
+  mutable std::uint64_t cold_misses = 0;
+  std::uint64_t updates = 0;
+
+ private:
+  struct Entry {
+    Pc tag = 0;
+    float tokens = -1.0f;  // <0 == cold
+  };
+
+  std::size_t index_of(Pc pc) const {
+    // Instructions are 4-byte aligned in the synthetic ISA.
+    return (pc >> 2) & mask_;
+  }
+
+  std::vector<Entry> table_;
+  std::size_t mask_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,24 @@
+#include "power/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptb {
+
+ThermalModel::ThermalModel(const ThermalConfig& cfg, std::uint32_t num_cores)
+    : cfg_(cfg), temp_(num_cores, cfg.ambient_c), hist_(num_cores) {}
+
+void ThermalModel::step(CoreId c, double power, double cycles) {
+  const double t_steady = cfg_.ambient_c + cfg_.r_thermal * power;
+  const double decay = std::exp(-cycles / cfg_.tau_cycles);
+  temp_[c] = t_steady + (temp_[c] - t_steady) * decay;
+  hist_[c].add(temp_[c]);
+}
+
+double ThermalModel::max_temperature() const {
+  double m = cfg_.ambient_c;
+  for (double t : temp_) m = std::max(m, t);
+  return m;
+}
+
+}  // namespace ptb

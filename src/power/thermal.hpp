@@ -1,0 +1,35 @@
+// Lumped-RC thermal model, one node per core (HotSpot-lite).
+//
+// Used for the temperature-stability extension experiment: the paper claims
+// PTB's accurate budget matching yields a lower average chip temperature
+// with minimal standard deviation (Sections I and V).
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class ThermalModel {
+ public:
+  ThermalModel(const ThermalConfig& cfg, std::uint32_t num_cores);
+
+  /// Advance core `c` by `cycles` with average power `power` over the step.
+  /// Exact exponential update of dT/dt = (T_steady - T)/tau with
+  /// T_steady = ambient + R * power.
+  void step(CoreId c, double power, double cycles);
+
+  double temperature(CoreId c) const { return temp_[c]; }
+  const RunningStat& history(CoreId c) const { return hist_[c]; }
+  double max_temperature() const;
+
+ private:
+  ThermalConfig cfg_;
+  std::vector<double> temp_;
+  std::vector<RunningStat> hist_;
+};
+
+}  // namespace ptb

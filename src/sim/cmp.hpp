@@ -1,0 +1,132 @@
+// The CMP: instantiates cores, caches, mesh, power model and the power-
+// control machinery, and runs one workload's parallel phase to completion
+// under a global cycle loop.
+//
+// Control flow per global cycle (Section III of the paper):
+//   1. cores tick (frequency scaling = tick skipping; DVFS transitions
+//      stall), producing per-cycle activity;
+//   2. per-core instantaneous power is computed twice: exact (for the
+//      energy/AoPB results) and PTHT-estimated (the control signal);
+//   3. the PTB load-balancer redistributes spare tokens (when enabled);
+//   4. each core's local enforcer (DVFS / DFS / 2-level) reacts to its
+//      (possibly PTB-augmented) local budget;
+//   5. energy, AoPB, spin attribution and temperature are accounted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/balancer.hpp"
+#include "core/clustered.hpp"
+#include "core/baselines.hpp"
+#include "core/budget.hpp"
+#include "core/enforcer.hpp"
+#include "core/policy.hpp"
+#include "cpu/core.hpp"
+#include "mem/memory_system.hpp"
+#include "noc/mesh.hpp"
+#include "power/energy_stats.hpp"
+#include "power/power_model.hpp"
+#include "power/thermal.hpp"
+#include "sync/spin_tracker.hpp"
+#include "sync/sync_state.hpp"
+#include "workloads/program.hpp"
+
+namespace ptb {
+
+struct CoreResult {
+  Cycle finish_cycle = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t flushes = 0;
+  Cycle state_cycles[kNumExecStates] = {};
+  double spin_energy = 0.0;  // energy spent while in spin states
+  double energy = 0.0;
+  double temp_mean = 0.0;
+  double temp_std = 0.0;
+};
+
+struct RunResult {
+  std::string benchmark;
+  std::uint32_t num_cores = 0;
+  Cycle cycles = 0;              // parallel-phase length
+  bool hit_max_cycles = false;
+  double energy = 0.0;           // total CMP energy (tokens)
+  double aopb = 0.0;             // energy above the global budget (tokens)
+  double budget = 0.0;           // global budget (tokens/cycle)
+  double peak_power = 0.0;       // analytic peak (tokens/cycle)
+  RunningStat power;             // per-cycle CMP power
+  double spin_energy = 0.0;      // Σ cores' spin-state energy
+  std::uint64_t total_committed = 0;
+
+  std::vector<CoreResult> cores;
+
+  // Optional traces (RunOptions).
+  TimeSeries cmp_power_trace{1 << 12};
+  std::vector<TimeSeries> core_power_traces;
+
+  // Mechanism statistics.
+  double tokens_donated = 0.0;
+  double tokens_granted = 0.0;
+  double tokens_evaporated = 0.0;
+  std::uint64_t dvfs_transitions = 0;
+  std::uint64_t to_one_cycles = 0;
+  std::uint64_t to_all_cycles = 0;
+  std::uint64_t spin_gated_cycles = 0;  // spinner-gating extension
+  std::uint64_t barrier_sleep_cycles = 0;  // thrifty-barrier baseline
+  std::uint64_t meeting_point_episodes = 0;  // meeting-points baseline
+};
+
+struct RunOptions {
+  bool record_cmp_trace = false;
+  bool record_core_traces = false;
+};
+
+class CmpSimulator {
+ public:
+  CmpSimulator(const SimConfig& cfg, const WorkloadProfile& profile);
+  ~CmpSimulator();
+
+  /// Run the full parallel phase and return the metrics.
+  RunResult run(const RunOptions& opts = {});
+
+  /// Functional (zero-time) cache warmup; called by run() when
+  /// SimConfig::functional_warmup is set.
+  void warm_caches();
+
+  // Introspection for tests (valid after construction; cores after run()).
+  const BudgetManager& budgets() const { return budgets_; }
+  MemorySystem& memory() { return *mem_; }
+  Mesh& mesh() { return *mesh_; }
+  SyncState& sync() { return *sync_; }
+  Core& core(CoreId i) { return *cores_[i]; }
+  const SpinTracker& tracker(CoreId i) const { return trackers_[i]; }
+
+ private:
+  // Both are copied: a simulator must outlive any temporary it was
+  // constructed from.
+  SimConfig cfg_;
+  WorkloadProfile profile_;
+  BaseEnergyModel energy_model_;
+  BudgetManager budgets_;
+  std::unique_ptr<Mesh> mesh_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<SyncState> sync_;
+  std::vector<SpinTracker> trackers_;
+  std::vector<std::unique_ptr<SyntheticProgram>> programs_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<PowerEnforcer>> enforcers_;
+  std::unique_ptr<PtbLoadBalancer> balancer_;
+  std::unique_ptr<ClusteredBalancer> clustered_;
+  std::unique_ptr<DynamicPolicySelector> selector_;
+  std::vector<SpinPowerDetector> gate_detectors_;  // spinner gating
+  std::unique_ptr<ThriftyBarrierController> thrifty_;
+  std::unique_ptr<MeetingPointsController> meeting_;
+  ThermalModel thermal_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,89 @@
+#include "sim/experiment.hpp"
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+std::vector<TechniqueSpec> standard_techniques(PtbPolicy ptb_policy) {
+  return {
+      {"DVFS", TechniqueKind::kDvfs, false, PtbPolicy::kToAll, 0.0},
+      {"DFS", TechniqueKind::kDfs, false, PtbPolicy::kToAll, 0.0},
+      {"2Level", TechniqueKind::kTwoLevel, false, PtbPolicy::kToAll, 0.0},
+      {"PTB+2Level", TechniqueKind::kTwoLevel, true, ptb_policy, 0.0},
+  };
+}
+
+std::vector<TechniqueSpec> naive_techniques() {
+  return {
+      {"DVFS", TechniqueKind::kDvfs, false, PtbPolicy::kToAll, 0.0},
+      {"DFS", TechniqueKind::kDfs, false, PtbPolicy::kToAll, 0.0},
+      {"2Level", TechniqueKind::kTwoLevel, false, PtbPolicy::kToAll, 0.0},
+  };
+}
+
+SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
+                          std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.num_cores = cores;
+  cfg.seed = seed;
+  cfg.technique = tech.kind;
+  cfg.ptb.enabled = tech.ptb;
+  cfg.ptb.policy = tech.policy;
+  cfg.ptb.relax_threshold = tech.relax;
+  return cfg;
+}
+
+Normalized normalize(const RunResult& base, const RunResult& r) {
+  PTB_ASSERT(base.energy > 0.0, "base energy must be positive");
+  Normalized n;
+  n.energy_pct = 100.0 * (r.energy - base.energy) / base.energy;
+  n.aopb_pct = base.aopb > 0.0 ? 100.0 * r.aopb / base.aopb : 0.0;
+  n.slowdown_pct = 100.0 *
+                   (static_cast<double>(r.cycles) -
+                    static_cast<double>(base.cycles)) /
+                   static_cast<double>(base.cycles);
+  return n;
+}
+
+RunResult run_one(const WorkloadProfile& profile, const SimConfig& cfg,
+                  const RunOptions& opts) {
+  CmpSimulator sim(cfg, profile);
+  return sim.run(opts);
+}
+
+ReplicatedResult run_replicated(const WorkloadProfile& profile,
+                                std::uint32_t cores,
+                                const TechniqueSpec& tech,
+                                std::uint32_t num_seeds,
+                                std::uint64_t first_seed) {
+  PTB_ASSERT(num_seeds >= 1, "need at least one seed");
+  ReplicatedResult out;
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  for (std::uint32_t s = 0; s < num_seeds; ++s) {
+    const std::uint64_t seed = first_seed + s;
+    const RunResult base =
+        run_one(profile, make_sim_config(cores, none, seed));
+    const RunResult r = run_one(profile, make_sim_config(cores, tech, seed));
+    const Normalized n = normalize(base, r);
+    out.energy_pct.add(n.energy_pct);
+    out.aopb_pct.add(n.aopb_pct);
+    out.slowdown_pct.add(n.slowdown_pct);
+  }
+  return out;
+}
+
+const RunResult& BaseRunCache::get(const WorkloadProfile& profile,
+                                   std::uint32_t cores, std::uint64_t seed) {
+  const auto key = std::make_pair(profile.name, cores);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  const SimConfig cfg = make_sim_config(cores, none, seed);
+  auto [ins, ok] = cache_.emplace(key, run_one(profile, cfg));
+  PTB_ASSERT(ok, "cache insert failed");
+  return ins->second;
+}
+
+}  // namespace ptb

@@ -1,0 +1,76 @@
+// Experiment harness: builds configurations for the paper's technique
+// matrix, runs benchmarks, and normalizes results against the no-control
+// base case exactly as the paper's figures do.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/cmp.hpp"
+#include "workloads/phases.hpp"
+
+namespace ptb {
+
+/// One column of the paper's figures.
+struct TechniqueSpec {
+  std::string label;   // "DVFS", "DFS", "2Level", "PTB+2Level", ...
+  TechniqueKind kind = TechniqueKind::kNone;
+  bool ptb = false;
+  PtbPolicy policy = PtbPolicy::kToAll;
+  double relax = 0.0;  // relaxed-accuracy threshold (Section IV.C)
+};
+
+/// The four techniques of Figures 9-12. `ptb_policy` selects the PTB column
+/// flavor; pass PtbPolicy::kDynamic for the dynamic selector.
+std::vector<TechniqueSpec> standard_techniques(PtbPolicy ptb_policy);
+
+/// The three naive-split techniques of Figure 2 (no PTB).
+std::vector<TechniqueSpec> naive_techniques();
+
+/// Build a full simulator config for one run.
+SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
+                          std::uint64_t seed = 1);
+
+/// Figure-style normalization vs the no-control base case.
+struct Normalized {
+  double energy_pct = 0.0;    // 100 * (E - E_base) / E_base
+  double aopb_pct = 0.0;      // 100 * AoPB / AoPB_base
+  double slowdown_pct = 0.0;  // 100 * (cycles - cycles_base) / cycles_base
+};
+
+Normalized normalize(const RunResult& base, const RunResult& r);
+
+/// Convenience single-run entry point.
+RunResult run_one(const WorkloadProfile& profile, const SimConfig& cfg,
+                  const RunOptions& opts = {});
+
+/// Multi-seed replication: runs (benchmark, technique) under several seeds,
+/// each normalized against its own-seed base run, and aggregates the
+/// normalized metrics. Used to put error bars on the headline results.
+struct ReplicatedResult {
+  RunningStat energy_pct;
+  RunningStat aopb_pct;
+  RunningStat slowdown_pct;
+};
+
+ReplicatedResult run_replicated(const WorkloadProfile& profile,
+                                std::uint32_t cores,
+                                const TechniqueSpec& tech,
+                                std::uint32_t num_seeds,
+                                std::uint64_t first_seed = 1);
+
+/// Cache of base (TechniqueKind::kNone) runs shared across techniques
+/// within one bench binary.
+class BaseRunCache {
+ public:
+  const RunResult& get(const WorkloadProfile& profile, std::uint32_t cores,
+                       std::uint64_t seed = 1);
+
+ private:
+  std::map<std::pair<std::string, std::uint32_t>, RunResult> cache_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,59 @@
+#include "sim/reporting.hpp"
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+void FigureGrid::append_average() {
+  PTB_ASSERT(!grid.empty(), "cannot average an empty grid");
+  const std::size_t cols = technique_labels.size();
+  std::vector<Normalized> avg(cols);
+  for (const auto& row : grid) {
+    PTB_ASSERT(row.size() == cols, "ragged figure grid");
+    for (std::size_t c = 0; c < cols; ++c) {
+      avg[c].energy_pct += row[c].energy_pct;
+      avg[c].aopb_pct += row[c].aopb_pct;
+      avg[c].slowdown_pct += row[c].slowdown_pct;
+    }
+  }
+  const double n = static_cast<double>(grid.size());
+  for (auto& a : avg) {
+    a.energy_pct /= n;
+    a.aopb_pct /= n;
+    a.slowdown_pct /= n;
+  }
+  row_labels.push_back("Avg.");
+  grid.push_back(std::move(avg));
+}
+
+namespace {
+
+void print_metric(const FigureGrid& g, const std::string& title,
+                  double Normalized::*field) {
+  std::vector<std::string> header{"benchmark"};
+  for (const auto& t : g.technique_labels) header.push_back(t);
+  Table tbl(header);
+  for (std::size_t r = 0; r < g.grid.size(); ++r) {
+    const std::size_t row = tbl.add_row();
+    tbl.set(row, 0, g.row_labels[r]);
+    for (std::size_t c = 0; c < g.grid[r].size(); ++c) {
+      tbl.set(row, c + 1, g.grid[r][c].*field, 2);
+    }
+  }
+  tbl.print(title);
+}
+
+}  // namespace
+
+void print_energy_aopb(const FigureGrid& grid, const std::string& title) {
+  print_metric(grid, title + " — Normalized Energy (%)",
+               &Normalized::energy_pct);
+  print_metric(grid, title + " — Normalized AoPB (%)", &Normalized::aopb_pct);
+}
+
+void print_slowdown(const FigureGrid& grid, const std::string& title) {
+  print_metric(grid, title + " — Performance Slowdown (%)",
+               &Normalized::slowdown_pct);
+}
+
+}  // namespace ptb

@@ -1,0 +1,30 @@
+// Figure/table rendering helpers shared by the bench binaries: each paper
+// figure becomes a printed table with the same rows/series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace ptb {
+
+/// A (benchmark x technique) grid of normalized results.
+struct FigureGrid {
+  std::vector<std::string> row_labels;        // benchmarks (plus "Avg.")
+  std::vector<std::string> technique_labels;  // columns
+  // grid[row][col]
+  std::vector<std::vector<Normalized>> grid;
+
+  /// Appends an average row over the existing rows.
+  void append_average();
+};
+
+/// Render the paper's paired figure (normalized energy % and AoPB %).
+void print_energy_aopb(const FigureGrid& grid, const std::string& title);
+
+/// Render a performance-slowdown table (Figure 13 style).
+void print_slowdown(const FigureGrid& grid, const std::string& title);
+
+}  // namespace ptb

@@ -1,0 +1,93 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hpp"
+
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+namespace {
+
+/// Value of a decimated series at the last point with time <= t.
+double sample_at(const TimeSeries& s, double t, std::size_t& cursor) {
+  const auto& times = s.times();
+  const auto& values = s.values();
+  if (times.empty()) return 0.0;
+  while (cursor + 1 < times.size() && times[cursor + 1] <= t) ++cursor;
+  return values[cursor];
+}
+
+}  // namespace
+
+std::string power_trace_csv(const RunResult& r) {
+  std::ostringstream out;
+  out << "cycle,cmp_power";
+  for (std::size_t c = 0; c < r.core_power_traces.size(); ++c)
+    out << ",core" << c;
+  out << '\n';
+  std::vector<std::size_t> cursors(r.core_power_traces.size(), 0);
+  for (std::size_t i = 0; i < r.cmp_power_trace.size(); ++i) {
+    const double t = r.cmp_power_trace.times()[i];
+    out << static_cast<std::uint64_t>(t) << ','
+        << format_double(r.cmp_power_trace.values()[i], 3);
+    for (std::size_t c = 0; c < r.core_power_traces.size(); ++c) {
+      out << ','
+          << format_double(sample_at(r.core_power_traces[c], t, cursors[c]),
+                           3);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string run_summary_kv(const RunResult& r) {
+  std::ostringstream out;
+  out << "benchmark=" << r.benchmark << '\n'
+      << "num_cores=" << r.num_cores << '\n'
+      << "cycles=" << r.cycles << '\n'
+      << "hit_max_cycles=" << (r.hit_max_cycles ? 1 : 0) << '\n'
+      << "energy_tokens=" << format_double(r.energy, 1) << '\n'
+      << "aopb_tokens=" << format_double(r.aopb, 1) << '\n'
+      << "budget_tokens_per_cycle=" << format_double(r.budget, 3) << '\n'
+      << "peak_power=" << format_double(r.peak_power, 3) << '\n'
+      << "power_mean=" << format_double(r.power.mean(), 3) << '\n'
+      << "power_max=" << format_double(r.power.max(), 3) << '\n'
+      << "power_stddev=" << format_double(r.power.stddev(), 3) << '\n'
+      << "spin_energy=" << format_double(r.spin_energy, 1) << '\n'
+      << "total_committed=" << r.total_committed << '\n'
+      << "tokens_donated=" << format_double(r.tokens_donated, 1) << '\n'
+      << "tokens_granted=" << format_double(r.tokens_granted, 1) << '\n'
+      << "dvfs_transitions=" << r.dvfs_transitions << '\n'
+      << "to_one_cycles=" << r.to_one_cycles << '\n'
+      << "to_all_cycles=" << r.to_all_cycles << '\n'
+      << "spin_gated_cycles=" << r.spin_gated_cycles << '\n';
+  Cycle state_totals[kNumExecStates] = {};
+  for (const auto& c : r.cores)
+    for (std::uint32_t s = 0; s < kNumExecStates; ++s)
+      state_totals[s] += c.state_cycles[s];
+  out << "cycles_busy=" << state_totals[0] << '\n'
+      << "cycles_lock_acq=" << state_totals[1] << '\n'
+      << "cycles_lock_rel=" << state_totals[2] << '\n'
+      << "cycles_barrier=" << state_totals[3] << '\n';
+  return out.str();
+}
+
+bool export_run(const RunResult& r, const std::string& dir) {
+  const std::string stem =
+      dir + "/" + r.benchmark + "_" + std::to_string(r.num_cores) + "c";
+  auto write_file = [](const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    std::fclose(f);
+    return ok;
+  };
+  return write_file(stem + "_trace.csv", power_trace_csv(r)) &&
+         write_file(stem + "_summary.txt", run_summary_kv(r));
+}
+
+}  // namespace ptb

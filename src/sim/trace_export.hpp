@@ -1,0 +1,27 @@
+// Export of run results to files: per-cycle power traces as CSV and a
+// flat key=value run summary — the handoff format for external plotting
+// and regression tracking.
+#pragma once
+
+#include <string>
+
+#include "sim/cmp.hpp"
+
+namespace ptb {
+
+/// Renders the decimated CMP power trace (and per-core traces when they
+/// were recorded) as CSV: `cycle,cmp[,core0,core1,...]`. Rows align on the
+/// CMP trace's timestamps; per-core values are sampled at the nearest
+/// recorded point at or before each timestamp.
+std::string power_trace_csv(const RunResult& r);
+
+/// Flat `key=value` summary of a run (one per line, stable ordering):
+/// cycles, energy, aopb, budget, per-state cycle totals, mechanism stats.
+std::string run_summary_kv(const RunResult& r);
+
+/// Writes both files into `dir` as `<benchmark>_<cores>c_trace.csv` and
+/// `<benchmark>_<cores>c_summary.txt`. Returns false (with no partial
+/// files guaranteed removed) if the directory is not writable.
+bool export_run(const RunResult& r, const std::string& dir);
+
+}  // namespace ptb

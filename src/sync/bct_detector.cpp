@@ -1,0 +1,40 @@
+#include "sync/bct_detector.hpp"
+
+namespace ptb {
+
+bool BctDetector::on_commit(const MicroOp& op) {
+  // Accumulate a signature of the committed stream since the last BCT.
+  interval_hash_ = mix(interval_hash_, op.pc);
+  interval_hash_ = mix(interval_hash_, static_cast<std::uint64_t>(op.cls));
+  interval_hash_ = mix(interval_hash_, op.addr);
+
+  // A taken branch to the same (or lower) PC region is a backward control
+  // transfer; the synthetic ISA marks loop-closing branches as taken with
+  // target == a previous PC, so "taken branch with repeated pc" works.
+  if (op.is_branch() && op.branch_taken) {
+    if (op.pc == last_bct_pc_ && interval_hash_ == last_hash_) {
+      if (++identical_ >= repeats_ && !spinning_) {
+        spinning_ = true;
+        ++detections_;
+      }
+    } else {
+      identical_ = 0;
+      spinning_ = false;
+    }
+    last_bct_pc_ = op.pc;
+    last_hash_ = interval_hash_;
+    interval_hash_ = 0;
+  } else if (!op.is_branch()) {
+    // Non-branch commits keep accumulating into the interval hash.
+  } else {
+    // Not-taken branch: breaks the repetition.
+    identical_ = 0;
+    spinning_ = false;
+    last_bct_pc_ = 0;
+    last_hash_ = 0;
+    interval_hash_ = 0;
+  }
+  return spinning_;
+}
+
+}  // namespace ptb

@@ -1,0 +1,44 @@
+// Backward-Control-Transfer (BCT) spin-detection hardware, after
+// Li, Lebeck & Sorin, IEEE TPDS 2006 (reference [12] of the paper).
+//
+// The mechanism observes committed backward branches; if the "machine
+// state" (here: a rolling signature of committed ops) is identical across
+// several consecutive BCT intervals, the core is declared spinning. The
+// paper uses it as the prior-art comparison for PTB's indirect power-based
+// spin detection.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/microop.hpp"
+
+namespace ptb {
+
+class BctDetector {
+ public:
+  /// `repeats` = identical BCT intervals required to declare spinning.
+  explicit BctDetector(std::uint32_t repeats = 3) : repeats_(repeats) {}
+
+  /// Feed every committed op in order. Returns the current verdict.
+  bool on_commit(const MicroOp& op);
+
+  bool spinning() const { return spinning_; }
+  std::uint64_t detections() const { return detections_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  std::uint32_t repeats_;
+  std::uint64_t interval_hash_ = 0;
+  std::uint64_t last_hash_ = 0;
+  Pc last_bct_pc_ = 0;
+  std::uint32_t identical_ = 0;
+  bool spinning_ = false;
+  std::uint64_t detections_ = 0;
+};
+
+}  // namespace ptb

@@ -1,0 +1,16 @@
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+const char* exec_state_name(ExecState s) {
+  switch (s) {
+    case ExecState::kBusy: return "Busy";
+    case ExecState::kLockAcq: return "Lock-Acquisition";
+    case ExecState::kLockRel: return "Lock-Release";
+    case ExecState::kBarrier: return "Barrier";
+    case ExecState::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace ptb

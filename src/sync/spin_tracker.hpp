@@ -1,0 +1,72 @@
+// Per-core execution-state bookkeeping for the Figure 3 time breakdown
+// (lock-acquisition / lock-release / barrier / busy) and the Figure 4
+// spinlock-power analysis.
+//
+// The *program* knows its own state (it is the one spinning); it updates the
+// tracker as it transitions. The CMP attributes each cycle (and that cycle's
+// power) to the core's current state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ptb {
+
+enum class ExecState : std::uint8_t {
+  kBusy = 0,
+  kLockAcq,
+  kLockRel,
+  kBarrier,
+  kCount,
+};
+
+inline constexpr std::uint32_t kNumExecStates =
+    static_cast<std::uint32_t>(ExecState::kCount);
+
+const char* exec_state_name(ExecState s);
+
+class SpinTracker {
+ public:
+  void set_state(ExecState s) { state_ = s; }
+  ExecState state() const { return state_; }
+
+  /// True while the core is in any spinning/synchronization state.
+  bool spinning() const { return state_ != ExecState::kBusy; }
+
+  /// Attribute one global cycle at power `p` to the current state.
+  void attribute_cycle(double p) {
+    const auto i = static_cast<std::size_t>(state_);
+    cycles_[i] += 1;
+    power_[i] += p;
+  }
+
+  Cycle cycles_in(ExecState s) const {
+    return cycles_[static_cast<std::size_t>(s)];
+  }
+  double power_in(ExecState s) const {
+    return power_[static_cast<std::size_t>(s)];
+  }
+  Cycle total_cycles() const {
+    Cycle t = 0;
+    for (auto c : cycles_) t += c;
+    return t;
+  }
+  double total_power() const {
+    double t = 0;
+    for (auto p : power_) t += p;
+    return t;
+  }
+  /// Energy spent while in spin states (everything but kBusy).
+  double spin_power() const {
+    return total_power() - power_[static_cast<std::size_t>(ExecState::kBusy)];
+  }
+
+ private:
+  ExecState state_ = ExecState::kBusy;
+  std::array<Cycle, kNumExecStates> cycles_{};
+  std::array<double, kNumExecStates> power_{};
+};
+
+}  // namespace ptb

@@ -1,0 +1,54 @@
+#include "sync/sync_state.hpp"
+
+namespace ptb {
+
+SyncState::SyncState(std::uint32_t num_locks, std::uint32_t num_barriers,
+                     std::uint32_t num_threads)
+    : locks_(num_locks), barriers_(num_barriers), num_threads_(num_threads) {
+  PTB_ASSERT(num_threads >= 1, "need at least one thread");
+}
+
+Addr SyncState::lock_addr(std::uint32_t id) const {
+  PTB_ASSERT(id < locks_.size(), "lock id out of range");
+  return kRegionBase + static_cast<Addr>(id) * kLineBytes;
+}
+
+Addr SyncState::barrier_addr(std::uint32_t id) const {
+  PTB_ASSERT(id < barriers_.size(), "barrier id out of range");
+  return kRegionBase + (locks_.size() + id) * kLineBytes;
+}
+
+std::uint64_t SyncState::try_acquire(std::uint32_t id, CoreId by) {
+  Lock& l = locks_[id];
+  const std::uint64_t old = l.held;
+  if (old == 0) {
+    l.held = 1;
+    l.holder = by;
+    ++acquisitions;
+  } else {
+    ++failed_acquires;
+  }
+  return old;
+}
+
+void SyncState::release(std::uint32_t id, CoreId by) {
+  Lock& l = locks_[id];
+  PTB_ASSERT(l.held == 1, "release of a free lock");
+  PTB_ASSERT(l.holder == by, "release by a non-holder");
+  l.held = 0;
+  l.holder = kNoCore;
+}
+
+std::uint64_t SyncState::arrive(std::uint32_t id) {
+  Barrier& b = barriers_[id];
+  const std::uint64_t sense_at_arrival = b.sense;
+  const bool last = (++b.count == num_threads_);
+  if (last) {
+    b.count = 0;
+    b.sense ^= 1;
+    ++barrier_episodes;
+  }
+  return sense_at_arrival | (last ? 2u : 0u);
+}
+
+}  // namespace ptb

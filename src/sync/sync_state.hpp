@@ -1,0 +1,81 @@
+// Architectural state of synchronization variables (locks and barriers).
+//
+// The workload programs synchronize through test-and-test-and-set spinlocks
+// and sense-reversing centralized barriers implemented with ordinary memory
+// micro-ops through the coherent memory hierarchy. This class holds the
+// *values* of those variables; timing and coherence traffic come from the
+// memory system. Reads happen when a (blocking) load completes, writes when
+// a store/RMW completes; per-line transaction serialization in the memory
+// system makes that order coherent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace ptb {
+
+class SyncState {
+ public:
+  /// Sync variables live in a dedicated address region, one cache line each
+  /// (no false sharing; all contention is true sharing).
+  static constexpr Addr kRegionBase = 0x0001'0000;
+  static constexpr Addr kLineBytes = 64;
+
+  SyncState(std::uint32_t num_locks, std::uint32_t num_barriers,
+            std::uint32_t num_threads);
+
+  std::uint32_t num_locks() const {
+    return static_cast<std::uint32_t>(locks_.size());
+  }
+  std::uint32_t num_barriers() const {
+    return static_cast<std::uint32_t>(barriers_.size());
+  }
+
+  Addr lock_addr(std::uint32_t id) const;
+  /// Address of the barrier's arrival counter (RMW target).
+  Addr barrier_addr(std::uint32_t id) const;
+  /// Address of the barrier's sense word (spin target). Same line as the
+  /// counter — the classic centralized barrier layout.
+  Addr barrier_sense_addr(std::uint32_t id) const {
+    return barrier_addr(id) + 8;
+  }
+
+  // --- lock operations ---
+  std::uint64_t read_lock(std::uint32_t id) const { return locks_[id].held; }
+  /// Test&set; returns the *old* value (0 => acquired).
+  std::uint64_t try_acquire(std::uint32_t id, CoreId by);
+  void release(std::uint32_t id, CoreId by);
+  CoreId lock_holder(std::uint32_t id) const { return locks_[id].holder; }
+
+  // --- barrier operations ---
+  std::uint64_t read_sense(std::uint32_t id) const {
+    return barriers_[id].sense;
+  }
+  /// Atomic arrival. Returns the sense value *at arrival* in bit 0 and
+  /// "was last" in bit 1; the last arriver resets the count and flips sense.
+  std::uint64_t arrive(std::uint32_t id);
+
+  // Statistics.
+  std::uint64_t acquisitions = 0;
+  std::uint64_t failed_acquires = 0;
+  std::uint64_t barrier_episodes = 0;
+
+ private:
+  struct Lock {
+    std::uint64_t held = 0;
+    CoreId holder = kNoCore;
+  };
+  struct Barrier {
+    std::uint32_t count = 0;
+    std::uint64_t sense = 0;
+  };
+
+  std::vector<Lock> locks_;
+  std::vector<Barrier> barriers_;
+  std::uint32_t num_threads_;
+};
+
+}  // namespace ptb

@@ -1,0 +1,69 @@
+// Workload profile description: the knobs that shape a synthetic
+// multithreaded benchmark (instruction mix, working sets, lock/barrier
+// structure, imbalance). Each of the paper's 14 SPLASH-2/PARSEC benchmarks
+// maps to one WorkloadProfile in workloads/suite.cpp, tuned to match the
+// paper's Figure 3 execution-time breakdown qualitatively.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ptb {
+
+/// Dynamic instruction mix; fields are relative weights (normalized at use).
+struct MixConfig {
+  double int_alu = 0.35;
+  double int_mult = 0.08;
+  double fp_alu = 0.12;
+  double fp_mult = 0.05;
+  double load = 0.20;
+  double store = 0.10;
+  double branch = 0.10;
+};
+
+struct WorkloadProfile {
+  std::string name;
+  std::string input_desc;  // Table 2 "size" column
+
+  // Structure: `iterations` outer timesteps; each ends in a barrier when
+  // `barrier_per_iter`; one final barrier always closes the parallel phase.
+  std::uint32_t iterations = 4;
+  /// Total compute micro-ops per iteration across ALL threads (fixed total
+  /// work: per-thread work shrinks as cores grow, as in the real suites).
+  std::uint64_t ops_per_iteration = 40'000;
+  /// Per-thread, per-iteration work spread: thread work is scaled by
+  /// 1 + imbalance * u, u deterministic in [-1, 1]. The max over N threads
+  /// grows with N, which is what makes barrier wait grow with core count.
+  double imbalance = 0.10;
+  bool barrier_per_iter = true;
+
+  MixConfig mix{};
+
+  // Memory behaviour.
+  std::uint32_t ws_private_lines = 256;
+  std::uint32_t ws_shared_lines = 768;
+  double shared_frac = 0.10;   // fraction of memory ops to shared data
+  double stride_frac = 0.75;   // sequential-stride fraction (rest random)
+
+  // Branch behaviour.
+  double branch_taken_rate = 0.88;
+  /// Fraction of static branches that are data-dependent (75/25 outcomes,
+  /// essentially unpredictable); the rest are fixed-direction and learned.
+  double branch_noise = 0.08;
+
+  // Dependencies (ILP): probability an op depends on a recent older op.
+  double dep_prob = 0.45;
+
+  // Locks. cs_per_1k_ops == 0 disables critical sections.
+  std::uint32_t num_locks = 0;
+  double cs_per_1k_ops = 0.0;
+  std::uint32_t cs_len_ops = 40;
+  /// Probability a critical section uses the single hot lock (id 0) rather
+  /// than a thread-striped lock: 1.0 = fully contended.
+  double hot_lock_frac = 0.5;
+
+  /// Static code footprint in micro-ops (PTHT locality comes from this).
+  std::uint32_t code_footprint = 1024;
+};
+
+}  // namespace ptb

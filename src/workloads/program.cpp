@@ -1,0 +1,349 @@
+#include "workloads/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ull + b;
+  x ^= x >> 32;
+  x *= 0xd6e8feb86659fd93ull;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+SyntheticProgram::SyntheticProgram(const WorkloadProfile& profile,
+                                   std::uint32_t tid,
+                                   std::uint32_t num_threads, SyncState& sync,
+                                   SpinTracker& tracker, std::uint64_t seed)
+    : profile_(profile), tid_(tid), num_threads_(num_threads), sync_(sync),
+      tracker_(tracker), rng_(hash_mix(seed, tid + 1)),
+      code_base_(kCodeBase + static_cast<Addr>(tid) * kCodeStride),
+      private_base_(kPrivateBase + static_cast<Addr>(tid) * kPrivateStride) {
+  PTB_ASSERT(num_threads >= 1, "need at least one thread");
+  // Threads stream disjoint partitions of the shared array (as the real
+  // data-parallel codes do); contention comes from partition boundaries and
+  // the random-access fraction, not from lockstep streaming.
+  stride_shared_ = static_cast<Addr>(tid_) *
+                   (static_cast<Addr>(profile_.ws_shared_lines) * 8 /
+                    num_threads_);
+  build_template();
+  start_iteration();
+}
+
+void SyntheticProgram::build_template() {
+  // A fixed static-code template: each slot has a stable op class and
+  // dependency shape, so the same PC always maps to the same instruction
+  // (which is what makes the PTHT meaningful).
+  const MixConfig& m = profile_.mix;
+  const double total = m.int_alu + m.int_mult + m.fp_alu + m.fp_mult +
+                       m.load + m.store + m.branch;
+  PTB_ASSERT(total > 0.0, "empty instruction mix");
+  template_.reserve(profile_.code_footprint);
+  Rng trng(hash_mix(0xc0de, profile_.code_footprint + tid_));
+  for (std::uint32_t i = 0; i < profile_.code_footprint; ++i) {
+    const double r = trng.next_double() * total;
+    OpClass cls;
+    double acc = m.int_alu;
+    if (r < acc) cls = OpClass::kIntAlu;
+    else if (r < (acc += m.int_mult)) cls = OpClass::kIntMult;
+    else if (r < (acc += m.fp_alu)) cls = OpClass::kFpAlu;
+    else if (r < (acc += m.fp_mult)) cls = OpClass::kFpMult;
+    else if (r < (acc += m.load)) cls = OpClass::kLoad;
+    else if (r < (acc += m.store)) cls = OpClass::kStore;
+    else cls = OpClass::kBranch;
+    TemplateOp t{cls, 0, 0, false, false};
+    if (trng.next_double() < profile_.dep_prob)
+      t.dep1 = static_cast<std::uint8_t>(1 + trng.next_below(4));
+    if (trng.next_double() < profile_.dep_prob * 0.5)
+      t.dep2 = static_cast<std::uint8_t>(1 + trng.next_below(8));
+    // Most branches behave like loop/guard branches: a fixed per-slot
+    // direction a history predictor learns perfectly. A `branch_noise`
+    // fraction of branch slots are data-dependent (75/25 outcomes) — those
+    // supply the realistic residual mispredicts.
+    t.taken_bias = trng.next_double() < profile_.branch_taken_rate;
+    t.noisy = trng.next_double() < profile_.branch_noise;
+    template_.push_back(t);
+  }
+}
+
+std::uint64_t SyntheticProgram::per_iter_ops(std::uint32_t iter) const {
+  const double base = static_cast<double>(profile_.ops_per_iteration) /
+                      static_cast<double>(num_threads_);
+  // Deterministic per-(thread, iteration) imbalance factor in
+  // [1-imbalance, 1+imbalance].
+  const std::uint64_t h = hash_mix(hash_mix(tid_ + 131, iter + 17), 0xbeef);
+  const double u =
+      2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+  const double factor = 1.0 + profile_.imbalance * u;
+  return std::max<std::uint64_t>(1,
+                                 static_cast<std::uint64_t>(base * factor));
+}
+
+void SyntheticProgram::start_iteration() {
+  ops_left_ = per_iter_ops(iter_);
+  if (profile_.cs_per_1k_ops > 0.0 && profile_.num_locks > 0) {
+    const double gap = 1000.0 / profile_.cs_per_1k_ops;
+    cs_countdown_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(gap * (0.5 + rng_.next_double())));
+  } else {
+    cs_countdown_ = ops_left_ + 1;  // never triggers
+  }
+  tracker_.set_state(ExecState::kBusy);
+  state_ = State::kCompute;
+}
+
+Addr SyntheticProgram::data_address(bool is_store) {
+  const bool shared = rng_.next_double() < profile_.shared_frac;
+  const std::uint32_t lines =
+      shared ? profile_.ws_shared_lines : profile_.ws_private_lines;
+  Addr base = shared ? kSharedBase : private_base_;
+  if (rng_.next_double() < profile_.stride_frac) {
+    // Sequential walk at word granularity: 8 consecutive accesses land in
+    // the same line before moving on (realistic spatial locality).
+    const Addr word = shared ? stride_shared_++ : stride_priv_++;
+    const Addr line = (word / 8) % lines;
+    return base + line * 64 + (word % 8) * 8;
+  }
+  const Addr line = rng_.next_below(lines);
+  (void)is_store;
+  return base + line * 64 + (rng_.next_below(8) * 8);
+}
+
+MicroOp SyntheticProgram::make_compute_op() {
+  const TemplateOp& t = template_[template_pos_];
+  MicroOp op;
+  op.pc = code_base_ + static_cast<Addr>(template_pos_) * 4;
+  template_pos_ = (template_pos_ + 1) % template_.size();
+  op.cls = t.cls;
+  op.dep1 = t.dep1;
+  op.dep2 = t.dep2;
+  if (op.cls == OpClass::kLoad || op.cls == OpClass::kStore) {
+    op.addr = data_address(op.cls == OpClass::kStore);
+  } else if (op.cls == OpClass::kBranch) {
+    bool taken = t.taken_bias;
+    if (t.noisy && rng_.next_double() < 0.25) taken = !taken;
+    op.branch_taken = taken;
+  }
+  return op;
+}
+
+void SyntheticProgram::enqueue(MicroOp op) { queue_.push_back(op); }
+
+void SyntheticProgram::begin_lock_acquire() {
+  // Pick the lock: hot (contended) or striped by thread.
+  if (rng_.next_double() < profile_.hot_lock_frac) {
+    current_lock_ = 0;
+  } else {
+    current_lock_ = tid_ % profile_.num_locks;
+  }
+  tracker_.set_state(ExecState::kLockAcq);
+  MicroOp test;
+  test.pc = pc_lock_test();
+  test.cls = OpClass::kLoad;
+  test.addr = sync_.lock_addr(current_lock_);
+  test.blocks_generation = true;
+  test.sync = SyncRole::kLockTestLoad;
+  test.sync_id = current_lock_;
+  enqueue(test);
+}
+
+void SyntheticProgram::begin_barrier() {
+  tracker_.set_state(ExecState::kBarrier);
+  MicroOp arrive;
+  arrive.pc = pc_barrier_arrive();
+  arrive.cls = OpClass::kAtomicRmw;
+  arrive.addr = sync_.barrier_addr(0);
+  arrive.blocks_generation = true;
+  arrive.sync = SyncRole::kBarrierArrive;
+  arrive.sync_id = 0;
+  enqueue(arrive);
+}
+
+ThreadProgram::FetchStatus SyntheticProgram::next(MicroOp& out) {
+  if (pause_left_ > 0) {
+    --pause_left_;
+    return FetchStatus::kStall;
+  }
+  if (!queue_.empty()) {
+    out = queue_.front();
+    queue_.pop_front();
+    if (out.blocks_generation) waiting_ = true;
+    return FetchStatus::kOp;
+  }
+  if (waiting_) return FetchStatus::kStall;
+  if (state_ == State::kDone) return FetchStatus::kFinished;
+  PTB_ASSERT(state_ == State::kCompute, "unexpected generator state");
+
+  // Critical-section body ops.
+  if (cs_left_ > 0) {
+    --cs_left_;
+    if (cs_left_ == 0) {
+      // Emit the body op, then queue the release so it follows immediately.
+      MicroOp rel;
+      rel.pc = pc_lock_release();
+      rel.cls = OpClass::kStore;
+      rel.addr = sync_.lock_addr(current_lock_);
+      rel.blocks_generation = true;  // release visibility
+      rel.sync = SyncRole::kLockRelease;
+      rel.sync_id = current_lock_;
+      enqueue(rel);
+      tracker_.set_state(ExecState::kLockRel);
+    }
+    out = make_compute_op();
+    return FetchStatus::kOp;
+  }
+
+  if (ops_left_ == 0) {
+    // End of iteration: barrier (per-iteration or final).
+    ++iter_;
+    const bool last_iter = iter_ >= profile_.iterations;
+    if (profile_.barrier_per_iter || last_iter) {
+      in_final_barrier_ = last_iter;
+      begin_barrier();
+      out = queue_.front();
+      queue_.pop_front();
+      if (out.blocks_generation) waiting_ = true;
+      return FetchStatus::kOp;
+    }
+    start_iteration();
+    return next(out);
+  }
+
+  if (cs_countdown_ == 0) {
+    begin_lock_acquire();
+    out = queue_.front();
+    queue_.pop_front();
+    if (out.blocks_generation) waiting_ = true;
+    return FetchStatus::kOp;
+  }
+
+  --ops_left_;
+  if (cs_countdown_ > 0) --cs_countdown_;
+  ++compute_emitted_;
+  out = make_compute_op();
+  return FetchStatus::kOp;
+}
+
+void SyntheticProgram::on_value(const MicroOp& op, std::uint64_t value) {
+  waiting_ = false;
+  switch (op.sync) {
+    case SyncRole::kLockTestLoad: {
+      MicroOp br;
+      br.pc = pc_lock_branch();
+      br.cls = OpClass::kBranch;
+      br.dep1 = 1;  // depends on the test load
+      br.branch_taken = (value != 0);  // loop back while held
+      enqueue(br);
+      if (value != 0) {
+        // Still held: pause, then the next spin iteration.
+        pause_left_ = kSpinPause;
+        MicroOp test;
+        test.pc = pc_lock_test();
+        test.cls = OpClass::kLoad;
+        test.addr = sync_.lock_addr(current_lock_);
+        test.blocks_generation = true;
+        test.sync = SyncRole::kLockTestLoad;
+        test.sync_id = current_lock_;
+        enqueue(test);
+      } else {
+        MicroOp rmw;
+        rmw.pc = pc_lock_rmw();
+        rmw.cls = OpClass::kAtomicRmw;
+        rmw.addr = sync_.lock_addr(current_lock_);
+        rmw.blocks_generation = true;
+        rmw.sync = SyncRole::kLockTryAcquire;
+        rmw.sync_id = current_lock_;
+        enqueue(rmw);
+      }
+      break;
+    }
+    case SyncRole::kLockTryAcquire: {
+      if (value == 0) {
+        // Acquired.
+        ++cs_entered_;
+        cs_left_ = std::max<std::uint64_t>(1, profile_.cs_len_ops);
+        tracker_.set_state(ExecState::kBusy);
+        // Schedule the next critical section.
+        const double gap = 1000.0 / profile_.cs_per_1k_ops;
+        cs_countdown_ = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(gap * (0.5 + rng_.next_double())));
+      } else {
+        // Lost the race: back to spinning.
+        MicroOp test;
+        test.pc = pc_lock_test();
+        test.cls = OpClass::kLoad;
+        test.addr = sync_.lock_addr(current_lock_);
+        test.blocks_generation = true;
+        test.sync = SyncRole::kLockTestLoad;
+        test.sync_id = current_lock_;
+        enqueue(test);
+      }
+      break;
+    }
+    case SyncRole::kLockRelease:
+      tracker_.set_state(ExecState::kBusy);
+      break;
+    case SyncRole::kBarrierArrive: {
+      const bool last = (value & 2) != 0;
+      if (last) {
+        if (in_final_barrier_) {
+          state_ = State::kDone;
+          tracker_.set_state(ExecState::kBusy);
+        } else {
+          start_iteration();
+        }
+      } else {
+        barrier_wait_sense_ = value & 1;
+        MicroOp spin;
+        spin.pc = pc_barrier_load();
+        spin.cls = OpClass::kLoad;
+        spin.addr = sync_.barrier_sense_addr(0);
+        spin.blocks_generation = true;
+        spin.sync = SyncRole::kBarrierSpinLoad;
+        spin.sync_id = 0;
+        enqueue(spin);
+      }
+      break;
+    }
+    case SyncRole::kBarrierSpinLoad: {
+      const bool released = (value & 1) != barrier_wait_sense_;
+      MicroOp br;
+      br.pc = pc_barrier_branch();
+      br.cls = OpClass::kBranch;
+      br.dep1 = 1;
+      br.branch_taken = !released;  // keep spinning while sense unchanged
+      enqueue(br);
+      if (released) {
+        if (in_final_barrier_) {
+          state_ = State::kDone;
+          tracker_.set_state(ExecState::kBusy);
+        } else {
+          start_iteration();
+        }
+      } else {
+        pause_left_ = kSpinPause;
+        MicroOp spin;
+        spin.pc = pc_barrier_load();
+        spin.cls = OpClass::kLoad;
+        spin.addr = sync_.barrier_sense_addr(0);
+        spin.blocks_generation = true;
+        spin.sync = SyncRole::kBarrierSpinLoad;
+        spin.sync_id = 0;
+        enqueue(spin);
+      }
+      break;
+    }
+    case SyncRole::kNone:
+      break;
+  }
+}
+
+}  // namespace ptb

@@ -1,0 +1,262 @@
+#include "workloads/suite.hpp"
+
+#include "common/assert.hpp"
+
+namespace ptb {
+
+namespace {
+
+// Mixes: scientific SPLASH-2 codes are FP-heavy; integer codecs (x264,
+// Radix) are int-heavy; Blackscholes/Swaptions are FP-kernel PARSEC codes.
+MixConfig fp_mix() {
+  MixConfig m;
+  m.int_alu = 0.26; m.int_mult = 0.04; m.fp_alu = 0.24; m.fp_mult = 0.12;
+  m.load = 0.18; m.store = 0.07; m.branch = 0.09;
+  return m;
+}
+
+MixConfig int_mix() {
+  MixConfig m;
+  m.int_alu = 0.44; m.int_mult = 0.08; m.fp_alu = 0.02; m.fp_mult = 0.01;
+  m.load = 0.20; m.store = 0.10; m.branch = 0.15;
+  return m;
+}
+
+MixConfig mem_mix() {
+  MixConfig m;
+  m.int_alu = 0.30; m.int_mult = 0.03; m.fp_alu = 0.14; m.fp_mult = 0.06;
+  m.load = 0.22; m.store = 0.11; m.branch = 0.14;
+  return m;
+}
+
+std::vector<WorkloadProfile> build_suite() {
+  std::vector<WorkloadProfile> v;
+
+  {  // Barnes: N-body, barrier per timestep, moderate imbalance (tree walk),
+     // some tree locks (lightly contended).
+    WorkloadProfile p;
+    p.name = "barnes";
+    p.input_desc = "8192 bodies, 4 time steps";
+    p.iterations = 4;
+    p.ops_per_iteration = 44'000;
+    p.imbalance = 0.15;
+    p.mix = fp_mix();
+    p.num_locks = 8;
+    p.cs_per_1k_ops = 0.8;
+    p.cs_len_ops = 18;
+    p.hot_lock_frac = 0.15;
+    v.push_back(p);
+  }
+  {  // Cholesky: task-queue code, well balanced, negligible contention,
+     // synchronizes only at the end (Figure 3: essentially all busy).
+    WorkloadProfile p;
+    p.name = "cholesky";
+    p.input_desc = "tk16.0";
+    p.iterations = 1;
+    p.ops_per_iteration = 170'000;
+    p.imbalance = 0.03;
+    p.barrier_per_iter = false;
+    p.mix = fp_mix();
+    p.num_locks = 16;
+    p.cs_per_1k_ops = 0.5;
+    p.cs_len_ops = 10;
+    p.hot_lock_frac = 0.05;
+    v.push_back(p);
+  }
+  {  // FFT: few barriers, all-to-all transpose (shared memory traffic),
+     // well balanced.
+    WorkloadProfile p;
+    p.name = "fft";
+    p.input_desc = "256K complex doubles";
+    p.iterations = 3;
+    p.ops_per_iteration = 56'000;
+    p.imbalance = 0.08;
+    p.mix = mem_mix();
+    p.shared_frac = 0.15;
+    p.ws_shared_lines = 1536;
+    p.stride_frac = 0.85;
+    v.push_back(p);
+  }
+  {  // Ocean: many barriers per timestep (multigrid sweeps), streaming
+     // memory; barrier time dominates at high core counts.
+    WorkloadProfile p;
+    p.name = "ocean";
+    p.input_desc = "258x258 ocean";
+    p.iterations = 12;
+    p.ops_per_iteration = 14'000;
+    p.imbalance = 0.18;
+    p.mix = mem_mix();
+    p.shared_frac = 0.12;
+    p.ws_shared_lines = 2048;
+    p.stride_frac = 0.90;
+    v.push_back(p);
+  }
+  {  // Radix: sort with permutation phase -> high imbalance + barriers,
+     // random (scatter) stores to shared memory.
+    WorkloadProfile p;
+    p.name = "radix";
+    p.input_desc = "1M keys, 1024 radix";
+    p.iterations = 6;
+    p.ops_per_iteration = 26'000;
+    p.imbalance = 0.40;
+    p.mix = int_mix();
+    p.shared_frac = 0.20;
+    p.ws_shared_lines = 2048;
+    p.stride_frac = 0.40;
+    v.push_back(p);
+  }
+  {  // Raytrace: work-queue locks with real contention, imbalanced rays.
+    WorkloadProfile p;
+    p.name = "raytrace";
+    p.input_desc = "Teapot";
+    p.iterations = 2;
+    p.ops_per_iteration = 80'000;
+    p.imbalance = 0.28;
+    p.barrier_per_iter = false;
+    p.mix = fp_mix();
+    p.num_locks = 8;
+    p.cs_per_1k_ops = 0.6;
+    p.cs_len_ops = 12;
+    p.hot_lock_frac = 0.35;
+    v.push_back(p);
+  }
+  {  // Tomcatv: vectorized mesh code, barrier every iteration, moderate.
+    WorkloadProfile p;
+    p.name = "tomcatv";
+    p.input_desc = "256 elements, 5 iterations";
+    p.iterations = 5;
+    p.ops_per_iteration = 30'000;
+    p.imbalance = 0.10;
+    p.mix = fp_mix();
+    p.stride_frac = 0.92;
+    v.push_back(p);
+  }
+  {  // Unstructured: the paper's lock-dominated outlier — heavy contention
+     // on a hot lock, many critical sections, strong thread dependences.
+    WorkloadProfile p;
+    p.name = "unstructured";
+    p.input_desc = "Mesh.2K, 5 time steps";
+    p.iterations = 5;
+    p.ops_per_iteration = 22'000;
+    p.imbalance = 0.18;
+    p.mix = fp_mix();
+    p.num_locks = 4;
+    p.cs_per_1k_ops = 1.6;
+    p.cs_len_ops = 20;
+    p.hot_lock_frac = 0.70;
+    v.push_back(p);
+  }
+  {  // Water-NSQ: O(n^2) forces with per-molecule locks — moderately
+     // contended locks plus barriers; unbalanced (prefers ToOne, Fig. 11).
+    WorkloadProfile p;
+    p.name = "waternsq";
+    p.input_desc = "512 molecules, 4 time steps";
+    p.iterations = 4;
+    p.ops_per_iteration = 34'000;
+    p.imbalance = 0.26;
+    p.mix = fp_mix();
+    p.num_locks = 8;
+    p.cs_per_1k_ops = 0.9;
+    p.cs_len_ops = 14;
+    p.hot_lock_frac = 0.40;
+    v.push_back(p);
+  }
+  {  // Water-SP: spatial version — barriers, few locks.
+    WorkloadProfile p;
+    p.name = "watersp";
+    p.input_desc = "512 molecules, 4 time steps";
+    p.iterations = 4;
+    p.ops_per_iteration = 36'000;
+    p.imbalance = 0.12;
+    p.mix = fp_mix();
+    p.num_locks = 8;
+    p.cs_per_1k_ops = 0.6;
+    p.cs_len_ops = 10;
+    p.hot_lock_frac = 0.15;
+    v.push_back(p);
+  }
+  {  // Blackscholes: embarrassingly parallel PARSEC kernel, one final
+     // barrier, no contention (Figure 3: all busy).
+    WorkloadProfile p;
+    p.name = "blackscholes";
+    p.input_desc = "simsmall";
+    p.iterations = 1;
+    p.ops_per_iteration = 160'000;
+    p.imbalance = 0.02;
+    p.barrier_per_iter = false;
+    p.mix = fp_mix();
+    p.dep_prob = 0.62;        // the B-S formula is a serial FP chain
+    p.ws_private_lines = 1024;  // streams the option array (~L1D-sized)
+    p.stride_frac = 0.95;
+    p.shared_frac = 0.02;
+    v.push_back(p);
+  }
+  {  // Fluidanimate: fine-grained cell locks, very lock-heavy at high core
+     // counts (Figure 3's other lock-dominated benchmark).
+    WorkloadProfile p;
+    p.name = "fluidanimate";
+    p.input_desc = "simsmall";
+    p.iterations = 5;
+    p.ops_per_iteration = 24'000;
+    p.imbalance = 0.15;
+    p.mix = fp_mix();
+    p.num_locks = 6;
+    p.cs_per_1k_ops = 1.2;
+    p.cs_len_ops = 18;
+    p.hot_lock_frac = 0.55;
+    v.push_back(p);
+  }
+  {  // Swaptions: embarrassingly parallel, final sync only.
+    WorkloadProfile p;
+    p.name = "swaptions";
+    p.input_desc = "simsmall";
+    p.iterations = 1;
+    p.ops_per_iteration = 150'000;
+    p.imbalance = 0.04;
+    p.barrier_per_iter = false;
+    p.mix = fp_mix();
+    p.dep_prob = 0.60;        // HJM path-simulation recurrences
+    p.ws_private_lines = 1024;  // per-swaption paths (~L1D-sized)
+    p.stride_frac = 0.95;
+    p.shared_frac = 0.02;
+    v.push_back(p);
+  }
+  {  // x264: pipelined encoder — int-heavy, low contention, syncs at end.
+    WorkloadProfile p;
+    p.name = "x264";
+    p.input_desc = "simsmall";
+    p.iterations = 2;
+    p.ops_per_iteration = 70'000;
+    p.imbalance = 0.10;
+    p.barrier_per_iter = false;
+    p.mix = int_mix();
+    p.num_locks = 8;
+    p.cs_per_1k_ops = 0.8;
+    p.cs_len_ops = 12;
+    p.hot_lock_frac = 0.10;
+    v.push_back(p);
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& benchmark_suite() {
+  static const std::vector<WorkloadProfile> suite = build_suite();
+  return suite;
+}
+
+const WorkloadProfile& benchmark_by_name(const std::string& name) {
+  for (const auto& p : benchmark_suite())
+    if (p.name == name) return p;
+  PTB_ASSERT(false, "unknown benchmark name");
+  return benchmark_suite().front();  // unreachable
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& p : benchmark_suite()) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace ptb

@@ -1,0 +1,24 @@
+// The evaluated benchmark suite (Table 2 of the paper): SPLASH-2 (Barnes,
+// Cholesky, FFT, Ocean, Radix, Raytrace, Tomcatv, Unstructured, Water-NSQ,
+// Water-SP) and PARSEC (Blackscholes, Fluidanimate, Swaptions, x264), each
+// mapped to a synthetic WorkloadProfile whose lock/barrier structure and
+// imbalance reproduce the paper's Figure 3 breakdown qualitatively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/phases.hpp"
+
+namespace ptb {
+
+/// All 14 profiles, in the paper's Figure ordering.
+const std::vector<WorkloadProfile>& benchmark_suite();
+
+/// Lookup by (case-sensitive) name; aborts if unknown.
+const WorkloadProfile& benchmark_by_name(const std::string& name);
+
+/// Names in suite order.
+std::vector<std::string> benchmark_names();
+
+}  // namespace ptb

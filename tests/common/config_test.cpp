@@ -1,0 +1,71 @@
+// Asserts the default configuration reproduces Table 1 of the paper.
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(Table1, CoreParameters) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.core.rob_entries, 128u);       // 128-entry instruction window
+  EXPECT_EQ(cfg.core.lsq_entries, 64u);        // + 64 load/store queue
+  EXPECT_EQ(cfg.core.fetch_width, 4u);         // decode 4 inst/cycle
+  EXPECT_EQ(cfg.core.issue_width, 4u);         // issue 4 inst/cycle
+  EXPECT_EQ(cfg.core.int_alu, 6u);
+  EXPECT_EQ(cfg.core.int_mult, 2u);
+  EXPECT_EQ(cfg.core.fp_alu, 4u);
+  EXPECT_EQ(cfg.core.fp_mult, 4u);
+  EXPECT_EQ(cfg.core.pipeline_stages, 14u);
+  EXPECT_EQ(cfg.core.bp_history_bits, 16u);    // 16-bit gshare
+  EXPECT_EQ(cfg.core.bp_table_bytes, 64u * 1024u);  // 64 KB
+}
+
+TEST(Table1, MemoryHierarchy) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.mem.dram_latency, 300u);             // 300-cycle memory
+  EXPECT_EQ(cfg.l1i.size_bytes, 64u * 1024u);        // 64 KB L1I
+  EXPECT_EQ(cfg.l1i.assoc, 2u);
+  EXPECT_EQ(cfg.l1i.hit_latency, 1u);
+  EXPECT_EQ(cfg.l1d.size_bytes, 64u * 1024u);        // 64 KB L1D
+  EXPECT_EQ(cfg.l1d.assoc, 2u);
+  EXPECT_EQ(cfg.l2.size_bytes_per_core, 1024u * 1024u);  // 1 MB/core L2
+  EXPECT_EQ(cfg.l2.assoc, 4u);
+  EXPECT_EQ(cfg.l2.hit_latency, 12u);
+}
+
+TEST(Table1, NetworkParameters) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.noc.link_latency, 4u);          // 4-cycle links
+  EXPECT_EQ(cfg.noc.flit_bytes, 4u);            // 4-byte flits
+  EXPECT_EQ(cfg.noc.link_flits_per_cycle, 1u);  // 1 flit/cycle
+}
+
+TEST(Table1, PowerAndProcess) {
+  const SimConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.power.vdd_nominal, 0.9);        // 0.9 V
+  EXPECT_DOUBLE_EQ(cfg.power.freq_nominal_ghz, 3.0);   // 3 GHz
+  EXPECT_EQ(cfg.power.ptht_entries, 8192u);            // 8K-entry PTHT
+  EXPECT_EQ(cfg.power.kmeans_groups, 8u);              // 8 k-means groups
+  EXPECT_DOUBLE_EQ(cfg.budget_fraction, 0.5);          // 50% power budget
+}
+
+TEST(MeshGeometry, SquarestFactorization) {
+  SimConfig cfg;
+  cfg.num_cores = 16;
+  EXPECT_EQ(cfg.mesh_width(), 4u);
+  EXPECT_EQ(cfg.mesh_height(), 4u);
+  cfg.num_cores = 8;
+  EXPECT_EQ(cfg.mesh_width() * cfg.mesh_height(), 8u);
+  EXPECT_EQ(cfg.mesh_width(), 4u);
+  EXPECT_EQ(cfg.mesh_height(), 2u);
+  cfg.num_cores = 2;
+  EXPECT_EQ(cfg.mesh_width(), 2u);
+  EXPECT_EQ(cfg.mesh_height(), 1u);
+  cfg.num_cores = 1;
+  EXPECT_EQ(cfg.mesh_width(), 1u);
+  EXPECT_EQ(cfg.mesh_height(), 1u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(Table, BasicCells) {
+  Table t({"name", "value"});
+  const auto r = t.add_row();
+  t.set(r, 0, "alpha");
+  t.set(r, 1, 3.14159, 2);
+  EXPECT_EQ(t.cell(r, 0), "alpha");
+  EXPECT_EQ(t.cell(r, 1), "3.14");
+}
+
+TEST(Table, IntegerFormatting) {
+  Table t({"k", "v"});
+  const auto r = t.add_row();
+  t.set(r, 1, static_cast<std::int64_t>(-42));
+  EXPECT_EQ(t.cell(r, 1), "-42");
+}
+
+TEST(Table, AddFullRow) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 2), "3");
+}
+
+TEST(Table, TextContainsHeaderAndData) {
+  Table t({"bench", "energy"});
+  t.add_row({"fft", "-2.93"});
+  const std::string text = t.to_text("Figure 9");
+  EXPECT_NE(text.find("Figure 9"), std::string::npos);
+  EXPECT_NE(text.find("bench"), std::string::npos);
+  EXPECT_NE(text.find("fft"), std::string::npos);
+  EXPECT_NE(text.find("-2.93"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"y", "2.5"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1.5\ny,2.5\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.005, 1), "1.0");
+  EXPECT_EQ(format_double(-3.14159, 3), "-3.142");
+  EXPECT_EQ(format_double(0.0, 0), "0");
+}
+
+}  // namespace
+}  // namespace ptb

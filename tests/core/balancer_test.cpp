@@ -1,0 +1,188 @@
+// The PTB load-balancer: donation, latency, quantization, policies, and the
+// paper's Figure 7 barrier walkthrough.
+#include "core/balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace ptb {
+namespace {
+
+PtbConfig ptb_cfg(std::uint32_t latency = 0) {
+  PtbConfig c;
+  c.enabled = true;
+  c.wire_latency_override = latency;
+  return c;
+}
+
+TEST(Balancer, PaperWireLatencies) {
+  EXPECT_EQ(PtbLoadBalancer::latency_for_cores(2), 3u);
+  EXPECT_EQ(PtbLoadBalancer::latency_for_cores(4), 3u);
+  EXPECT_EQ(PtbLoadBalancer::latency_for_cores(8), 5u);
+  EXPECT_EQ(PtbLoadBalancer::latency_for_cores(16), 10u);
+  EXPECT_EQ(PtbLoadBalancer::latency_for_cores(32), 14u);  // extrapolated
+}
+
+TEST(Balancer, QuantumFromWireWidth) {
+  PtbLoadBalancer b(ptb_cfg(), 4, 150.0);
+  // 4-bit wires -> 15 counts; quantum = budget / 15.
+  EXPECT_DOUBLE_EQ(b.token_quantum(), 10.0);
+}
+
+TEST(Balancer, NoActionWhileGloballyUnderBudget) {
+  PtbLoadBalancer b(ptb_cfg(1), 2, 100.0);
+  std::vector<double> power{20.0, 180.0};
+  std::vector<double> eff;
+  for (Cycle t = 0; t < 10; ++t) {
+    b.cycle(t, power, /*global_over=*/false, PtbPolicy::kToAll, eff);
+    EXPECT_DOUBLE_EQ(eff[0], 100.0);
+    EXPECT_DOUBLE_EQ(eff[1], 100.0);
+  }
+  EXPECT_DOUBLE_EQ(b.tokens_donated, 0.0);
+}
+
+TEST(Balancer, DonationArrivesAfterWireLatency) {
+  const std::uint32_t L = 4;
+  PtbLoadBalancer b(ptb_cfg(L), 2, 100.0);
+  std::vector<double> power{10.0, 150.0};  // core0 spare, core1 needy
+  std::vector<double> eff;
+  // Cycle 0: core0 donates; its own budget tightens immediately.
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  EXPECT_LT(eff[0], 100.0);
+  EXPECT_DOUBLE_EQ(eff[1], 100.0);  // nothing arrived yet
+  // Until the latency elapses, core1 sees no grant.
+  for (Cycle t = 1; t < L; ++t) {
+    b.cycle(t, power, true, PtbPolicy::kToAll, eff);
+    EXPECT_DOUBLE_EQ(eff[1], 100.0);
+  }
+  // At t = L the tokens land.
+  b.cycle(L, power, true, PtbPolicy::kToAll, eff);
+  EXPECT_GT(eff[1], 100.0);
+}
+
+TEST(Balancer, DonorBudgetRecoversAfterArrival) {
+  const std::uint32_t L = 2;
+  PtbLoadBalancer b(ptb_cfg(L), 2, 100.0);
+  std::vector<double> donate_phase{10.0, 150.0};
+  std::vector<double> quiet{99.0, 99.0};  // nobody spare, nobody needy
+  std::vector<double> eff;
+  b.cycle(0, donate_phase, true, PtbPolicy::kToAll, eff);
+  const double tightened = eff[0];
+  EXPECT_LT(tightened, 100.0);
+  b.cycle(1, quiet, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(eff[0], tightened);  // still in flight
+  b.cycle(2, quiet, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(eff[0], 100.0);  // recovered
+}
+
+TEST(Balancer, DonationCappedByWireWidth) {
+  PtbLoadBalancer b(ptb_cfg(1), 2, 150.0);  // quantum 10, max 15 counts
+  std::vector<double> power{0.0, 1000.0};
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(b.tokens_donated, 150.0);  // 15 * 10, not the full spare
+}
+
+TEST(Balancer, QuantizationDropsSubQuantumSpare) {
+  PtbLoadBalancer b(ptb_cfg(1), 2, 150.0);  // quantum 10
+  std::vector<double> power{141.0, 200.0};  // spare 9 < quantum
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(b.tokens_donated, 0.0);
+}
+
+TEST(Balancer, TokensEvaporateWithoutNeedyCores) {
+  PtbLoadBalancer b(ptb_cfg(1), 2, 100.0);
+  std::vector<double> spare_phase{10.0, 10.0};
+  std::vector<double> eff;
+  b.cycle(0, spare_phase, true, PtbPolicy::kToAll, eff);
+  EXPECT_GT(b.tokens_donated, 0.0);
+  b.cycle(1, spare_phase, true, PtbPolicy::kToAll, eff);
+  EXPECT_GT(b.tokens_evaporated, 0.0);  // nothing banked across cycles
+  EXPECT_DOUBLE_EQ(b.tokens_granted, 0.0);
+}
+
+TEST(Balancer, ConservationDonatedEqualsGrantedPlusEvaporated) {
+  PtbLoadBalancer b(ptb_cfg(3), 4, 100.0);
+  Rng rng(5);
+  std::vector<double> power(4), eff;
+  for (Cycle t = 0; t < 2000; ++t) {
+    for (auto& p : power) p = rng.next_double() * 200.0;
+    b.cycle(t, power, true, PtbPolicy::kToAll, eff);
+  }
+  // Allow in-flight tokens (at most latency * max donation per cycle).
+  const double in_flight_bound = 3 * 4 * 100.0;
+  EXPECT_NEAR(b.tokens_donated, b.tokens_granted + b.tokens_evaporated,
+              in_flight_bound);
+  EXPECT_GE(b.tokens_donated + 1e-9, b.tokens_granted + b.tokens_evaporated);
+}
+
+TEST(Balancer, ToOneGivesAllToNeediest) {
+  PtbLoadBalancer b(ptb_cfg(1), 3, 100.0);
+  std::vector<double> power{10.0, 120.0, 180.0};
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToOne, eff);
+  b.cycle(1, power, true, PtbPolicy::kToOne, eff);
+  EXPECT_DOUBLE_EQ(eff[1], 100.0);   // not the neediest
+  EXPECT_NEAR(eff[2], 180.0, 1e-9);  // whole pool, capped at its deficit
+}
+
+TEST(Balancer, ToAllSplitsEquallyCappedAtDeficit) {
+  PtbLoadBalancer b(ptb_cfg(1), 3, 100.0);
+  std::vector<double> power{10.0, 120.0, 180.0};
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, power, true, PtbPolicy::kToAll, eff);
+  // Core 0 donated floor(90 / (100/15)) = 13 quanta = 86.67 tokens. Each
+  // needy core gets an equal 43.33 share, capped at its own deficit;
+  // core 1's unused 23.33 evaporates (nothing is banked).
+  EXPECT_NEAR(eff[1], 120.0, 1e-9);  // capped at its deficit of 20
+  EXPECT_NEAR(eff[2], 100.0 + (86.0 + 2.0 / 3.0) / 2.0, 1e-6);
+  EXPECT_GT(b.tokens_evaporated, 20.0);
+}
+
+TEST(Balancer, ToAllEvaporatesBeyondTotalDeficit) {
+  PtbLoadBalancer b(ptb_cfg(1), 3, 100.0);
+  std::vector<double> power{10.0, 101.0, 102.0};  // tiny deficits
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, power, true, PtbPolicy::kToAll, eff);
+  EXPECT_NEAR(eff[1], 101.0, 1e-9);
+  EXPECT_NEAR(eff[2], 102.0, 1e-9);
+  EXPECT_GT(b.tokens_evaporated, 0.0);  // the rest is not banked
+}
+
+// Figure 7 of the paper: 4 cores, local budgets of 10 tokens, spinning
+// costs 4 -> each spinner frees 6 tokens for the cores still computing.
+TEST(Balancer, Figure7BarrierWalkthrough) {
+  PtbConfig cfg = ptb_cfg(1);
+  cfg.token_wire_bits = 4;
+  PtbLoadBalancer b(cfg, 4, 10.0);
+  // quantum = 10/15 = 0.6667; a spare of 6 = 9 quanta = 6.0 exactly.
+  std::vector<double> eff;
+  // (a) core 1 spins (power 4), the rest compute at 12 (over budget).
+  std::vector<double> a_phase{12.0, 4.0, 12.0, 12.0};
+  b.cycle(0, a_phase, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, a_phase, true, PtbPolicy::kToAll, eff);
+  // Core 1 donated 6; cores 0, 2, 3 each get 2 -> budgets 12.
+  EXPECT_NEAR(eff[0], 12.0, 0.01);
+  EXPECT_NEAR(eff[2], 12.0, 0.01);
+  EXPECT_NEAR(eff[3], 12.0, 0.01);
+  // (b) cores 1 and 2 spin -> cores 0 and 3 get 6+6 split -> budgets 16.
+  std::vector<double> b_phase{16.0, 4.0, 4.0, 16.0};
+  b.cycle(2, b_phase, true, PtbPolicy::kToAll, eff);
+  b.cycle(3, b_phase, true, PtbPolicy::kToAll, eff);
+  EXPECT_NEAR(eff[0], 16.0, 0.01);
+  EXPECT_NEAR(eff[3], 16.0, 0.01);
+  // (c) three spinners -> the last core can use 10 + 18 = 28.
+  std::vector<double> c_phase{28.0, 4.0, 4.0, 4.0};
+  b.cycle(4, c_phase, true, PtbPolicy::kToAll, eff);
+  b.cycle(5, c_phase, true, PtbPolicy::kToAll, eff);
+  EXPECT_NEAR(eff[0], 28.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ptb

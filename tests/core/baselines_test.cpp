@@ -1,0 +1,123 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(ThriftyBarrier, NoSleepWithoutHistory) {
+  ThriftyBarrierController tb(2);
+  // First barrier ever: predicted wait is 0, must not sleep.
+  for (Cycle t = 0; t < 1000; ++t) {
+    EXPECT_FALSE(tb.tick(0, t, ExecState::kBarrier, 0, true));
+  }
+  EXPECT_EQ(tb.sleeps, 0u);
+}
+
+TEST(ThriftyBarrier, LearnsLongWaitsAndSleeps) {
+  ThriftyBarrierController tb(2, /*wake_penalty=*/100);
+  Cycle t = 0;
+  // Episode 1: a 5000-cycle wait teaches the predictor.
+  for (int i = 0; i < 5000; ++i) tb.tick(0, t++, ExecState::kBarrier, 0, true);
+  tb.tick(0, t++, ExecState::kBusy, 1, true);
+  // Episode 2: the predicted wait (2500 EMA) >> 2*penalty -> sleeps.
+  EXPECT_TRUE(tb.tick(0, t++, ExecState::kBarrier, 1, true));
+  EXPECT_EQ(tb.sleeps, 1u);
+}
+
+TEST(ThriftyBarrier, WakesAfterReleasePlusPenalty) {
+  const Cycle penalty = 100;
+  ThriftyBarrierController tb(2, penalty);
+  Cycle t = 0;
+  for (int i = 0; i < 5000; ++i) tb.tick(0, t++, ExecState::kBarrier, 0, true);
+  tb.tick(0, t++, ExecState::kBusy, 1, true);
+  ASSERT_TRUE(tb.tick(0, t, ExecState::kBarrier, 1, true));
+  // Barrier releases (episode 2) at cycle `t0`.
+  const Cycle t0 = t + 50;
+  for (Cycle c = t + 1; c < t0; ++c)
+    EXPECT_TRUE(tb.tick(0, c, ExecState::kBarrier, 1, true));
+  // After the release, the core stays asleep for the wake penalty.
+  Cycle woke_at = 0;
+  for (Cycle c = t0; c < t0 + 2 * penalty; ++c) {
+    if (!tb.tick(0, c, ExecState::kBarrier, 2, true)) {
+      woke_at = c;
+      break;
+    }
+  }
+  ASSERT_GT(woke_at, t0);
+  EXPECT_GE(woke_at - t0, penalty - 1);
+  EXPECT_LE(woke_at - t0, penalty + 1);
+}
+
+TEST(ThriftyBarrier, ShortWaitsNeverSleep) {
+  ThriftyBarrierController tb(2, /*wake_penalty=*/100);
+  Cycle t = 0;
+  std::uint64_t episode = 0;
+  for (int ep = 0; ep < 10; ++ep) {
+    // 50-cycle waits: well under 2 * penalty.
+    for (int i = 0; i < 50; ++i)
+      EXPECT_FALSE(tb.tick(0, t++, ExecState::kBarrier, episode, true));
+    ++episode;
+    for (int i = 0; i < 500; ++i) tb.tick(0, t++, ExecState::kBusy, episode, true);
+  }
+  EXPECT_EQ(tb.sleeps, 0u);
+}
+
+TEST(MeetingPoints, AllStartAtFullSpeed) {
+  MeetingPointsController mp(4);
+  for (CoreId i = 0; i < 4; ++i) EXPECT_EQ(mp.mode_for(i), 0u);
+}
+
+TEST(MeetingPoints, SlowsTheEarlyArriverNotTheCritical) {
+  MeetingPointsController mp(2);
+  Cycle t = 0;
+  for (int episode = 0; episode < 4; ++episode) {
+    // Phase: both busy for 1000 cycles; core 0 then waits 4000 cycles for
+    // core 1 (the critical thread).
+    for (int i = 0; i < 1000; ++i) {
+      mp.tick(0, t, ExecState::kBusy);
+      mp.tick(1, t, ExecState::kBusy);
+      ++t;
+    }
+    for (int i = 0; i < 4000; ++i) {
+      mp.tick(0, t, ExecState::kBarrier);
+      mp.tick(1, t, ExecState::kBusy);
+      ++t;
+    }
+    // Core 1 arrives; both leave the barrier together.
+    mp.tick(1, t, ExecState::kBarrier);
+    ++t;
+    mp.tick(0, t, ExecState::kBusy);
+    mp.tick(1, t, ExecState::kBusy);
+    ++t;
+  }
+  EXPECT_GT(mp.episodes, 0u);
+  EXPECT_GT(mp.mode_for(0), 0u);   // the early arriver is delayed
+  EXPECT_EQ(mp.mode_for(1), 0u);   // the critical thread never is
+}
+
+TEST(MeetingPoints, BalancedThreadsStayFast) {
+  MeetingPointsController mp(2);
+  Cycle t = 0;
+  for (int episode = 0; episode < 4; ++episode) {
+    for (int i = 0; i < 2000; ++i) {
+      mp.tick(0, t, ExecState::kBusy);
+      mp.tick(1, t, ExecState::kBusy);
+      ++t;
+    }
+    // Near-simultaneous arrival: tiny waits.
+    for (int i = 0; i < 20; ++i) {
+      mp.tick(0, t, ExecState::kBarrier);
+      mp.tick(1, t, ExecState::kBarrier);
+      ++t;
+    }
+    mp.tick(0, t, ExecState::kBusy);
+    mp.tick(1, t, ExecState::kBusy);
+    ++t;
+  }
+  EXPECT_EQ(mp.mode_for(0), 0u);
+  EXPECT_EQ(mp.mode_for(1), 0u);
+}
+
+}  // namespace
+}  // namespace ptb

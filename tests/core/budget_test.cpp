@@ -1,0 +1,43 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(BudgetManager, FiftyPercentOfPeak) {
+  SimConfig cfg;
+  cfg.num_cores = 16;
+  cfg.budget_fraction = 0.5;
+  BudgetManager b(cfg);
+  EXPECT_DOUBLE_EQ(b.peak_power(), b.peak_core_power() * 16);
+  EXPECT_DOUBLE_EQ(b.global_budget(), b.peak_power() * 0.5);
+}
+
+TEST(BudgetManager, LocalIsEqualSplit) {
+  SimConfig cfg;
+  cfg.num_cores = 8;
+  BudgetManager b(cfg);
+  EXPECT_DOUBLE_EQ(b.local_budget() * 8, b.global_budget());
+}
+
+TEST(BudgetManager, ScalesWithCoreCount) {
+  SimConfig a, b;
+  a.num_cores = 4;
+  b.num_cores = 16;
+  BudgetManager ba(a), bb(b);
+  EXPECT_DOUBLE_EQ(bb.global_budget(), 4.0 * ba.global_budget());
+  // Per-core share is identical regardless of core count.
+  EXPECT_DOUBLE_EQ(ba.local_budget(), bb.local_budget());
+}
+
+TEST(BudgetManager, FractionKnob) {
+  SimConfig strict, loose;
+  strict.budget_fraction = 0.3;
+  loose.budget_fraction = 0.9;
+  EXPECT_LT(BudgetManager(strict).global_budget(),
+            BudgetManager(loose).global_budget());
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,86 @@
+#include "core/clustered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ptb {
+namespace {
+
+PtbConfig pcfg() {
+  PtbConfig c;
+  c.enabled = true;
+  c.cluster_size = 4;
+  return c;
+}
+
+TEST(ClusteredBalancer, PartitionsEvenly) {
+  ClusteredBalancer b(pcfg(), 16, 4, 100.0);
+  EXPECT_EQ(b.num_clusters(), 4u);
+  EXPECT_EQ(b.cluster_size(), 4u);
+}
+
+TEST(ClusteredBalancer, PartitionsWithRemainder) {
+  ClusteredBalancer b(pcfg(), 10, 4, 100.0);
+  EXPECT_EQ(b.num_clusters(), 3u);  // 4 + 4 + 2
+}
+
+TEST(ClusteredBalancer, UsesSmallClusterLatency) {
+  ClusteredBalancer b(pcfg(), 32, 4, 100.0);
+  EXPECT_EQ(b.wire_latency(), 3u);  // 4-core cluster latency, not 32-core
+  ClusteredBalancer b16(pcfg(), 32, 16, 100.0);
+  EXPECT_EQ(b16.wire_latency(), 10u);
+}
+
+TEST(ClusteredBalancer, BalancesWithinClusterOnly) {
+  // 8 cores, clusters of 4. Cluster 0 has a donor and a needy core;
+  // cluster 1 is all needy with no donor -> no tokens cross over.
+  ClusteredBalancer b(pcfg(), 8, 4, 100.0);
+  std::vector<double> power{10.0, 150.0, 99.0, 99.0,    // cluster 0: 358
+                            150.0, 150.0, 150.0, 150.0};  // cluster 1: 600
+  std::vector<double> eff;
+  // Per-cluster budget share is 350: both clusters are over budget.
+  // Grants pulse with the wire-latency period (the donor's budget stays
+  // tightened while its tokens are in flight), so track the maximum.
+  double max_eff1 = 0.0, max_eff_c1 = 0.0;
+  for (Cycle t = 0; t < 8; ++t) {
+    b.cycle(t, power, /*cluster_budget_total=*/700.0, PtbPolicy::kToAll,
+            eff);
+    max_eff1 = std::max(max_eff1, eff[1]);
+    for (int i = 4; i < 8; ++i) max_eff_c1 = std::max(max_eff_c1, eff[i]);
+  }
+  EXPECT_GT(max_eff1, 100.0);      // received from core 0's spare
+  EXPECT_LE(max_eff_c1, 100.0);    // nothing ever arrived from cluster 0
+}
+
+TEST(ClusteredBalancer, PerClusterOverBudgetGate) {
+  // Cluster 0 is under its share of the budget -> its donor must not
+  // donate; cluster 1 is over -> its donor does.
+  ClusteredBalancer b(pcfg(), 8, 4, 100.0);
+  std::vector<double> power{10.0, 20.0, 20.0, 20.0,      // total 70 < 400
+                            10.0, 150.0, 150.0, 150.0};  // total 460 > 400
+  std::vector<double> eff;
+  double min_eff0 = 1e9, max_eff5 = 0.0;
+  for (Cycle t = 0; t < 8; ++t) {
+    b.cycle(t, power, 800.0, PtbPolicy::kToAll, eff);
+    min_eff0 = std::min(min_eff0, eff[0]);
+    max_eff5 = std::max(max_eff5, eff[5]);
+  }
+  EXPECT_DOUBLE_EQ(min_eff0, 100.0);  // cluster under budget: no donation
+  EXPECT_GT(max_eff5, 100.0);         // cluster 1 balanced internally
+}
+
+TEST(ClusteredBalancer, TokenStatsAggregate) {
+  ClusteredBalancer b(pcfg(), 8, 4, 100.0);
+  std::vector<double> power{10.0, 150.0, 99.0, 99.0,
+                            10.0, 150.0, 99.0, 99.0};
+  std::vector<double> eff;
+  for (Cycle t = 0; t < 16; ++t)
+    b.cycle(t, power, 400.0, PtbPolicy::kToAll, eff);
+  EXPECT_GT(b.tokens_donated(), 0.0);
+  EXPECT_GT(b.tokens_granted(), 0.0);
+  EXPECT_LE(b.tokens_granted(), b.tokens_donated());
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,80 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+PtbConfig pcfg() {
+  PtbConfig c;
+  c.enabled = true;
+  c.policy = PtbPolicy::kDynamic;
+  return c;
+}
+
+TEST(DynamicSelector, LockSpinnersSelectToOne) {
+  DynamicPolicySelector s(pcfg(), 4, 30.0);
+  std::vector<ExecState> st{ExecState::kBusy, ExecState::kLockAcq,
+                            ExecState::kLockAcq, ExecState::kBusy};
+  EXPECT_EQ(s.select(st), PtbPolicy::kToOne);
+}
+
+TEST(DynamicSelector, BarrierSpinnersSelectToAll) {
+  DynamicPolicySelector s(pcfg(), 4, 30.0);
+  std::vector<ExecState> st{ExecState::kBarrier, ExecState::kBarrier,
+                            ExecState::kBusy, ExecState::kBusy};
+  EXPECT_EQ(s.select(st), PtbPolicy::kToAll);
+}
+
+TEST(DynamicSelector, NoSpinnersDefaultToAll) {
+  DynamicPolicySelector s(pcfg(), 4, 30.0);
+  std::vector<ExecState> st(4, ExecState::kBusy);
+  EXPECT_EQ(s.select(st), PtbPolicy::kToAll);
+}
+
+TEST(DynamicSelector, MixedSpinMajorityWins) {
+  DynamicPolicySelector s(pcfg(), 5, 30.0);
+  std::vector<ExecState> st{ExecState::kLockAcq, ExecState::kLockAcq,
+                            ExecState::kBarrier, ExecState::kBusy,
+                            ExecState::kBusy};
+  EXPECT_EQ(s.select(st), PtbPolicy::kToOne);
+  st[1] = ExecState::kBarrier;
+  EXPECT_EQ(s.select(st), PtbPolicy::kToAll);
+}
+
+TEST(DynamicSelector, CyclesAccounted) {
+  DynamicPolicySelector s(pcfg(), 2, 30.0);
+  std::vector<ExecState> lock{ExecState::kLockAcq, ExecState::kBusy};
+  std::vector<ExecState> busy(2, ExecState::kBusy);
+  s.select(lock);
+  s.select(lock);
+  s.select(busy);
+  EXPECT_EQ(s.to_one_cycles, 2u);
+  EXPECT_EQ(s.to_all_cycles, 1u);
+}
+
+TEST(DynamicSelectorHeuristic, SimultaneousExitsLookLikeBarrier) {
+  DynamicPolicySelector s(pcfg(), 4, 30.0);
+  std::vector<double> spinning{10.0, 10.0, 10.0, 80.0};
+  std::vector<double> released{80.0, 80.0, 80.0, 80.0};
+  Cycle t = 0;
+  // Establish spinning (detector needs its confirmation window).
+  for (int i = 0; i < 64; ++i) s.select_heuristic(t++, spinning);
+  // All spinners exit at once -> a barrier-release wave -> ToAll.
+  const PtbPolicy p = s.select_heuristic(t++, released);
+  EXPECT_EQ(p, PtbPolicy::kToAll);
+}
+
+TEST(DynamicSelectorHeuristic, IsolatedExitLooksLikeLockHandoff) {
+  DynamicPolicySelector s(pcfg(), 4, 30.0);
+  std::vector<double> spinning{10.0, 10.0, 10.0, 80.0};
+  Cycle t = 0;
+  for (int i = 0; i < 64; ++i) s.select_heuristic(t++, spinning);
+  // One spinner exits (lock acquired), the others keep spinning.
+  std::vector<double> one_exit{80.0, 10.0, 10.0, 80.0};
+  const PtbPolicy p = s.select_heuristic(t++, one_exit);
+  EXPECT_EQ(p, PtbPolicy::kToOne);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,55 @@
+// Power-pattern spin detection (Figure 6 of the paper).
+#include "core/spin_power_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(SpinPowerDetector, RequiresConfirmationWindow) {
+  SpinPowerDetector d(50.0, 8);
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(d.tick(10.0));
+  EXPECT_TRUE(d.tick(10.0));  // 8th consecutive low-power cycle
+}
+
+TEST(SpinPowerDetector, BusyPowerNeverTriggers) {
+  SpinPowerDetector d(50.0, 8);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(d.tick(120.0));
+  EXPECT_EQ(d.detections(), 0u);
+}
+
+TEST(SpinPowerDetector, BurstResetsCountdown) {
+  SpinPowerDetector d(50.0, 8);
+  for (int i = 0; i < 6; ++i) d.tick(10.0);
+  d.tick(200.0);  // burst resets
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(d.tick(10.0));
+  EXPECT_TRUE(d.tick(10.0));
+}
+
+TEST(SpinPowerDetector, Figure6Pattern) {
+  // The paper's Figure 6: an initial computation peak, then power drops
+  // and stabilizes under the threshold -> spinning detected; on wakeup the
+  // verdict clears immediately.
+  SpinPowerDetector d(45.0, 32);
+  for (int i = 0; i < 40; ++i) d.tick(100.0 + (i % 7));  // busy
+  EXPECT_FALSE(d.spinning());
+  for (int i = 0; i < 100; ++i) d.tick(20.0 + (i % 3));  // spin plateau
+  EXPECT_TRUE(d.spinning());
+  EXPECT_EQ(d.detections(), 1u);
+  d.tick(130.0);  // wakes up
+  EXPECT_FALSE(d.spinning());
+  EXPECT_EQ(d.exits(), 1u);
+}
+
+TEST(SpinPowerDetector, RepeatedEpisodesCounted) {
+  SpinPowerDetector d(50.0, 4);
+  for (int episode = 0; episode < 3; ++episode) {
+    for (int i = 0; i < 10; ++i) d.tick(10.0);
+    d.tick(100.0);
+  }
+  EXPECT_EQ(d.detections(), 3u);
+  EXPECT_EQ(d.exits(), 3u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,59 @@
+#include "cpu/functional_units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(FunctionalUnits, PoolLimitsPerCycle) {
+  const CoreConfig cfg;  // 6 IntAlu, 2 IntMult, 4 FpAlu, 4 FpMult
+  FunctionalUnits fus(cfg);
+  fus.begin_cycle();
+  for (std::uint32_t i = 0; i < cfg.int_mult; ++i)
+    EXPECT_TRUE(fus.try_issue(OpClass::kIntMult));
+  EXPECT_FALSE(fus.try_issue(OpClass::kIntMult));
+}
+
+TEST(FunctionalUnits, BeginCycleResets) {
+  FunctionalUnits fus(CoreConfig{});
+  fus.begin_cycle();
+  EXPECT_TRUE(fus.try_issue(OpClass::kIntMult));
+  EXPECT_TRUE(fus.try_issue(OpClass::kIntMult));
+  EXPECT_FALSE(fus.try_issue(OpClass::kIntMult));
+  fus.begin_cycle();
+  EXPECT_TRUE(fus.try_issue(OpClass::kIntMult));
+}
+
+TEST(FunctionalUnits, IndependentPools) {
+  const CoreConfig cfg;
+  FunctionalUnits fus(cfg);
+  fus.begin_cycle();
+  for (std::uint32_t i = 0; i < cfg.int_mult; ++i)
+    ASSERT_TRUE(fus.try_issue(OpClass::kIntMult));
+  // Exhausting IntMult must not affect FpMult.
+  EXPECT_TRUE(fus.try_issue(OpClass::kFpMult));
+}
+
+TEST(FunctionalUnits, MemoryOpsShareL1Ports) {
+  const CoreConfig cfg;  // 2 L1D ports
+  FunctionalUnits fus(cfg);
+  fus.begin_cycle();
+  EXPECT_TRUE(fus.try_issue(OpClass::kLoad));
+  EXPECT_TRUE(fus.try_issue(OpClass::kStore));
+  // Loads, stores, and atomics each draw from their own class counter in
+  // this model, but each class is individually port-limited.
+  EXPECT_FALSE(fus.try_issue(OpClass::kLoad) &&
+               fus.try_issue(OpClass::kLoad));
+}
+
+TEST(FunctionalUnits, Latencies) {
+  FunctionalUnits fus(CoreConfig{});
+  EXPECT_EQ(fus.latency(OpClass::kIntAlu), 1u);
+  EXPECT_EQ(fus.latency(OpClass::kIntMult), 3u);
+  EXPECT_EQ(fus.latency(OpClass::kFpAlu), 2u);
+  EXPECT_EQ(fus.latency(OpClass::kFpMult), 4u);
+  EXPECT_EQ(fus.latency(OpClass::kBranch), 1u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,117 @@
+#include "dvfs/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+DvfsConfig dcfg() { return DvfsConfig{}; }
+PowerConfig pcfg() { return PowerConfig{}; }
+
+TEST(DvfsModes, PaperModeTable) {
+  ASSERT_EQ(kDvfsModes.size(), 5u);
+  EXPECT_DOUBLE_EQ(kDvfsModes[0].vdd_ratio, 1.00);
+  EXPECT_DOUBLE_EQ(kDvfsModes[0].freq_ratio, 1.00);
+  EXPECT_DOUBLE_EQ(kDvfsModes[1].vdd_ratio, 0.95);
+  EXPECT_DOUBLE_EQ(kDvfsModes[1].freq_ratio, 0.95);
+  EXPECT_DOUBLE_EQ(kDvfsModes[2].vdd_ratio, 0.90);
+  EXPECT_DOUBLE_EQ(kDvfsModes[2].freq_ratio, 0.90);
+  EXPECT_DOUBLE_EQ(kDvfsModes[3].vdd_ratio, 0.90);
+  EXPECT_DOUBLE_EQ(kDvfsModes[3].freq_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(kDvfsModes[4].vdd_ratio, 0.90);
+  EXPECT_DOUBLE_EQ(kDvfsModes[4].freq_ratio, 0.65);
+}
+
+TEST(DvfsController, StartsAtFullSpeed) {
+  DvfsController c(dcfg(), pcfg(), false);
+  EXPECT_EQ(c.mode(), 0u);
+  EXPECT_DOUBLE_EQ(c.vdd_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(c.freq_ratio(), 1.0);
+}
+
+TEST(DvfsController, StepsDownWhenOverBudget) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  Cycle now = 0;
+  for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+    c.tick(now++, 200.0, 100.0, true);
+  EXPECT_EQ(c.mode(), 1u);
+  EXPECT_EQ(c.transitions, 1u);
+}
+
+TEST(DvfsController, ReachesDeepestModeUnderSustainedPressure) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  Cycle now = 0;
+  for (int w = 0; w < 40; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 500.0, 100.0, true);
+  EXPECT_EQ(c.mode(), 4u);
+  EXPECT_DOUBLE_EQ(c.freq_ratio(), 0.65);
+  EXPECT_DOUBLE_EQ(c.vdd_ratio(), 0.90);
+}
+
+TEST(DvfsController, StepsUpWithHysteresis) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  Cycle now = 0;
+  // Push down two modes.
+  for (int w = 0; w < 2; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 500.0, 100.0, true);
+  // Skip past the transition, then run well under budget.
+  now = c.transition_until() + 1;
+  for (int w = 0; w < 20; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 10.0, 100.0, true);
+  EXPECT_EQ(c.mode(), 0u);
+}
+
+TEST(DvfsController, RelaxesWhenNotEnforcing) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  Cycle now = 0;
+  for (int w = 0; w < 3; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 500.0, 100.0, true);
+  EXPECT_GT(c.mode(), 0u);
+  now = c.transition_until() + 1;
+  for (int w = 0; w < 20; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 500.0, 100.0, /*enforce=*/false);
+  EXPECT_EQ(c.mode(), 0u);  // no enforcement -> back to full speed
+}
+
+TEST(DvfsController, TransitionTimeFromSlewRate) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  // 0.9 V * 5% = 45 mV at 12 mV/cycle -> 4 cycles (ceil).
+  EXPECT_EQ(c.transition_cycles(0.045), 4u);
+  // Frequency-only change still costs one cycle.
+  EXPECT_EQ(c.transition_cycles(0.0), 1u);
+}
+
+TEST(DvfsController, InTransitionAfterModeChange) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), false);
+  Cycle now = 0;
+  for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+    c.tick(now++, 500.0, 100.0, true);
+  EXPECT_TRUE(c.in_transition(now));
+  EXPECT_FALSE(c.in_transition(c.transition_until()));
+}
+
+TEST(DfsVariant, VddPinnedAtNominal) {
+  const DvfsConfig cfg = dcfg();
+  DvfsController c(cfg, pcfg(), /*freq_only=*/true);
+  Cycle now = 0;
+  for (int w = 0; w < 40; ++w)
+    for (std::uint32_t i = 0; i < cfg.window_cycles; ++i)
+      c.tick(now++, 500.0, 100.0, true);
+  EXPECT_EQ(c.mode(), 4u);
+  EXPECT_DOUBLE_EQ(c.vdd_ratio(), 1.0);   // DFS never lowers voltage
+  EXPECT_DOUBLE_EQ(c.freq_ratio(), 0.65);
+}
+
+}  // namespace
+}  // namespace ptb

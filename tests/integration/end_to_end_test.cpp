@@ -1,0 +1,194 @@
+// Cross-module integration: real benchmarks through the full stack, with
+// shape assertions matching the paper's qualitative claims. Core counts and
+// workloads are kept small so the whole suite stays fast.
+#include <gtest/gtest.h>
+
+#include "sim/cmp.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+RunResult run_tech(const WorkloadProfile& p, std::uint32_t cores,
+                   TechniqueKind kind, bool ptb,
+                   PtbPolicy pol = PtbPolicy::kToAll, double relax = 0.0) {
+  TechniqueSpec t{"t", kind, ptb, pol, relax};
+  return run_one(p, make_sim_config(cores, t));
+}
+
+TEST(EndToEnd, AllBenchmarksFinishOnFourCores) {
+  for (const auto& p : benchmark_suite()) {
+    SimConfig cfg = make_sim_config(
+        4, TechniqueSpec{"none", TechniqueKind::kNone, false,
+                         PtbPolicy::kToAll, 0.0});
+    const RunResult r = run_one(p, cfg);
+    EXPECT_FALSE(r.hit_max_cycles) << p.name;
+    EXPECT_GT(r.total_committed, p.ops_per_iteration) << p.name;
+  }
+}
+
+TEST(EndToEnd, PtbBeatsNaiveTwoLevelOnAccuracy) {
+  // The paper's core claim (Figures 9-11): PTB+2Level matches the budget
+  // far more accurately than the same local techniques without balancing.
+  const auto& p = benchmark_by_name("fft");
+  const RunResult base = run_tech(p, 8, TechniqueKind::kNone, false);
+  const RunResult naive = run_tech(p, 8, TechniqueKind::kTwoLevel, false);
+  const RunResult ptb = run_tech(p, 8, TechniqueKind::kTwoLevel, true);
+  ASSERT_GT(base.aopb, 0.0);
+  const double naive_pct = naive.aopb / base.aopb;
+  const double ptb_pct = ptb.aopb / base.aopb;
+  EXPECT_LT(ptb_pct, 0.5 * naive_pct);
+  EXPECT_LT(ptb_pct, 0.35);  // strong accuracy, paper reports ~0.1
+}
+
+TEST(EndToEnd, PtbEnergyCostIsSmall) {
+  const auto& p = benchmark_by_name("ocean");
+  const RunResult base = run_tech(p, 8, TechniqueKind::kNone, false);
+  const RunResult ptb = run_tech(p, 8, TechniqueKind::kTwoLevel, true);
+  const double energy_delta = (ptb.energy - base.energy) / base.energy;
+  EXPECT_LT(std::abs(energy_delta), 0.10);  // paper: ~±3%
+}
+
+TEST(EndToEnd, SpinTimeGrowsWithCoreCount) {
+  // Figure 3: the spinning fraction grows with the number of cores.
+  const auto& p = benchmark_by_name("unstructured");
+  double frac2 = 0.0, frac8 = 0.0;
+  for (std::uint32_t cores : {2u, 8u}) {
+    SimConfig cfg = make_sim_config(
+        cores, TechniqueSpec{"none", TechniqueKind::kNone, false,
+                             PtbPolicy::kToAll, 0.0});
+    const RunResult r = run_one(p, cfg);
+    Cycle spin = 0, total = 0;
+    for (const auto& c : r.cores) {
+      spin += c.state_cycles[1] + c.state_cycles[2] + c.state_cycles[3];
+      for (auto sc : c.state_cycles) total += sc;
+    }
+    const double frac = static_cast<double>(spin) / total;
+    if (cores == 2) frac2 = frac; else frac8 = frac;
+  }
+  EXPECT_GT(frac8, frac2);
+}
+
+TEST(EndToEnd, LockBoundAppsSpinInLockAcquisition) {
+  const auto& p = benchmark_by_name("fluidanimate");
+  const RunResult r = run_tech(p, 8, TechniqueKind::kNone, false);
+  Cycle lock_acq = 0, barrier = 0;
+  for (const auto& c : r.cores) {
+    lock_acq += c.state_cycles[1];
+    barrier += c.state_cycles[3];
+  }
+  EXPECT_GT(lock_acq, barrier);
+}
+
+TEST(EndToEnd, BarrierAppsSpinInBarriers) {
+  const auto& p = benchmark_by_name("ocean");
+  const RunResult r = run_tech(p, 8, TechniqueKind::kNone, false);
+  Cycle lock_acq = 0, barrier = 0;
+  for (const auto& c : r.cores) {
+    lock_acq += c.state_cycles[1];
+    barrier += c.state_cycles[3];
+  }
+  EXPECT_GT(barrier, lock_acq);
+}
+
+TEST(EndToEnd, NoContentionAppsBarelySpin) {
+  const auto& p = benchmark_by_name("swaptions");
+  const RunResult r = run_tech(p, 8, TechniqueKind::kNone, false);
+  Cycle spin = 0, total = 0;
+  for (const auto& c : r.cores) {
+    spin += c.state_cycles[1] + c.state_cycles[2] + c.state_cycles[3];
+    for (auto sc : c.state_cycles) total += sc;
+  }
+  EXPECT_LT(static_cast<double>(spin) / total, 0.25);
+}
+
+TEST(EndToEnd, RelaxedPtbSavesEnergyVsStrict) {
+  // Section IV.C: relaxing the accuracy constraint trades AoPB for energy.
+  const auto& p = benchmark_by_name("blackscholes");
+  const RunResult strict =
+      run_tech(p, 8, TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll, 0.0);
+  const RunResult relaxed =
+      run_tech(p, 8, TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll, 0.2);
+  EXPECT_LE(relaxed.energy, strict.energy * 1.02);
+  EXPECT_GE(relaxed.aopb, strict.aopb);  // accuracy given up
+}
+
+TEST(EndToEnd, DynamicPolicyRunsAndSelectsBoth) {
+  const auto& p = benchmark_by_name("waternsq");
+  const RunResult r =
+      run_tech(p, 8, TechniqueKind::kTwoLevel, true, PtbPolicy::kDynamic);
+  EXPECT_FALSE(r.hit_max_cycles);
+  EXPECT_GT(r.to_one_cycles + r.to_all_cycles, 0u);
+  EXPECT_GT(r.to_one_cycles, 0u);  // lock phases
+  EXPECT_GT(r.to_all_cycles, 0u);  // barrier phases
+}
+
+TEST(EndToEnd, ThriftyBarrierSavesEnergyButNotAopb) {
+  // Section II.C: prior low-power-spinning art reduces energy but cannot
+  // match a power budget.
+  const auto& p = benchmark_by_name("ocean");
+  const RunResult base = run_tech(p, 8, TechniqueKind::kNone, false);
+  const RunResult tb = run_tech(p, 8, TechniqueKind::kThriftyBarrier, false);
+  EXPECT_FALSE(tb.hit_max_cycles);
+  EXPECT_GT(tb.barrier_sleep_cycles, 0u);
+  EXPECT_LT(tb.energy, base.energy);
+  // The budget error barely moves (no enforcement).
+  EXPECT_GT(tb.aopb, 0.6 * base.aopb);
+}
+
+TEST(EndToEnd, MeetingPointsDelaysNonCriticalThreads) {
+  const auto& p = benchmark_by_name("radix");  // high imbalance
+  const RunResult base = run_tech(p, 8, TechniqueKind::kNone, false);
+  const RunResult mp = run_tech(p, 8, TechniqueKind::kMeetingPoints, false);
+  EXPECT_FALSE(mp.hit_max_cycles);
+  EXPECT_GT(mp.meeting_point_episodes, 0u);
+  EXPECT_LT(mp.energy, base.energy);  // slack converted into savings
+  // Thread delaying must not blow up the critical path.
+  EXPECT_LT(static_cast<double>(mp.cycles),
+            1.15 * static_cast<double>(base.cycles));
+}
+
+TEST(EndToEnd, SpinnerGatingSavesEnergyOnLockBoundApp) {
+  // The paper's future work: PTB as a spin detector that gates spinners.
+  const auto& p = benchmark_by_name("fluidanimate");
+  TechniqueSpec ptb{"ptb", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  const RunResult plain = run_one(p, make_sim_config(8, ptb));
+  SimConfig gated_cfg = make_sim_config(8, ptb);
+  gated_cfg.ptb.gate_spinners = true;
+  const RunResult gated = run_one(p, gated_cfg);
+  EXPECT_GT(gated.spin_gated_cycles, 0u);
+  EXPECT_LT(gated.energy, plain.energy);  // the point of the extension
+  // And it must not deadlock or blow up the runtime.
+  EXPECT_FALSE(gated.hit_max_cycles);
+  EXPECT_LT(static_cast<double>(gated.cycles),
+            1.25 * static_cast<double>(plain.cycles));
+}
+
+TEST(EndToEnd, SpinnerGatingHarmlessWithoutSpinning) {
+  const auto& p = benchmark_by_name("swaptions");
+  TechniqueSpec ptb{"ptb", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  SimConfig gated_cfg = make_sim_config(4, ptb);
+  gated_cfg.ptb.gate_spinners = true;
+  const RunResult gated = run_one(p, gated_cfg);
+  EXPECT_FALSE(gated.hit_max_cycles);
+}
+
+TEST(EndToEnd, PtbAccuracyImprovesWithCoreCount) {
+  // Paper Section IV.A: accuracy on matching the budget increases with the
+  // number of cores (more donors to draw from).
+  const auto& p = benchmark_by_name("barnes");
+  double pct4 = 0.0, pct16 = 0.0;
+  for (std::uint32_t cores : {4u, 16u}) {
+    const RunResult base = run_tech(p, cores, TechniqueKind::kNone, false);
+    const RunResult ptb = run_tech(p, cores, TechniqueKind::kTwoLevel, true);
+    const double pct = base.aopb > 0 ? ptb.aopb / base.aopb : 0.0;
+    if (cores == 4) pct4 = pct; else pct16 = pct;
+  }
+  EXPECT_LT(pct16, pct4 + 0.05);
+}
+
+}  // namespace
+}  // namespace ptb

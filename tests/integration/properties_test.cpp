@@ -1,0 +1,159 @@
+// Property-style sweeps across configurations (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/cmp.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+WorkloadProfile prop_profile() {
+  WorkloadProfile p;
+  p.name = "prop";
+  p.iterations = 2;
+  p.ops_per_iteration = 3000;
+  p.imbalance = 0.15;
+  p.num_locks = 2;
+  p.cs_per_1k_ops = 3.0;
+  return p;
+}
+
+// --- Property: determinism holds for every (cores, technique) pair. ---
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(DeterminismSweep, TwoRunsBitIdentical) {
+  const auto [cores, tech] = GetParam();
+  TechniqueSpec t{"t", static_cast<TechniqueKind>(tech), tech == 3,
+                  PtbPolicy::kToAll, 0.0};
+  if (tech == 3) t.kind = TechniqueKind::kTwoLevel;
+  const SimConfig cfg = make_sim_config(cores, t);
+  const WorkloadProfile p = prop_profile();
+  const RunResult a = run_one(p, cfg);
+  const RunResult b = run_one(p, cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.aopb, b.aopb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresAndTechniques, DeterminismSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// --- Property: AoPB <= energy, power bounds sane, for all techniques. ---
+class SanitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SanitySweep, EnergyAopbPowerInvariants) {
+  const int tech = GetParam();
+  TechniqueSpec t{"t",
+                  tech == 3 ? TechniqueKind::kTwoLevel
+                            : static_cast<TechniqueKind>(tech),
+                  tech == 3, PtbPolicy::kToAll, 0.0};
+  const RunResult r = run_one(prop_profile(), make_sim_config(4, t));
+  EXPECT_GE(r.aopb, 0.0);
+  EXPECT_LE(r.aopb, r.energy);
+  EXPECT_GT(r.power.min(), 0.0);           // static power is always paid
+  EXPECT_LE(r.power.mean(), r.power.max());
+  EXPECT_GE(r.power.mean(), r.power.min());
+  // Energy integrates the power curve exactly.
+  EXPECT_NEAR(r.energy, r.power.mean() * static_cast<double>(r.cycles),
+              r.energy * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, SanitySweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- Property: committed work is invariant under power management. ---
+class WorkInvarianceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkInvarianceSweep, SameComputeOpsCommitted) {
+  const int tech = GetParam();
+  TechniqueSpec none{"n", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  TechniqueSpec t{"t",
+                  tech == 3 ? TechniqueKind::kTwoLevel
+                            : static_cast<TechniqueKind>(tech),
+                  tech == 3, PtbPolicy::kToAll, 0.0};
+  WorkloadProfile p = prop_profile();
+  p.num_locks = 0;
+  p.cs_per_1k_ops = 0.0;  // no spin retries -> op counts comparable
+  const RunResult a = run_one(p, make_sim_config(2, none));
+  const RunResult b = run_one(p, make_sim_config(2, t));
+  // Barrier spin iterations differ with timing; compute work must not.
+  // Allow only the spin-op slack.
+  EXPECT_NEAR(static_cast<double>(a.total_committed),
+              static_cast<double>(b.total_committed),
+              0.25 * static_cast<double>(a.total_committed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, WorkInvarianceSweep,
+                         ::testing::Values(1, 2, 3));
+
+// --- Property: budget fraction monotonicity. Lower budget -> lower mean
+// power under the 2-level enforcer. ---
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, MeanPowerTracksBudget) {
+  const double frac = GetParam();
+  TechniqueSpec t{"2l", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                  0.0};
+  SimConfig cfg = make_sim_config(4, t);
+  cfg.budget_fraction = frac;
+  const RunResult r = run_one(prop_profile(), cfg);
+  // Mean power never exceeds ~1.6x the budget under enforcement, and the
+  // run still completes.
+  EXPECT_FALSE(r.hit_max_cycles);
+  if (frac <= 0.4) {
+    EXPECT_LT(r.power.mean(), r.budget * 1.8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BudgetSweep,
+                         ::testing::Values(0.3, 0.4, 0.5, 0.7, 0.9));
+
+// --- Property: relax threshold trades AoPB monotonically. ---
+class RelaxSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RelaxSweep, RelaxNeverReducesAopb) {
+  const double relax = GetParam();
+  TechniqueSpec strict{"p", TechniqueKind::kTwoLevel, true,
+                       PtbPolicy::kToAll, 0.0};
+  TechniqueSpec relaxed{"p", TechniqueKind::kTwoLevel, true,
+                        PtbPolicy::kToAll, relax};
+  const WorkloadProfile p = prop_profile();
+  const RunResult a = run_one(p, make_sim_config(4, strict));
+  const RunResult b = run_one(p, make_sim_config(4, relaxed));
+  EXPECT_GE(b.aopb, a.aopb * 0.9);  // allow timing noise, no big decrease
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RelaxSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5));
+
+// --- Property: PTB wire-latency sensitivity — even the paper's pessimistic
+// 10-cycle (and worse) latencies keep PTB ahead of the naive split. ---
+class WireLatencySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WireLatencySweep, PtbStillBeatsNaive) {
+  const std::uint32_t latency = GetParam();
+  const WorkloadProfile p = prop_profile();
+  TechniqueSpec naive{"2l", TechniqueKind::kTwoLevel, false,
+                      PtbPolicy::kToAll, 0.0};
+  TechniqueSpec ptb{"ptb", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
+                    0.0};
+  SimConfig ptb_cfg = make_sim_config(4, ptb);
+  ptb_cfg.ptb.wire_latency_override = latency;
+  const RunResult n = run_one(p, make_sim_config(4, naive));
+  const RunResult b = run_one(p, ptb_cfg);
+  EXPECT_LT(b.aopb, n.aopb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, WireLatencySweep,
+                         ::testing::Values(3u, 5u, 10u, 20u));
+
+}  // namespace
+}  // namespace ptb

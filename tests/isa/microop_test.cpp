@@ -1,0 +1,54 @@
+#include "isa/microop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(MicroOp, DefaultsAreInert) {
+  MicroOp op;
+  EXPECT_EQ(op.cls, OpClass::kNop);
+  EXPECT_FALSE(op.is_memory());
+  EXPECT_FALSE(op.is_branch());
+  EXPECT_FALSE(op.blocks_generation);
+  EXPECT_EQ(op.sync, SyncRole::kNone);
+  EXPECT_EQ(op.dep1, 0);
+  EXPECT_EQ(op.dep2, 0);
+}
+
+TEST(MicroOp, MemoryClassification) {
+  MicroOp op;
+  for (OpClass c : {OpClass::kLoad, OpClass::kStore, OpClass::kAtomicRmw}) {
+    op.cls = c;
+    EXPECT_TRUE(op.is_memory()) << op_class_name(c);
+  }
+  for (OpClass c : {OpClass::kIntAlu, OpClass::kIntMult, OpClass::kFpAlu,
+                    OpClass::kFpMult, OpClass::kBranch, OpClass::kNop}) {
+    op.cls = c;
+    EXPECT_FALSE(op.is_memory()) << op_class_name(c);
+  }
+}
+
+TEST(MicroOp, BranchClassification) {
+  MicroOp op;
+  op.cls = OpClass::kBranch;
+  EXPECT_TRUE(op.is_branch());
+  op.cls = OpClass::kLoad;
+  EXPECT_FALSE(op.is_branch());
+}
+
+TEST(OpClassNames, AllDistinctAndNamed) {
+  for (std::uint32_t i = 0; i < kNumOpClasses; ++i) {
+    const char* name = op_class_name(static_cast<OpClass>(i));
+    EXPECT_STRNE(name, "?");
+  }
+  EXPECT_STREQ(op_class_name(OpClass::kIntAlu), "IntAlu");
+  EXPECT_STREQ(op_class_name(OpClass::kAtomicRmw), "AtomicRmw");
+}
+
+TEST(OpClassCount, MatchesEnum) {
+  EXPECT_EQ(kNumOpClasses, 9u);
+}
+
+}  // namespace
+}  // namespace ptb

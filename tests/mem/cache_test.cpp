@@ -1,0 +1,118 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  Cache c(64 * 1024, 2, 64);
+  EXPECT_EQ(c.find(0x1000), nullptr);
+  c.insert(0x1000, CoherenceState::kShared);
+  ASSERT_NE(c.find(0x1000), nullptr);
+  EXPECT_EQ(c.find(0x1000)->state, CoherenceState::kShared);
+}
+
+TEST(Cache, SameLineDifferentOffsets) {
+  Cache c(64 * 1024, 2, 64);
+  c.insert(0x1000, CoherenceState::kExclusive);
+  EXPECT_NE(c.find(0x1000 + 63), nullptr);
+  EXPECT_EQ(c.find(0x1000 + 64), nullptr);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way: fill a set with two lines, touch the first, insert a third ->
+  // the second (least recently used) is evicted.
+  Cache c(64 * 1024, 2, 64);
+  const Addr set_stride = static_cast<Addr>(c.num_sets()) * 64;
+  const Addr a = 0x0, b = set_stride, d = 2 * set_stride;
+  c.insert(a, CoherenceState::kShared);
+  c.insert(b, CoherenceState::kShared);
+  ASSERT_NE(c.find(a), nullptr);  // touch a -> b becomes LRU
+  const Cache::Line evicted = c.insert(d, CoherenceState::kShared);
+  EXPECT_EQ(evicted.tag, c.line_of(b));
+  EXPECT_NE(c.find(a), nullptr);
+  EXPECT_EQ(c.find(b), nullptr);
+  EXPECT_NE(c.find(d), nullptr);
+}
+
+TEST(Cache, InsertIntoFreeWayEvictsNothing) {
+  Cache c(64 * 1024, 2, 64);
+  const Cache::Line evicted = c.insert(0x40, CoherenceState::kModified);
+  EXPECT_EQ(evicted.state, CoherenceState::kInvalid);
+}
+
+TEST(Cache, Invalidate) {
+  Cache c(64 * 1024, 2, 64);
+  c.insert(0x2000, CoherenceState::kModified);
+  c.invalidate(0x2000);
+  EXPECT_EQ(c.find(0x2000), nullptr);
+  c.invalidate(0x3000);  // invalidating an absent line is a no-op
+}
+
+TEST(Cache, EvictionCounter) {
+  Cache c(8 * 64 * 2, 2, 64);  // 8 sets, 2 ways
+  const Addr stride = 8 * 64;
+  c.insert(0, CoherenceState::kShared);
+  c.insert(stride, CoherenceState::kShared);
+  EXPECT_EQ(c.evictions, 0u);
+  c.insert(2 * stride, CoherenceState::kShared);
+  EXPECT_EQ(c.evictions, 1u);
+}
+
+TEST(Cache, HashedIndexingSpreadsAlignedBases) {
+  // With index_shift != 0 (banked L2 mode), large power-of-two aligned
+  // regions must not collapse into the same few sets.
+  Cache c(1024 * 1024, 4, 64, 2);
+  int evictions_before = 0;
+  // 4 regions of 64 lines, 16 MB apart (the degenerate case for plain
+  // indexing with interleaved banks).
+  for (Addr region = 0; region < 4; ++region) {
+    for (Addr j = 0; j < 64; ++j) {
+      c.insert(region * 0x0100'0000 + j * 256, CoherenceState::kShared);
+    }
+  }
+  EXPECT_EQ(c.evictions, static_cast<std::uint64_t>(evictions_before));
+}
+
+TEST(CoherenceStateHelpers, DirtyAndOwner) {
+  EXPECT_TRUE(is_dirty(CoherenceState::kModified));
+  EXPECT_TRUE(is_dirty(CoherenceState::kOwned));
+  EXPECT_FALSE(is_dirty(CoherenceState::kShared));
+  EXPECT_FALSE(is_dirty(CoherenceState::kExclusive));
+  EXPECT_TRUE(is_owner_state(CoherenceState::kModified));
+  EXPECT_TRUE(is_owner_state(CoherenceState::kExclusive));
+  EXPECT_TRUE(is_owner_state(CoherenceState::kOwned));
+  EXPECT_FALSE(is_owner_state(CoherenceState::kShared));
+  EXPECT_FALSE(is_owner_state(CoherenceState::kInvalid));
+}
+
+TEST(CoherenceStateHelpers, Names) {
+  EXPECT_STREQ(coherence_state_name(CoherenceState::kModified), "M");
+  EXPECT_STREQ(coherence_state_name(CoherenceState::kOwned), "O");
+  EXPECT_STREQ(coherence_state_name(CoherenceState::kExclusive), "E");
+  EXPECT_STREQ(coherence_state_name(CoherenceState::kShared), "S");
+  EXPECT_STREQ(coherence_state_name(CoherenceState::kInvalid), "I");
+}
+
+// Property: after any interleaving of inserts and invalidates, a found line
+// always reports the state it was last given.
+class CacheStateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheStateProperty, FindReflectsLastInsert) {
+  Cache c(4 * 1024, 2, 64);
+  const Addr a = GetParam() * 64;
+  c.insert(a, CoherenceState::kExclusive);
+  if (Cache::Line* l = c.find(a)) {
+    l->state = CoherenceState::kModified;
+  }
+  ASSERT_NE(c.find(a), nullptr);
+  EXPECT_EQ(c.find(a)->state, CoherenceState::kModified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, CacheStateProperty,
+                         ::testing::Values(0ull, 1ull, 31ull, 32ull, 63ull,
+                                           1024ull, 4095ull));
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,91 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ptb {
+namespace {
+
+MemConfig flat() { return MemConfig{}; }
+
+MemConfig banked() {
+  MemConfig m;
+  m.banked = true;
+  return m;
+}
+
+TEST(Dram, FlatModelIsTable1Latency) {
+  DramModel d(flat());
+  EXPECT_EQ(d.access(0x100, 1000), 1000u + 300u);
+  EXPECT_EQ(d.access(0x100, 2000), 2000u + 300u);  // stateless
+}
+
+TEST(Dram, RowMissCostsFullCycle) {
+  const MemConfig m = banked();
+  DramModel d(m);
+  const Cycle done = d.access(0x100, 1000);
+  // bus + (pre + act + cas) + bus
+  EXPECT_EQ(done, 1000u + m.t_bus + m.t_pre + m.t_act + m.t_cas + m.t_bus);
+  EXPECT_EQ(d.row_misses, 1u);
+}
+
+TEST(Dram, RowHitIsMuchCheaper) {
+  const MemConfig m = banked();
+  DramModel d(m);
+  d.access(0x100, 0);  // opens the row
+  // Same bank, same row, long after the first access completes.
+  const Cycle done = d.access(0x100, 10000);
+  EXPECT_EQ(done, 10000u + m.t_bus + m.t_cas + m.t_bus);
+  EXPECT_EQ(d.row_hits, 1u);
+}
+
+TEST(Dram, SameRowConsecutiveLinesHit) {
+  const MemConfig m = banked();
+  DramModel d(m);
+  // Lines `l` and `l + banks` map to the same bank; with 4 KB rows and
+  // 64 B lines, 64 consecutive bank-lines share a row.
+  const Addr banks = static_cast<Addr>(m.channels) * m.banks_per_channel;
+  d.access(0, 0);
+  d.access(banks, 100000);  // same bank, same row
+  EXPECT_EQ(d.row_hits, 1u);
+}
+
+TEST(Dram, BankConflictQueues) {
+  const MemConfig m = banked();
+  DramModel d(m);
+  const Addr banks = static_cast<Addr>(m.channels) * m.banks_per_channel;
+  // Two concurrent requests to the same bank, different rows: the second
+  // waits for the first.
+  const Cycle a = d.access(0, 0);
+  const Addr far_row = banks * (m.row_bytes / 64) * 7;
+  const Cycle b = d.access(far_row, 0);
+  EXPECT_GT(b, a);
+}
+
+TEST(Dram, DifferentBanksProceedInParallel) {
+  const MemConfig m = banked();
+  DramModel d(m);
+  const Cycle a = d.access(0, 0);
+  const Cycle b = d.access(1, 0);  // next line -> next bank
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dram, StreamingIsFasterThanRandomOnAverage) {
+  const MemConfig m = banked();
+  DramModel stream(m), random(m);
+  Cycle t = 0;
+  Cycle stream_total = 0, random_total = 0;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    stream_total += stream.access(static_cast<Addr>(i), t) - t;
+    random_total +=
+        random.access(rng.next_below(1 << 24), t) - t;
+    t += 400;
+  }
+  EXPECT_LT(stream_total, random_total);
+  EXPECT_GT(stream.row_hits, random.row_hits);
+}
+
+}  // namespace
+}  // namespace ptb

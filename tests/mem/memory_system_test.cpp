@@ -1,0 +1,98 @@
+// L1 front-end behaviour: hits, MSHR limits, inclusion, statistics.
+#include "mem/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "noc/mesh.hpp"
+
+namespace ptb {
+namespace {
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest()
+      : cfg_(make_cfg()), mesh_(cfg_.noc, cfg_.mesh_width(),
+                                cfg_.mesh_height()),
+        mem_(cfg_, mesh_) {}
+
+  static SimConfig make_cfg() {
+    SimConfig c;
+    c.num_cores = 4;
+    return c;
+  }
+
+  SimConfig cfg_;
+  Mesh mesh_;
+  MemorySystem mem_;
+};
+
+TEST_F(MemorySystemTest, L1HitLatencyIsOneCycle) {
+  mem_.access(0, MemAccessType::kLoad, 0x5000, 0);
+  const auto busy_done = mem_.access(0, MemAccessType::kLoad, 0x5000, 5000);
+  EXPECT_TRUE(busy_done.l1_hit);
+  EXPECT_EQ(busy_done.done, 5000u + cfg_.l1d.hit_latency);
+}
+
+TEST_F(MemorySystemTest, IFetchFillsL1I) {
+  const auto miss = mem_.access(0, MemAccessType::kIFetch, 0x9000, 0);
+  EXPECT_FALSE(miss.l1_hit);
+  const auto hit = mem_.access(0, MemAccessType::kIFetch, 0x9000, 5000);
+  EXPECT_TRUE(hit.l1_hit);
+  EXPECT_NE(mem_.l1i(0).find(0x9000), nullptr);
+  EXPECT_EQ(mem_.l1d(0).find(0x9000), nullptr);  // fills go to the L1I
+}
+
+TEST_F(MemorySystemTest, MshrLimitThrottlesMissBursts) {
+  // Issue far more concurrent misses than MSHRs; later misses must start
+  // only after earlier ones complete.
+  Cycle last = 0;
+  for (std::uint32_t i = 0; i < cfg_.l1d.mshrs * 3; ++i) {
+    const Addr a = 0x100000 + static_cast<Addr>(i) * 4096;
+    last = std::max(last, mem_.access(0, MemAccessType::kLoad, a, 0).done);
+  }
+  // With 16 MSHRs and ~300-cycle DRAM misses, 48 misses need >= 3 rounds.
+  EXPECT_GT(last, 2u * cfg_.mem.dram_latency);
+}
+
+TEST_F(MemorySystemTest, StatisticsCount) {
+  mem_.access(0, MemAccessType::kLoad, 0x1000, 0);
+  mem_.access(0, MemAccessType::kStore, 0x2000, 0);
+  mem_.access(0, MemAccessType::kAtomicRmw, 0x3000, 0);
+  mem_.access(0, MemAccessType::kIFetch, 0x4000, 0);
+  EXPECT_EQ(mem_.loads, 1u);
+  EXPECT_EQ(mem_.stores, 1u);
+  EXPECT_EQ(mem_.atomics, 1u);
+  EXPECT_EQ(mem_.ifetches, 1u);
+  EXPECT_EQ(mem_.l1_misses, 4u);
+}
+
+TEST_F(MemorySystemTest, InclusionRecallDropsL1Copies) {
+  // Force an L2 set to overflow and verify the recalled line leaves the L1.
+  // L2 bank sets are hashed, so overflow is provoked by brute force: insert
+  // lines mapping to one bank until the victim of interest is gone.
+  DirectoryController& dir = mem_.directory();
+  const Addr target = 0x40;  // line 1 -> bank 1
+  mem_.access(0, MemAccessType::kLoad, target, 0);
+  ASSERT_NE(mem_.l1d(0).find(target), nullptr);
+  // Flood bank 1 (line % 4 == 1) with distinct lines.
+  const std::uint32_t flood =
+      (cfg_.l2.size_bytes_per_core / cfg_.l2.line_bytes) * 2;
+  for (std::uint32_t i = 1; i <= flood; ++i) {
+    const Addr line = 1 + static_cast<Addr>(i) * 4;
+    dir.warm(kNoCore, line, false, false);
+  }
+  // The target's L2 entry has been evicted; its L1 copy must be gone too
+  // (inclusion).
+  EXPECT_EQ(mem_.l1d(0).find(target), nullptr);
+}
+
+TEST_F(MemorySystemTest, SwmrAfterWarmup) {
+  DirectoryController& dir = mem_.directory();
+  for (Addr l = 0; l < 256; ++l) dir.warm(l % 4, l, false, true);
+  mem_.check_swmr();
+}
+
+}  // namespace
+}  // namespace ptb

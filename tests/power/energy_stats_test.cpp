@@ -1,0 +1,48 @@
+#include "power/energy_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(EnergyAccounting, EnergyIntegratesPower) {
+  EnergyAccounting acct(100.0);
+  acct.record_cycle(50.0);
+  acct.record_cycle(150.0);
+  acct.record_cycle(100.0);
+  EXPECT_DOUBLE_EQ(acct.energy(), 300.0);
+}
+
+TEST(EnergyAccounting, AopbCountsOnlyOverBudget) {
+  EnergyAccounting acct(100.0);
+  acct.record_cycle(50.0);   // under: no AoPB
+  acct.record_cycle(150.0);  // +50
+  acct.record_cycle(100.0);  // exactly at budget: no AoPB
+  acct.record_cycle(120.0);  // +20
+  EXPECT_DOUBLE_EQ(acct.aopb(), 70.0);
+}
+
+TEST(EnergyAccounting, IdealEnforcerHasZeroAopb) {
+  EnergyAccounting acct(100.0);
+  for (int i = 0; i < 1000; ++i) acct.record_cycle(99.9);
+  EXPECT_DOUBLE_EQ(acct.aopb(), 0.0);
+}
+
+TEST(EnergyAccounting, PowerStatTracksMoments) {
+  EnergyAccounting acct(10.0);
+  acct.record_cycle(5.0);
+  acct.record_cycle(15.0);
+  EXPECT_DOUBLE_EQ(acct.power_stat().mean(), 10.0);
+  EXPECT_DOUBLE_EQ(acct.power_stat().max(), 15.0);
+  EXPECT_DOUBLE_EQ(acct.power_stat().min(), 5.0);
+}
+
+TEST(EnergyAccounting, AopbNeverExceedsEnergy) {
+  EnergyAccounting acct(1.0);
+  for (int i = 0; i < 100; ++i) acct.record_cycle(static_cast<double>(i));
+  EXPECT_LE(acct.aopb(), acct.energy());
+  EXPECT_GT(acct.aopb(), 0.0);
+}
+
+}  // namespace
+}  // namespace ptb

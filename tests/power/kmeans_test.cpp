@@ -1,0 +1,94 @@
+#include "power/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ptb {
+namespace {
+
+TEST(KMeans, SingleCluster) {
+  Rng rng(1);
+  std::vector<double> s{5.0, 5.1, 4.9, 5.05};
+  const auto r = kmeans_1d(s, 1, 32, rng);
+  ASSERT_EQ(r.centroids.size(), 1u);
+  EXPECT_NEAR(r.centroids[0], 5.0125, 1e-9);
+}
+
+TEST(KMeans, SeparatesTwoObviousClusters) {
+  Rng rng(2);
+  std::vector<double> s;
+  for (int i = 0; i < 50; ++i) s.push_back(1.0 + i * 0.001);
+  for (int i = 0; i < 50; ++i) s.push_back(100.0 + i * 0.001);
+  const auto r = kmeans_1d(s, 2, 64, rng);
+  ASSERT_EQ(r.centroids.size(), 2u);
+  EXPECT_NEAR(r.centroids[0], 1.0245, 0.01);
+  EXPECT_NEAR(r.centroids[1], 100.0245, 0.01);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(r.assignment[i], 0u);
+  for (std::size_t i = 50; i < 100; ++i) EXPECT_EQ(r.assignment[i], 1u);
+}
+
+TEST(KMeans, CentroidsSorted) {
+  Rng rng(3);
+  std::vector<double> s;
+  for (int i = 0; i < 500; ++i) s.push_back((i * 37) % 100);
+  const auto r = kmeans_1d(s, 8, 64, rng);
+  EXPECT_TRUE(std::is_sorted(r.centroids.begin(), r.centroids.end()));
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<double> s;
+  Rng data(4);
+  for (int i = 0; i < 1000; ++i) s.push_back(data.next_double() * 100);
+  Rng r1(5), r2(5);
+  const double i2 = kmeans_1d(s, 2, 64, r1).inertia;
+  const double i8 = kmeans_1d(s, 8, 64, r2).inertia;
+  EXPECT_LT(i8, i2);
+}
+
+TEST(KMeans, AssignmentIsNearest) {
+  Rng rng(6);
+  std::vector<double> s;
+  for (int i = 0; i < 300; ++i) s.push_back((i % 30) * 3.3);
+  const auto r = kmeans_1d(s, 5, 64, rng);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto a = r.assignment[i];
+    const double d = std::abs(s[i] - r.centroids[a]);
+    for (double c : r.centroids) {
+      EXPECT_LE(d, std::abs(s[i] - c) + 1e-12);
+    }
+  }
+}
+
+TEST(NearestCentroid, BinarySearchCorrect) {
+  const std::vector<double> c{1.0, 5.0, 10.0, 50.0};
+  EXPECT_EQ(nearest_centroid(c, -10.0), 0u);
+  EXPECT_EQ(nearest_centroid(c, 2.9), 0u);
+  EXPECT_EQ(nearest_centroid(c, 3.1), 1u);
+  EXPECT_EQ(nearest_centroid(c, 7.4), 1u);
+  EXPECT_EQ(nearest_centroid(c, 7.6), 2u);
+  EXPECT_EQ(nearest_centroid(c, 29.0), 2u);
+  EXPECT_EQ(nearest_centroid(c, 31.0), 3u);
+  EXPECT_EQ(nearest_centroid(c, 1e9), 3u);
+}
+
+TEST(NearestCentroid, ExactHits) {
+  const std::vector<double> c{1.0, 5.0, 10.0};
+  EXPECT_EQ(nearest_centroid(c, 1.0), 0u);
+  EXPECT_EQ(nearest_centroid(c, 5.0), 1u);
+  EXPECT_EQ(nearest_centroid(c, 10.0), 2u);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  std::vector<double> s;
+  Rng data(7);
+  for (int i = 0; i < 200; ++i) s.push_back(data.next_double());
+  Rng r1(8), r2(8);
+  const auto a = kmeans_1d(s, 4, 64, r1);
+  const auto b = kmeans_1d(s, 4, 64, r2);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,142 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+PowerConfig pcfg() { return PowerConfig{}; }
+
+TEST(BaseEnergyModel, ClassMeansMatchConfig) {
+  const PowerConfig cfg = pcfg();
+  BaseEnergyModel m(cfg, 1);
+  EXPECT_DOUBLE_EQ(m.class_mean(OpClass::kIntAlu), cfg.base_int_alu);
+  EXPECT_DOUBLE_EQ(m.class_mean(OpClass::kFpMult), cfg.base_fp_mult);
+  EXPECT_DOUBLE_EQ(m.class_mean(OpClass::kLoad), cfg.base_load);
+}
+
+TEST(BaseEnergyModel, JitterBounded) {
+  const PowerConfig cfg = pcfg();
+  BaseEnergyModel m(cfg, 1);
+  for (Pc pc = 0; pc < 4096; pc += 4) {
+    const double e = m.exact_base(OpClass::kLoad, pc);
+    EXPECT_GE(e, cfg.base_load * (1.0 - cfg.base_jitter) - 1e-9);
+    EXPECT_LE(e, cfg.base_load * (1.0 + cfg.base_jitter) + 1e-9);
+  }
+}
+
+TEST(BaseEnergyModel, DeterministicPerPc) {
+  BaseEnergyModel m(pcfg(), 1);
+  EXPECT_DOUBLE_EQ(m.exact_base(OpClass::kFpAlu, 0x1234),
+                   m.exact_base(OpClass::kFpAlu, 0x1234));
+}
+
+TEST(BaseEnergyModel, EightCentroids) {
+  BaseEnergyModel m(pcfg(), 1);
+  EXPECT_EQ(m.centroids().size(), 8u);
+}
+
+TEST(BaseEnergyModel, GroupingErrorUnderOnePercent) {
+  // The paper: 8 k-means groups reproduce exact accounting with <1% error.
+  BaseEnergyModel m(pcfg(), 1);
+  EXPECT_LT(m.grouping_error(), 0.01);
+}
+
+TEST(BaseEnergyModel, PerInstructionErrorDiscriminatesGroupCounts) {
+  PowerConfig few = pcfg(), many = pcfg();
+  few.kmeans_groups = 2;
+  many.kmeans_groups = 16;
+  BaseEnergyModel m_few(few, 1), m_many(many, 1), m_eight(pcfg(), 1);
+  EXPECT_GT(m_few.grouping_abs_error(), m_eight.grouping_abs_error());
+  EXPECT_GT(m_eight.grouping_abs_error(), m_many.grouping_abs_error());
+  // At the paper's 8 groups, per-instruction error is still small.
+  EXPECT_LT(m_eight.grouping_abs_error(), 0.10);
+}
+
+TEST(BaseEnergyModel, GroupedIsNearestCentroid) {
+  BaseEnergyModel m(pcfg(), 1);
+  for (Pc pc = 0; pc < 256; pc += 4) {
+    const double g = m.grouped_base(OpClass::kIntMult, pc);
+    bool is_centroid = false;
+    for (double c : m.centroids())
+      if (c == g) is_centroid = true;
+    EXPECT_TRUE(is_centroid);
+  }
+}
+
+TEST(CoreCyclePower, InactiveCorePaysOnlyStatic) {
+  const PowerConfig cfg = pcfg();
+  CoreActivity a;
+  a.active = false;
+  a.gated = true;
+  a.fetch_tokens = 999.0;  // must be ignored
+  const double p = core_cycle_power(cfg, a);
+  EXPECT_DOUBLE_EQ(p, cfg.leakage_per_core + cfg.uncore_per_core);
+}
+
+TEST(CoreCyclePower, GatedCorePaysResidual) {
+  const PowerConfig cfg = pcfg();
+  CoreActivity a;
+  a.active = true;
+  a.gated = true;
+  const double p = core_cycle_power(cfg, a);
+  EXPECT_DOUBLE_EQ(
+      p, cfg.leakage_per_core + cfg.uncore_per_core + cfg.clock_gated_dynamic);
+}
+
+TEST(CoreCyclePower, ActivePowerScalesWithFetchTokens) {
+  const PowerConfig cfg = pcfg();
+  CoreActivity a;
+  a.active = true;
+  a.fetch_tokens = 10.0;
+  const double p10 = core_cycle_power(cfg, a);
+  a.fetch_tokens = 20.0;
+  const double p20 = core_cycle_power(cfg, a);
+  EXPECT_GT(p20, p10);
+  EXPECT_NEAR(p20 - p10, 10.0 * (1.0 + cfg.ptht_overhead_frac), 1e-9);
+}
+
+TEST(CoreCyclePower, VddScalesQuadratically) {
+  const PowerConfig cfg = pcfg();
+  CoreActivity a;
+  a.active = true;
+  a.fetch_tokens = 100.0;
+  a.vdd_ratio = 1.0;
+  const double p1 = core_cycle_power(cfg, a);
+  a.vdd_ratio = 0.9;
+  const double p09 = core_cycle_power(cfg, a);
+  const double dyn1 = p1 - cfg.leakage_per_core - cfg.uncore_per_core;
+  const double dyn09 = p09 - 0.9 * cfg.leakage_per_core - cfg.uncore_per_core;
+  EXPECT_NEAR(dyn09 / dyn1, 0.81, 1e-9);
+}
+
+TEST(CoreCyclePower, RobResidencyCharged) {
+  const PowerConfig cfg = pcfg();
+  CoreActivity a;
+  a.active = true;
+  a.rob_occupancy = 100;
+  const double p = core_cycle_power(cfg, a);
+  EXPECT_NEAR(p - cfg.leakage_per_core - cfg.uncore_per_core,
+              100 * cfg.residency_token * (1.0 + cfg.ptht_overhead_frac),
+              1e-9);
+}
+
+TEST(AnalyticPeak, AboveStaticAndReasonable) {
+  const PowerConfig cfg = pcfg();
+  const CoreConfig core;
+  const double peak = analytic_peak_core_power(cfg, core);
+  EXPECT_GT(peak, cfg.leakage_per_core + cfg.uncore_per_core);
+  EXPECT_LT(peak, 1000.0);
+}
+
+TEST(AnalyticPeak, GrowsWithFetchWidth) {
+  const PowerConfig cfg = pcfg();
+  CoreConfig narrow, wide;
+  narrow.fetch_width = 2;
+  wide.fetch_width = 8;
+  EXPECT_LT(analytic_peak_core_power(cfg, narrow),
+            analytic_peak_core_power(cfg, wide));
+}
+
+}  // namespace
+}  // namespace ptb

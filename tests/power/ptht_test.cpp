@@ -1,0 +1,65 @@
+#include "power/ptht.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(Ptht, ColdLookupReturnsDefault) {
+  Ptht t(8192);
+  EXPECT_DOUBLE_EQ(t.lookup(0x1000, 42.0), 42.0);
+  EXPECT_EQ(t.cold_misses, 1u);
+}
+
+TEST(Ptht, UpdateThenLookup) {
+  Ptht t(8192);
+  t.update(0x1000, 55.5);
+  EXPECT_NEAR(t.lookup(0x1000, 0.0), 55.5, 1e-4);
+}
+
+TEST(Ptht, LastExecutionWins) {
+  Ptht t(8192);
+  t.update(0x1000, 10.0);
+  t.update(0x1000, 99.0);
+  EXPECT_NEAR(t.lookup(0x1000, 0.0), 99.0, 1e-4);
+}
+
+TEST(Ptht, TagMismatchFallsBackToDefault) {
+  Ptht t(8192);
+  // Two PCs that alias to the same entry (8192 entries, pc>>2 index).
+  const Pc a = 0x1000;
+  const Pc b = a + 8192 * 4;
+  t.update(a, 33.0);
+  EXPECT_DOUBLE_EQ(t.lookup(b, 7.0), 7.0);  // tagged for a, not b
+  t.update(b, 44.0);
+  EXPECT_NEAR(t.lookup(b, 0.0), 44.0, 1e-4);
+  EXPECT_DOUBLE_EQ(t.lookup(a, 7.0), 7.0);  // b displaced a
+}
+
+TEST(Ptht, PaperSize8K) {
+  Ptht t(8192);
+  EXPECT_EQ(t.entries(), 8192u);
+}
+
+TEST(Ptht, ManyDistinctPcsWithinCapacity) {
+  Ptht t(8192);
+  for (Pc pc = 0; pc < 8192; ++pc) t.update(pc * 4, static_cast<double>(pc));
+  int correct = 0;
+  for (Pc pc = 0; pc < 8192; ++pc) {
+    if (t.lookup(pc * 4, -1.0) >= 0.0) ++correct;
+  }
+  EXPECT_EQ(correct, 8192);
+}
+
+TEST(Ptht, StatsCount) {
+  Ptht t(1024);
+  t.update(0x10, 1.0);
+  t.lookup(0x10, 0.0);
+  t.lookup(0x20, 0.0);
+  EXPECT_EQ(t.updates, 1u);
+  EXPECT_EQ(t.lookups, 2u);
+  EXPECT_EQ(t.cold_misses, 1u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,162 @@
+// CMP simulator end-to-end behaviour on small configurations.
+#include "sim/cmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+WorkloadProfile small_profile() {
+  WorkloadProfile p;
+  p.name = "small";
+  p.iterations = 2;
+  p.ops_per_iteration = 4000;
+  p.imbalance = 0.1;
+  p.num_locks = 2;
+  p.cs_per_1k_ops = 4.0;
+  p.cs_len_ops = 10;
+  return p;
+}
+
+SimConfig cfg_for(std::uint32_t cores,
+                  TechniqueKind kind = TechniqueKind::kNone,
+                  bool ptb = false) {
+  TechniqueSpec t{"t", kind, ptb, PtbPolicy::kToAll, 0.0};
+  SimConfig cfg = make_sim_config(cores, t);
+  cfg.max_cycles = 500000;
+  return cfg;
+}
+
+TEST(CmpSimulator, RunsToCompletion) {
+  CmpSimulator sim(cfg_for(4), small_profile());
+  const RunResult r = sim.run();
+  EXPECT_FALSE(r.hit_max_cycles);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.total_committed, 2u * 4000u);
+  EXPECT_GT(r.energy, 0.0);
+}
+
+TEST(CmpSimulator, DeterministicAcrossRuns) {
+  const WorkloadProfile p = small_profile();
+  const RunResult a = CmpSimulator(cfg_for(4), p).run();
+  const RunResult b = CmpSimulator(cfg_for(4), p).run();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.aopb, b.aopb);
+  EXPECT_EQ(a.total_committed, b.total_committed);
+}
+
+TEST(CmpSimulator, SeedChangesExecution) {
+  const WorkloadProfile p = small_profile();
+  SimConfig c1 = cfg_for(4), c2 = cfg_for(4);
+  c2.seed = 999;
+  const RunResult a = CmpSimulator(c1, p).run();
+  const RunResult b = CmpSimulator(c2, p).run();
+  EXPECT_NE(a.energy, b.energy);
+}
+
+TEST(CmpSimulator, EnergyEqualsPowerIntegral) {
+  CmpSimulator sim(cfg_for(2), small_profile());
+  const RunResult r = sim.run();
+  EXPECT_NEAR(r.energy, r.power.mean() * static_cast<double>(r.cycles),
+              r.energy * 1e-9);
+}
+
+TEST(CmpSimulator, AopbIsZeroWithInfiniteBudget) {
+  SimConfig cfg = cfg_for(2);
+  cfg.budget_fraction = 100.0;  // budget far above any possible power
+  CmpSimulator sim(cfg, small_profile());
+  const RunResult r = sim.run();
+  EXPECT_DOUBLE_EQ(r.aopb, 0.0);
+}
+
+TEST(CmpSimulator, SpinEnergyPositiveWithContention) {
+  WorkloadProfile p = small_profile();
+  p.cs_per_1k_ops = 20.0;
+  p.hot_lock_frac = 1.0;
+  CmpSimulator sim(cfg_for(4), p);
+  const RunResult r = sim.run();
+  EXPECT_GT(r.spin_energy, 0.0);
+  EXPECT_LT(r.spin_energy, r.energy);
+}
+
+TEST(CmpSimulator, AllCoresCommitWork) {
+  CmpSimulator sim(cfg_for(4), small_profile());
+  const RunResult r = sim.run();
+  for (const auto& c : r.cores) {
+    EXPECT_GT(c.committed, 1000u);
+    EXPECT_GT(c.finish_cycle, 0u);
+  }
+}
+
+TEST(CmpSimulator, CoherenceInvariantHoldsAfterRun) {
+  CmpSimulator sim(cfg_for(4), small_profile());
+  sim.run();
+  sim.memory().check_swmr();
+}
+
+TEST(CmpSimulator, PtbBalancerMovesTokensUnderContention) {
+  WorkloadProfile p = small_profile();
+  p.cs_per_1k_ops = 20.0;
+  p.hot_lock_frac = 1.0;
+  CmpSimulator sim(cfg_for(4, TechniqueKind::kTwoLevel, true), p);
+  const RunResult r = sim.run();
+  EXPECT_GT(r.tokens_donated, 0.0);
+  EXPECT_GT(r.tokens_granted, 0.0);
+  EXPECT_LE(r.tokens_granted, r.tokens_donated + 1e-6);
+}
+
+TEST(CmpSimulator, TracesRecordedOnRequest) {
+  RunOptions opts;
+  opts.record_cmp_trace = true;
+  opts.record_core_traces = true;
+  CmpSimulator sim(cfg_for(2), small_profile());
+  const RunResult r = sim.run(opts);
+  EXPECT_GT(r.cmp_power_trace.size(), 10u);
+  ASSERT_EQ(r.core_power_traces.size(), 2u);
+  EXPECT_GT(r.core_power_traces[0].size(), 10u);
+}
+
+TEST(CmpSimulator, ThermalTracksEnergy) {
+  CmpSimulator sim(cfg_for(2), small_profile());
+  const RunResult r = sim.run();
+  for (const auto& c : r.cores) {
+    EXPECT_GT(c.temp_mean, 0.0);
+  }
+}
+
+TEST(CmpSimulator, DvfsTechniqueChangesModes) {
+  // Force a crushing budget so DVFS must engage.
+  SimConfig cfg = cfg_for(4, TechniqueKind::kDvfs);
+  cfg.budget_fraction = 0.2;
+  CmpSimulator sim(cfg, small_profile());
+  const RunResult r = sim.run();
+  EXPECT_GT(r.dvfs_transitions, 0u);
+}
+
+TEST(CmpSimulator, TightBudgetSlowsExecution) {
+  const WorkloadProfile p = small_profile();
+  SimConfig free_cfg = cfg_for(4, TechniqueKind::kNone);
+  SimConfig tight = cfg_for(4, TechniqueKind::kTwoLevel);
+  tight.budget_fraction = 0.25;
+  const RunResult a = CmpSimulator(free_cfg, p).run();
+  const RunResult b = CmpSimulator(tight, p).run();
+  EXPECT_GT(b.cycles, a.cycles);
+  // And it does cut over-budget energy relative to the budget line.
+  EXPECT_LT(b.power.mean(), a.power.mean());
+}
+
+TEST(CmpSimulator, SingleCoreDegenerateCaseWorks) {
+  WorkloadProfile p = small_profile();
+  p.num_locks = 1;
+  CmpSimulator sim(cfg_for(1), p);
+  const RunResult r = sim.run();
+  EXPECT_FALSE(r.hit_max_cycles);
+  EXPECT_EQ(r.cores.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ptb

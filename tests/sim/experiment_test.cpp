@@ -1,0 +1,89 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/reporting.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+TEST(Techniques, StandardMatrixShape) {
+  const auto t = standard_techniques(PtbPolicy::kToAll);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].label, "DVFS");
+  EXPECT_EQ(t[1].label, "DFS");
+  EXPECT_EQ(t[2].label, "2Level");
+  EXPECT_EQ(t[3].label, "PTB+2Level");
+  EXPECT_TRUE(t[3].ptb);
+  EXPECT_FALSE(t[0].ptb);
+  EXPECT_EQ(t[0].kind, TechniqueKind::kDvfs);
+  EXPECT_EQ(t[1].kind, TechniqueKind::kDfs);
+  EXPECT_EQ(t[2].kind, TechniqueKind::kTwoLevel);
+  EXPECT_EQ(t[3].kind, TechniqueKind::kTwoLevel);
+}
+
+TEST(Techniques, NaiveMatrixHasNoPtb) {
+  for (const auto& t : naive_techniques()) EXPECT_FALSE(t.ptb);
+}
+
+TEST(MakeSimConfig, AppliesSpec) {
+  TechniqueSpec t{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToOne,
+                  0.2};
+  const SimConfig cfg = make_sim_config(8, t, 77);
+  EXPECT_EQ(cfg.num_cores, 8u);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.technique, TechniqueKind::kTwoLevel);
+  EXPECT_TRUE(cfg.ptb.enabled);
+  EXPECT_EQ(cfg.ptb.policy, PtbPolicy::kToOne);
+  EXPECT_DOUBLE_EQ(cfg.ptb.relax_threshold, 0.2);
+}
+
+TEST(Normalize, FigureSemantics) {
+  RunResult base, r;
+  base.energy = 1000.0;
+  base.aopb = 200.0;
+  base.cycles = 10000;
+  r.energy = 970.0;
+  r.aopb = 16.0;
+  r.cycles = 10300;
+  const Normalized n = normalize(base, r);
+  EXPECT_NEAR(n.energy_pct, -3.0, 1e-9);
+  EXPECT_NEAR(n.aopb_pct, 8.0, 1e-9);
+  EXPECT_NEAR(n.slowdown_pct, 3.0, 1e-9);
+}
+
+TEST(Normalize, ZeroBaseAopbReportsZero) {
+  RunResult base, r;
+  base.energy = 100.0;
+  base.aopb = 0.0;
+  base.cycles = 100;
+  r = base;
+  EXPECT_DOUBLE_EQ(normalize(base, r).aopb_pct, 0.0);
+}
+
+TEST(BaseRunCache, CachesByBenchmarkAndCores) {
+  BaseRunCache cache;
+  const auto& p = benchmark_by_name("blackscholes");
+  const RunResult& a = cache.get(p, 2);
+  const RunResult& b = cache.get(p, 2);
+  EXPECT_EQ(&a, &b);  // same object: cached
+  const RunResult& c = cache.get(p, 4);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(FigureGrid, AverageRow) {
+  FigureGrid g;
+  g.technique_labels = {"A", "B"};
+  g.row_labels = {"x", "y"};
+  g.grid = {{{10.0, 20.0, 1.0}, {30.0, 40.0, 2.0}},
+            {{20.0, 40.0, 3.0}, {10.0, 20.0, 4.0}}};
+  g.append_average();
+  ASSERT_EQ(g.row_labels.back(), "Avg.");
+  EXPECT_NEAR(g.grid.back()[0].energy_pct, 15.0, 1e-9);
+  EXPECT_NEAR(g.grid.back()[0].aopb_pct, 30.0, 1e-9);
+  EXPECT_NEAR(g.grid.back()[1].slowdown_pct, 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ptb

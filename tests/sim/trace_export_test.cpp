@@ -1,0 +1,80 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/experiment.hpp"
+
+namespace ptb {
+namespace {
+
+RunResult traced_run() {
+  WorkloadProfile p;
+  p.name = "traced";
+  p.iterations = 1;
+  p.ops_per_iteration = 3000;
+  p.barrier_per_iter = false;
+  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
+                     0.0};
+  CmpSimulator sim(make_sim_config(2, none), p);
+  RunOptions opts;
+  opts.record_cmp_trace = true;
+  opts.record_core_traces = true;
+  return sim.run(opts);
+}
+
+TEST(TraceExport, CsvHeaderAndShape) {
+  const RunResult r = traced_run();
+  const std::string csv = power_trace_csv(r);
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "cycle,cmp_power,core0,core1");
+  std::size_t rows = 0;
+  std::string line;
+  double prev_cycle = -1.0;
+  while (std::getline(in, line)) {
+    ++rows;
+    const double cyc = std::stod(line.substr(0, line.find(',')));
+    EXPECT_GT(cyc, prev_cycle);  // strictly increasing timestamps
+    prev_cycle = cyc;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 3);
+  }
+  EXPECT_EQ(rows, r.cmp_power_trace.size());
+  EXPECT_GT(rows, 10u);
+}
+
+TEST(TraceExport, SummaryContainsCoreMetrics) {
+  const RunResult r = traced_run();
+  const std::string kv = run_summary_kv(r);
+  EXPECT_NE(kv.find("benchmark=traced\n"), std::string::npos);
+  EXPECT_NE(kv.find("num_cores=2\n"), std::string::npos);
+  EXPECT_NE(kv.find("cycles=" + std::to_string(r.cycles)), std::string::npos);
+  EXPECT_NE(kv.find("energy_tokens="), std::string::npos);
+  EXPECT_NE(kv.find("aopb_tokens="), std::string::npos);
+  EXPECT_NE(kv.find("cycles_busy="), std::string::npos);
+  EXPECT_NE(kv.find("cycles_barrier="), std::string::npos);
+}
+
+TEST(TraceExport, WritesFiles) {
+  const RunResult r = traced_run();
+  ASSERT_TRUE(export_run(r, testing::TempDir()));
+  const std::string stem = testing::TempDir() + "/traced_2c";
+  std::ifstream csv(stem + "_trace.csv");
+  std::ifstream kv(stem + "_summary.txt");
+  EXPECT_TRUE(csv.good());
+  EXPECT_TRUE(kv.good());
+  std::remove((stem + "_trace.csv").c_str());
+  std::remove((stem + "_summary.txt").c_str());
+}
+
+TEST(TraceExport, FailsGracefullyOnBadDirectory) {
+  const RunResult r = traced_run();
+  EXPECT_FALSE(export_run(r, "/nonexistent/deeply/nested"));
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,92 @@
+// BCT spin detection (Li et al., TPDS 2006 — reference [12]).
+#include "sync/bct_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+MicroOp spin_load(Addr a) {
+  MicroOp op;
+  op.pc = 0x100;
+  op.cls = OpClass::kLoad;
+  op.addr = a;
+  return op;
+}
+
+MicroOp spin_branch(bool taken) {
+  MicroOp op;
+  op.pc = 0x104;
+  op.cls = OpClass::kBranch;
+  op.branch_taken = taken;
+  return op;
+}
+
+MicroOp compute(Pc pc, Addr a) {
+  MicroOp op;
+  op.pc = pc;
+  op.cls = OpClass::kIntAlu;
+  op.addr = a;
+  return op;
+}
+
+TEST(BctDetector, DetectsIdenticalSpinIterations) {
+  BctDetector d(3);
+  for (int i = 0; i < 10; ++i) {
+    d.on_commit(spin_load(0x8000));
+    d.on_commit(spin_branch(true));
+  }
+  EXPECT_TRUE(d.spinning());
+  EXPECT_EQ(d.detections(), 1u);
+}
+
+TEST(BctDetector, NoDetectionBeforeThreshold) {
+  BctDetector d(5);
+  for (int i = 0; i < 4; ++i) {
+    d.on_commit(spin_load(0x8000));
+    d.on_commit(spin_branch(true));
+  }
+  EXPECT_FALSE(d.spinning());
+}
+
+TEST(BctDetector, SpinExitClearsVerdict) {
+  BctDetector d(3);
+  for (int i = 0; i < 10; ++i) {
+    d.on_commit(spin_load(0x8000));
+    d.on_commit(spin_branch(true));
+  }
+  ASSERT_TRUE(d.spinning());
+  d.on_commit(spin_load(0x8000));
+  d.on_commit(spin_branch(false));  // loop exit: not-taken
+  EXPECT_FALSE(d.spinning());
+}
+
+TEST(BctDetector, VaryingWorkIsNotSpinning) {
+  BctDetector d(3);
+  for (int i = 0; i < 50; ++i) {
+    // Loop with changing machine state (different addresses).
+    d.on_commit(compute(0x200, 0x1000 + i * 64));
+    d.on_commit(spin_branch(true));
+  }
+  EXPECT_FALSE(d.spinning());
+}
+
+TEST(BctDetector, ReDetectsAfterExit) {
+  BctDetector d(2);
+  auto spin_for = [&](int iters) {
+    for (int i = 0; i < iters; ++i) {
+      d.on_commit(spin_load(0x8000));
+      d.on_commit(spin_branch(true));
+    }
+  };
+  spin_for(6);
+  EXPECT_TRUE(d.spinning());
+  d.on_commit(spin_branch(false));
+  EXPECT_FALSE(d.spinning());
+  spin_for(6);
+  EXPECT_TRUE(d.spinning());
+  EXPECT_EQ(d.detections(), 2u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,51 @@
+#include "sync/spin_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(SpinTracker, DefaultBusy) {
+  SpinTracker t;
+  EXPECT_EQ(t.state(), ExecState::kBusy);
+  EXPECT_FALSE(t.spinning());
+}
+
+TEST(SpinTracker, AttributesCyclesAndPower) {
+  SpinTracker t;
+  t.attribute_cycle(10.0);
+  t.set_state(ExecState::kLockAcq);
+  t.attribute_cycle(3.0);
+  t.attribute_cycle(3.0);
+  t.set_state(ExecState::kBarrier);
+  t.attribute_cycle(2.0);
+  EXPECT_EQ(t.cycles_in(ExecState::kBusy), 1u);
+  EXPECT_EQ(t.cycles_in(ExecState::kLockAcq), 2u);
+  EXPECT_EQ(t.cycles_in(ExecState::kBarrier), 1u);
+  EXPECT_DOUBLE_EQ(t.power_in(ExecState::kLockAcq), 6.0);
+  EXPECT_EQ(t.total_cycles(), 4u);
+  EXPECT_DOUBLE_EQ(t.total_power(), 18.0);
+  EXPECT_DOUBLE_EQ(t.spin_power(), 8.0);
+}
+
+TEST(SpinTracker, SpinningStates) {
+  SpinTracker t;
+  t.set_state(ExecState::kLockAcq);
+  EXPECT_TRUE(t.spinning());
+  t.set_state(ExecState::kLockRel);
+  EXPECT_TRUE(t.spinning());
+  t.set_state(ExecState::kBarrier);
+  EXPECT_TRUE(t.spinning());
+  t.set_state(ExecState::kBusy);
+  EXPECT_FALSE(t.spinning());
+}
+
+TEST(ExecStateNames, AllNamed) {
+  EXPECT_STREQ(exec_state_name(ExecState::kBusy), "Busy");
+  EXPECT_STREQ(exec_state_name(ExecState::kLockAcq), "Lock-Acquisition");
+  EXPECT_STREQ(exec_state_name(ExecState::kLockRel), "Lock-Release");
+  EXPECT_STREQ(exec_state_name(ExecState::kBarrier), "Barrier");
+}
+
+}  // namespace
+}  // namespace ptb

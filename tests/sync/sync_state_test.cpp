@@ -1,0 +1,79 @@
+#include "sync/sync_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptb {
+namespace {
+
+TEST(SyncState, AddressesAreLineSeparated) {
+  SyncState s(4, 2, 8);
+  EXPECT_EQ(s.lock_addr(1) - s.lock_addr(0), SyncState::kLineBytes);
+  EXPECT_EQ(s.barrier_addr(0) - s.lock_addr(3), SyncState::kLineBytes);
+  // Counter and sense share a line (centralized barrier layout).
+  EXPECT_EQ(s.barrier_sense_addr(0) / 64, s.barrier_addr(0) / 64);
+}
+
+TEST(SyncState, LockAcquireRelease) {
+  SyncState s(1, 1, 2);
+  EXPECT_EQ(s.read_lock(0), 0u);
+  EXPECT_EQ(s.try_acquire(0, 3), 0u);  // old value 0 -> acquired
+  EXPECT_EQ(s.read_lock(0), 1u);
+  EXPECT_EQ(s.lock_holder(0), 3u);
+  s.release(0, 3);
+  EXPECT_EQ(s.read_lock(0), 0u);
+  EXPECT_EQ(s.lock_holder(0), kNoCore);
+}
+
+TEST(SyncState, ContendedAcquireFails) {
+  SyncState s(1, 1, 2);
+  EXPECT_EQ(s.try_acquire(0, 0), 0u);
+  EXPECT_EQ(s.try_acquire(0, 1), 1u);  // old value 1 -> failed
+  EXPECT_EQ(s.lock_holder(0), 0u);
+  EXPECT_EQ(s.acquisitions, 1u);
+  EXPECT_EQ(s.failed_acquires, 1u);
+}
+
+TEST(SyncStateDeath, ReleaseByNonHolderAborts) {
+  SyncState s(1, 1, 2);
+  s.try_acquire(0, 0);
+  EXPECT_DEATH(s.release(0, 1), "non-holder");
+}
+
+TEST(SyncStateDeath, ReleaseOfFreeLockAborts) {
+  SyncState s(1, 1, 2);
+  EXPECT_DEATH(s.release(0, 0), "free lock");
+}
+
+TEST(SyncState, BarrierSenseReversal) {
+  SyncState s(1, 1, 3);
+  EXPECT_EQ(s.read_sense(0), 0u);
+  EXPECT_EQ(s.arrive(0), 0u);        // sense 0, not last
+  EXPECT_EQ(s.arrive(0), 0u);        // sense 0, not last
+  const auto last = s.arrive(0);     // third of three
+  EXPECT_EQ(last & 1u, 0u);          // sense at arrival was still 0
+  EXPECT_NE(last & 2u, 0u);          // last flag
+  EXPECT_EQ(s.read_sense(0), 1u);    // sense flipped
+  EXPECT_EQ(s.barrier_episodes, 1u);
+}
+
+TEST(SyncState, BarrierReusableAcrossEpisodes) {
+  SyncState s(1, 1, 2);
+  for (int episode = 0; episode < 5; ++episode) {
+    const auto a = s.arrive(0);
+    const auto b = s.arrive(0);
+    EXPECT_EQ(a & 2u, 0u);
+    EXPECT_NE(b & 2u, 0u);
+    EXPECT_EQ(static_cast<std::uint64_t>(a & 1u),
+              static_cast<std::uint64_t>(episode % 2));
+  }
+  EXPECT_EQ(s.barrier_episodes, 5u);
+}
+
+TEST(SyncState, SingleThreadBarrierAlwaysLast) {
+  SyncState s(1, 1, 1);
+  EXPECT_NE(s.arrive(0) & 2u, 0u);
+  EXPECT_NE(s.arrive(0) & 2u, 0u);
+}
+
+}  // namespace
+}  // namespace ptb

@@ -1,0 +1,88 @@
+// The benchmark catalog (Table 2 of the paper).
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ptb {
+namespace {
+
+TEST(Suite, FourteenBenchmarks) {
+  EXPECT_EQ(benchmark_suite().size(), 14u);
+}
+
+TEST(Suite, Table2Names) {
+  const std::set<std::string> expected{
+      "barnes", "cholesky", "fft", "ocean", "radix", "raytrace", "tomcatv",
+      "unstructured", "waternsq", "watersp", "blackscholes", "fluidanimate",
+      "swaptions", "x264"};
+  std::set<std::string> actual;
+  for (const auto& n : benchmark_names()) actual.insert(n);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Suite, Table2InputSizes) {
+  EXPECT_EQ(benchmark_by_name("barnes").input_desc,
+            "8192 bodies, 4 time steps");
+  EXPECT_EQ(benchmark_by_name("cholesky").input_desc, "tk16.0");
+  EXPECT_EQ(benchmark_by_name("fft").input_desc, "256K complex doubles");
+  EXPECT_EQ(benchmark_by_name("ocean").input_desc, "258x258 ocean");
+  EXPECT_EQ(benchmark_by_name("radix").input_desc, "1M keys, 1024 radix");
+  EXPECT_EQ(benchmark_by_name("raytrace").input_desc, "Teapot");
+  EXPECT_EQ(benchmark_by_name("unstructured").input_desc,
+            "Mesh.2K, 5 time steps");
+  EXPECT_EQ(benchmark_by_name("blackscholes").input_desc, "simsmall");
+}
+
+TEST(Suite, LookupReturnsSameObject) {
+  const auto& a = benchmark_by_name("fft");
+  const auto& b = benchmark_by_name("fft");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Suite, LockHeavyBenchmarksAreContended) {
+  // Figure 3's lock-dominated benchmarks must model hot-lock contention.
+  for (const char* name : {"unstructured", "fluidanimate"}) {
+    const auto& p = benchmark_by_name(name);
+    EXPECT_GT(p.cs_per_1k_ops, 1.0) << name;
+    EXPECT_GT(p.hot_lock_frac, 0.5) << name;
+  }
+}
+
+TEST(Suite, EmbarrassinglyParallelHaveNoPerIterBarrier) {
+  for (const char* name : {"blackscholes", "swaptions", "cholesky", "x264"}) {
+    const auto& p = benchmark_by_name(name);
+    EXPECT_FALSE(p.barrier_per_iter) << name;
+  }
+}
+
+TEST(Suite, BarrierHeavyBenchmarksIterate) {
+  for (const char* name : {"ocean", "barnes", "tomcatv", "radix"}) {
+    const auto& p = benchmark_by_name(name);
+    EXPECT_TRUE(p.barrier_per_iter) << name;
+    EXPECT_GE(p.iterations, 4u) << name;
+  }
+}
+
+TEST(Suite, AllProfilesWellFormed) {
+  for (const auto& p : benchmark_suite()) {
+    EXPECT_GT(p.ops_per_iteration, 0u) << p.name;
+    EXPECT_GE(p.iterations, 1u) << p.name;
+    EXPECT_GE(p.imbalance, 0.0) << p.name;
+    EXPECT_LE(p.imbalance, 1.0) << p.name;
+    EXPECT_GT(p.code_footprint, 0u) << p.name;
+    if (p.cs_per_1k_ops > 0) EXPECT_GT(p.num_locks, 0u) << p.name;
+    const auto& m = p.mix;
+    const double total = m.int_alu + m.int_mult + m.fp_alu + m.fp_mult +
+                         m.load + m.store + m.branch;
+    EXPECT_NEAR(total, 1.0, 0.05) << p.name;
+  }
+}
+
+TEST(SuiteDeath, UnknownNameAborts) {
+  EXPECT_DEATH(benchmark_by_name("doom"), "unknown benchmark");
+}
+
+}  // namespace
+}  // namespace ptb
