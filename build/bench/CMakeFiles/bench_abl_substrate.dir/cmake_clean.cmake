@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_substrate.dir/bench_abl_substrate.cpp.o"
+  "CMakeFiles/bench_abl_substrate.dir/bench_abl_substrate.cpp.o.d"
+  "bench_abl_substrate"
+  "bench_abl_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

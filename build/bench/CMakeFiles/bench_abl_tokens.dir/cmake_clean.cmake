@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tokens.dir/bench_abl_tokens.cpp.o"
+  "CMakeFiles/bench_abl_tokens.dir/bench_abl_tokens.cpp.o.d"
+  "bench_abl_tokens"
+  "bench_abl_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

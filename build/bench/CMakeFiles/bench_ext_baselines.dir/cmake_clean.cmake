@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_baselines.dir/bench_ext_baselines.cpp.o"
+  "CMakeFiles/bench_ext_baselines.dir/bench_ext_baselines.cpp.o.d"
+  "bench_ext_baselines"
+  "bench_ext_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

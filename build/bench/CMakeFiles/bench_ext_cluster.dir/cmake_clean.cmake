@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cluster.dir/bench_ext_cluster.cpp.o"
+  "CMakeFiles/bench_ext_cluster.dir/bench_ext_cluster.cpp.o.d"
+  "bench_ext_cluster"
+  "bench_ext_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

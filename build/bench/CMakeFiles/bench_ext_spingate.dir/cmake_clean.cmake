@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spingate.dir/bench_ext_spingate.cpp.o"
+  "CMakeFiles/bench_ext_spingate.dir/bench_ext_spingate.cpp.o.d"
+  "bench_ext_spingate"
+  "bench_ext_spingate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spingate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_thermal.dir/bench_ext_thermal.cpp.o"
+  "CMakeFiles/bench_ext_thermal.dir/bench_ext_thermal.cpp.o.d"
+  "bench_ext_thermal"
+  "bench_ext_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

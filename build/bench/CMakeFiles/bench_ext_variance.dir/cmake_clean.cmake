@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_variance.dir/bench_ext_variance.cpp.o"
+  "CMakeFiles/bench_ext_variance.dir/bench_ext_variance.cpp.o.d"
+  "bench_ext_variance"
+  "bench_ext_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

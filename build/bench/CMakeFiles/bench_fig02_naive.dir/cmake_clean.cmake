@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_naive.dir/bench_fig02_naive.cpp.o"
+  "CMakeFiles/bench_fig02_naive.dir/bench_fig02_naive.cpp.o.d"
+  "bench_fig02_naive"
+  "bench_fig02_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

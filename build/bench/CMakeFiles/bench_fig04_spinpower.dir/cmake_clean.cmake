@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_spinpower.dir/bench_fig04_spinpower.cpp.o"
+  "CMakeFiles/bench_fig04_spinpower.dir/bench_fig04_spinpower.cpp.o.d"
+  "bench_fig04_spinpower"
+  "bench_fig04_spinpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_spinpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_spintrace.dir/bench_fig06_spintrace.cpp.o"
+  "CMakeFiles/bench_fig06_spintrace.dir/bench_fig06_spintrace.cpp.o.d"
+  "bench_fig06_spintrace"
+  "bench_fig06_spintrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_spintrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

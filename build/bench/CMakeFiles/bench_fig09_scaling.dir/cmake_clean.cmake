@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scaling.dir/bench_fig09_scaling.cpp.o"
+  "CMakeFiles/bench_fig09_scaling.dir/bench_fig09_scaling.cpp.o.d"
+  "bench_fig09_scaling"
+  "bench_fig09_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_toall.dir/bench_fig10_toall.cpp.o"
+  "CMakeFiles/bench_fig10_toall.dir/bench_fig10_toall.cpp.o.d"
+  "bench_fig10_toall"
+  "bench_fig10_toall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_toall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_toone.dir/bench_fig11_toone.cpp.o"
+  "CMakeFiles/bench_fig11_toone.dir/bench_fig11_toone.cpp.o.d"
+  "bench_fig11_toone"
+  "bench_fig11_toone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_toone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dynamic.dir/bench_fig12_dynamic.cpp.o"
+  "CMakeFiles/bench_fig12_dynamic.dir/bench_fig12_dynamic.cpp.o.d"
+  "bench_fig12_dynamic"
+  "bench_fig12_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_relaxed.dir/bench_fig14_relaxed.cpp.o"
+  "CMakeFiles/bench_fig14_relaxed.dir/bench_fig14_relaxed.cpp.o.d"
+  "bench_fig14_relaxed"
+  "bench_fig14_relaxed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_relaxed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ivd_tdp.dir/bench_ivd_tdp.cpp.o"
+  "CMakeFiles/bench_ivd_tdp.dir/bench_ivd_tdp.cpp.o.d"
+  "bench_ivd_tdp"
+  "bench_ivd_tdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ivd_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

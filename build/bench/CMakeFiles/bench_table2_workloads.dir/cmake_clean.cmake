@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_workloads.dir/bench_table2_workloads.cpp.o"
+  "CMakeFiles/bench_table2_workloads.dir/bench_table2_workloads.cpp.o.d"
+  "bench_table2_workloads"
+  "bench_table2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

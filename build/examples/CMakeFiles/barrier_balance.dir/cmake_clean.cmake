@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_balance.dir/barrier_balance.cpp.o"
+  "CMakeFiles/barrier_balance.dir/barrier_balance.cpp.o.d"
+  "barrier_balance"
+  "barrier_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

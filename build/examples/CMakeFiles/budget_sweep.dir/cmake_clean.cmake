@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_sweep.dir/budget_sweep.cpp.o"
+  "CMakeFiles/budget_sweep.dir/budget_sweep.cpp.o.d"
+  "budget_sweep"
+  "budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptbsim.dir/ptbsim.cpp.o"
+  "CMakeFiles/ptbsim.dir/ptbsim.cpp.o.d"
+  "ptbsim"
+  "ptbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_detect.dir/spin_detect.cpp.o"
+  "CMakeFiles/spin_detect.dir/spin_detect.cpp.o.d"
+  "spin_detect"
+  "spin_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

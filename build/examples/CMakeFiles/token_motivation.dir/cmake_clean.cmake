@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_motivation.dir/token_motivation.cpp.o"
+  "CMakeFiles/token_motivation.dir/token_motivation.cpp.o.d"
+  "token_motivation"
+  "token_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

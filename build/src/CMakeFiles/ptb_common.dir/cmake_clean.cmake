@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_common.dir/common/stats.cpp.o"
+  "CMakeFiles/ptb_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/ptb_common.dir/common/table.cpp.o"
+  "CMakeFiles/ptb_common.dir/common/table.cpp.o.d"
+  "libptb_common.a"
+  "libptb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

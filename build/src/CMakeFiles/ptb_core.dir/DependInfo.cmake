@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balancer.cpp" "src/CMakeFiles/ptb_core.dir/core/balancer.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/balancer.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/ptb_core.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/CMakeFiles/ptb_core.dir/core/budget.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/budget.cpp.o.d"
+  "/root/repo/src/core/clustered.cpp" "src/CMakeFiles/ptb_core.dir/core/clustered.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/clustered.cpp.o.d"
+  "/root/repo/src/core/enforcer.cpp" "src/CMakeFiles/ptb_core.dir/core/enforcer.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/enforcer.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/ptb_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/spin_power_detector.cpp" "src/CMakeFiles/ptb_core.dir/core/spin_power_detector.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/spin_power_detector.cpp.o.d"
+  "/root/repo/src/core/two_level.cpp" "src/CMakeFiles/ptb_core.dir/core/two_level.cpp.o" "gcc" "src/CMakeFiles/ptb_core.dir/core/two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

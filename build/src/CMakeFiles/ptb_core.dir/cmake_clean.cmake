@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_core.dir/core/balancer.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/balancer.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/baselines.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/baselines.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/budget.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/budget.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/clustered.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/clustered.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/enforcer.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/enforcer.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/policy.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/policy.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/spin_power_detector.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/spin_power_detector.cpp.o.d"
+  "CMakeFiles/ptb_core.dir/core/two_level.cpp.o"
+  "CMakeFiles/ptb_core.dir/core/two_level.cpp.o.d"
+  "libptb_core.a"
+  "libptb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptb_core.a"
+)

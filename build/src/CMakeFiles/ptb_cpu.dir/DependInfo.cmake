@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/CMakeFiles/ptb_cpu.dir/cpu/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/ptb_cpu.dir/cpu/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/CMakeFiles/ptb_cpu.dir/cpu/core.cpp.o" "gcc" "src/CMakeFiles/ptb_cpu.dir/cpu/core.cpp.o.d"
+  "/root/repo/src/cpu/functional_units.cpp" "src/CMakeFiles/ptb_cpu.dir/cpu/functional_units.cpp.o" "gcc" "src/CMakeFiles/ptb_cpu.dir/cpu/functional_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

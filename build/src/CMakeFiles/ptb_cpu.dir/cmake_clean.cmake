@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_cpu.dir/cpu/branch_predictor.cpp.o"
+  "CMakeFiles/ptb_cpu.dir/cpu/branch_predictor.cpp.o.d"
+  "CMakeFiles/ptb_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/ptb_cpu.dir/cpu/core.cpp.o.d"
+  "CMakeFiles/ptb_cpu.dir/cpu/functional_units.cpp.o"
+  "CMakeFiles/ptb_cpu.dir/cpu/functional_units.cpp.o.d"
+  "libptb_cpu.a"
+  "libptb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_dvfs.dir/dvfs/dvfs.cpp.o"
+  "CMakeFiles/ptb_dvfs.dir/dvfs/dvfs.cpp.o.d"
+  "libptb_dvfs.a"
+  "libptb_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_isa.dir/isa/microop.cpp.o"
+  "CMakeFiles/ptb_isa.dir/isa/microop.cpp.o.d"
+  "libptb_isa.a"
+  "libptb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

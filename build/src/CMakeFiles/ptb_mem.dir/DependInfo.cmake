@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/ptb_mem.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/ptb_mem.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/ptb_mem.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/ptb_mem.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/ptb_mem.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/ptb_mem.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/ptb_mem.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/ptb_mem.dir/mem/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

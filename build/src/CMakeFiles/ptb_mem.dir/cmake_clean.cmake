@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_mem.dir/mem/cache.cpp.o"
+  "CMakeFiles/ptb_mem.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/ptb_mem.dir/mem/directory.cpp.o"
+  "CMakeFiles/ptb_mem.dir/mem/directory.cpp.o.d"
+  "CMakeFiles/ptb_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/ptb_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/ptb_mem.dir/mem/memory_system.cpp.o"
+  "CMakeFiles/ptb_mem.dir/mem/memory_system.cpp.o.d"
+  "libptb_mem.a"
+  "libptb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

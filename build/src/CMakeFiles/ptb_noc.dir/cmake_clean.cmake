@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_noc.dir/noc/mesh.cpp.o"
+  "CMakeFiles/ptb_noc.dir/noc/mesh.cpp.o.d"
+  "libptb_noc.a"
+  "libptb_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy_stats.cpp" "src/CMakeFiles/ptb_power.dir/power/energy_stats.cpp.o" "gcc" "src/CMakeFiles/ptb_power.dir/power/energy_stats.cpp.o.d"
+  "/root/repo/src/power/kmeans.cpp" "src/CMakeFiles/ptb_power.dir/power/kmeans.cpp.o" "gcc" "src/CMakeFiles/ptb_power.dir/power/kmeans.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/ptb_power.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/ptb_power.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/power/ptht.cpp" "src/CMakeFiles/ptb_power.dir/power/ptht.cpp.o" "gcc" "src/CMakeFiles/ptb_power.dir/power/ptht.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/CMakeFiles/ptb_power.dir/power/thermal.cpp.o" "gcc" "src/CMakeFiles/ptb_power.dir/power/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

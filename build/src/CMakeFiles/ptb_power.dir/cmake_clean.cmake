@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_power.dir/power/energy_stats.cpp.o"
+  "CMakeFiles/ptb_power.dir/power/energy_stats.cpp.o.d"
+  "CMakeFiles/ptb_power.dir/power/kmeans.cpp.o"
+  "CMakeFiles/ptb_power.dir/power/kmeans.cpp.o.d"
+  "CMakeFiles/ptb_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/ptb_power.dir/power/power_model.cpp.o.d"
+  "CMakeFiles/ptb_power.dir/power/ptht.cpp.o"
+  "CMakeFiles/ptb_power.dir/power/ptht.cpp.o.d"
+  "CMakeFiles/ptb_power.dir/power/thermal.cpp.o"
+  "CMakeFiles/ptb_power.dir/power/thermal.cpp.o.d"
+  "libptb_power.a"
+  "libptb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_sim.dir/sim/cmp.cpp.o"
+  "CMakeFiles/ptb_sim.dir/sim/cmp.cpp.o.d"
+  "CMakeFiles/ptb_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/ptb_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/ptb_sim.dir/sim/reporting.cpp.o"
+  "CMakeFiles/ptb_sim.dir/sim/reporting.cpp.o.d"
+  "CMakeFiles/ptb_sim.dir/sim/trace_export.cpp.o"
+  "CMakeFiles/ptb_sim.dir/sim/trace_export.cpp.o.d"
+  "libptb_sim.a"
+  "libptb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/bct_detector.cpp" "src/CMakeFiles/ptb_sync.dir/sync/bct_detector.cpp.o" "gcc" "src/CMakeFiles/ptb_sync.dir/sync/bct_detector.cpp.o.d"
+  "/root/repo/src/sync/spin_tracker.cpp" "src/CMakeFiles/ptb_sync.dir/sync/spin_tracker.cpp.o" "gcc" "src/CMakeFiles/ptb_sync.dir/sync/spin_tracker.cpp.o.d"
+  "/root/repo/src/sync/sync_state.cpp" "src/CMakeFiles/ptb_sync.dir/sync/sync_state.cpp.o" "gcc" "src/CMakeFiles/ptb_sync.dir/sync/sync_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_sync.dir/sync/bct_detector.cpp.o"
+  "CMakeFiles/ptb_sync.dir/sync/bct_detector.cpp.o.d"
+  "CMakeFiles/ptb_sync.dir/sync/spin_tracker.cpp.o"
+  "CMakeFiles/ptb_sync.dir/sync/spin_tracker.cpp.o.d"
+  "CMakeFiles/ptb_sync.dir/sync/sync_state.cpp.o"
+  "CMakeFiles/ptb_sync.dir/sync/sync_state.cpp.o.d"
+  "libptb_sync.a"
+  "libptb_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

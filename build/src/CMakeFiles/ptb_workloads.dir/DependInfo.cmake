@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/program.cpp" "src/CMakeFiles/ptb_workloads.dir/workloads/program.cpp.o" "gcc" "src/CMakeFiles/ptb_workloads.dir/workloads/program.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/ptb_workloads.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/ptb_workloads.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_workloads.dir/workloads/program.cpp.o"
+  "CMakeFiles/ptb_workloads.dir/workloads/program.cpp.o.d"
+  "CMakeFiles/ptb_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/ptb_workloads.dir/workloads/suite.cpp.o.d"
+  "libptb_workloads.a"
+  "libptb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_common_test.dir/common/config_test.cpp.o"
+  "CMakeFiles/ptb_common_test.dir/common/config_test.cpp.o.d"
+  "CMakeFiles/ptb_common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/ptb_common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/ptb_common_test.dir/common/stats_test.cpp.o"
+  "CMakeFiles/ptb_common_test.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/ptb_common_test.dir/common/table_test.cpp.o"
+  "CMakeFiles/ptb_common_test.dir/common/table_test.cpp.o.d"
+  "ptb_common_test"
+  "ptb_common_test.pdb"
+  "ptb_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/balancer_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/balancer_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/balancer_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/budget_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/budget_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/budget_test.cpp.o.d"
+  "/root/repo/tests/core/clustered_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/clustered_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/clustered_test.cpp.o.d"
+  "/root/repo/tests/core/policy_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/policy_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/policy_test.cpp.o.d"
+  "/root/repo/tests/core/spin_power_detector_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/spin_power_detector_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/spin_power_detector_test.cpp.o.d"
+  "/root/repo/tests/core/two_level_test.cpp" "tests/CMakeFiles/ptb_core_test.dir/core/two_level_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_core_test.dir/core/two_level_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

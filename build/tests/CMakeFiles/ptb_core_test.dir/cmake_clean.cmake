@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_core_test.dir/core/balancer_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/balancer_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/budget_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/budget_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/clustered_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/clustered_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/policy_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/spin_power_detector_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/spin_power_detector_test.cpp.o.d"
+  "CMakeFiles/ptb_core_test.dir/core/two_level_test.cpp.o"
+  "CMakeFiles/ptb_core_test.dir/core/two_level_test.cpp.o.d"
+  "ptb_core_test"
+  "ptb_core_test.pdb"
+  "ptb_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_cpu_test.dir/cpu/branch_predictor_test.cpp.o"
+  "CMakeFiles/ptb_cpu_test.dir/cpu/branch_predictor_test.cpp.o.d"
+  "CMakeFiles/ptb_cpu_test.dir/cpu/core_test.cpp.o"
+  "CMakeFiles/ptb_cpu_test.dir/cpu/core_test.cpp.o.d"
+  "CMakeFiles/ptb_cpu_test.dir/cpu/functional_units_test.cpp.o"
+  "CMakeFiles/ptb_cpu_test.dir/cpu/functional_units_test.cpp.o.d"
+  "ptb_cpu_test"
+  "ptb_cpu_test.pdb"
+  "ptb_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_dvfs_test.dir/dvfs/dvfs_test.cpp.o"
+  "CMakeFiles/ptb_dvfs_test.dir/dvfs/dvfs_test.cpp.o.d"
+  "ptb_dvfs_test"
+  "ptb_dvfs_test.pdb"
+  "ptb_dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_integration_test.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/ptb_integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/ptb_integration_test.dir/integration/figure_shapes_test.cpp.o"
+  "CMakeFiles/ptb_integration_test.dir/integration/figure_shapes_test.cpp.o.d"
+  "CMakeFiles/ptb_integration_test.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/ptb_integration_test.dir/integration/properties_test.cpp.o.d"
+  "ptb_integration_test"
+  "ptb_integration_test.pdb"
+  "ptb_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_isa_test.dir/isa/microop_test.cpp.o"
+  "CMakeFiles/ptb_isa_test.dir/isa/microop_test.cpp.o.d"
+  "ptb_isa_test"
+  "ptb_isa_test.pdb"
+  "ptb_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

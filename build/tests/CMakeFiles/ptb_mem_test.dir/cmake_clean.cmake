@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_mem_test.dir/mem/cache_test.cpp.o"
+  "CMakeFiles/ptb_mem_test.dir/mem/cache_test.cpp.o.d"
+  "CMakeFiles/ptb_mem_test.dir/mem/coherence_test.cpp.o"
+  "CMakeFiles/ptb_mem_test.dir/mem/coherence_test.cpp.o.d"
+  "CMakeFiles/ptb_mem_test.dir/mem/dram_test.cpp.o"
+  "CMakeFiles/ptb_mem_test.dir/mem/dram_test.cpp.o.d"
+  "CMakeFiles/ptb_mem_test.dir/mem/memory_system_test.cpp.o"
+  "CMakeFiles/ptb_mem_test.dir/mem/memory_system_test.cpp.o.d"
+  "ptb_mem_test"
+  "ptb_mem_test.pdb"
+  "ptb_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

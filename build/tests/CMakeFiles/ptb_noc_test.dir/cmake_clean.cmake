@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_noc_test.dir/noc/mesh_test.cpp.o"
+  "CMakeFiles/ptb_noc_test.dir/noc/mesh_test.cpp.o.d"
+  "ptb_noc_test"
+  "ptb_noc_test.pdb"
+  "ptb_noc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_power_test.dir/power/energy_stats_test.cpp.o"
+  "CMakeFiles/ptb_power_test.dir/power/energy_stats_test.cpp.o.d"
+  "CMakeFiles/ptb_power_test.dir/power/kmeans_test.cpp.o"
+  "CMakeFiles/ptb_power_test.dir/power/kmeans_test.cpp.o.d"
+  "CMakeFiles/ptb_power_test.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/ptb_power_test.dir/power/power_model_test.cpp.o.d"
+  "CMakeFiles/ptb_power_test.dir/power/ptht_test.cpp.o"
+  "CMakeFiles/ptb_power_test.dir/power/ptht_test.cpp.o.d"
+  "CMakeFiles/ptb_power_test.dir/power/thermal_test.cpp.o"
+  "CMakeFiles/ptb_power_test.dir/power/thermal_test.cpp.o.d"
+  "ptb_power_test"
+  "ptb_power_test.pdb"
+  "ptb_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

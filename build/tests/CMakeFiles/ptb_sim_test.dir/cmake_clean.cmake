@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_sim_test.dir/sim/cmp_test.cpp.o"
+  "CMakeFiles/ptb_sim_test.dir/sim/cmp_test.cpp.o.d"
+  "CMakeFiles/ptb_sim_test.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/ptb_sim_test.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/ptb_sim_test.dir/sim/reporting_test.cpp.o"
+  "CMakeFiles/ptb_sim_test.dir/sim/reporting_test.cpp.o.d"
+  "CMakeFiles/ptb_sim_test.dir/sim/trace_export_test.cpp.o"
+  "CMakeFiles/ptb_sim_test.dir/sim/trace_export_test.cpp.o.d"
+  "ptb_sim_test"
+  "ptb_sim_test.pdb"
+  "ptb_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

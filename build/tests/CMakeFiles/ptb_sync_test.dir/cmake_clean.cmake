@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_sync_test.dir/sync/bct_detector_test.cpp.o"
+  "CMakeFiles/ptb_sync_test.dir/sync/bct_detector_test.cpp.o.d"
+  "CMakeFiles/ptb_sync_test.dir/sync/spin_tracker_test.cpp.o"
+  "CMakeFiles/ptb_sync_test.dir/sync/spin_tracker_test.cpp.o.d"
+  "CMakeFiles/ptb_sync_test.dir/sync/sync_state_test.cpp.o"
+  "CMakeFiles/ptb_sync_test.dir/sync/sync_state_test.cpp.o.d"
+  "ptb_sync_test"
+  "ptb_sync_test.pdb"
+  "ptb_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/address_stream_test.cpp" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/address_stream_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/address_stream_test.cpp.o.d"
+  "/root/repo/tests/workloads/program_test.cpp" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/program_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/program_test.cpp.o.d"
+  "/root/repo/tests/workloads/suite_test.cpp" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/suite_test.cpp.o" "gcc" "tests/CMakeFiles/ptb_workloads_test.dir/workloads/suite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ptb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

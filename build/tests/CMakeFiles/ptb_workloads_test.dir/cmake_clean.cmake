@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptb_workloads_test.dir/workloads/address_stream_test.cpp.o"
+  "CMakeFiles/ptb_workloads_test.dir/workloads/address_stream_test.cpp.o.d"
+  "CMakeFiles/ptb_workloads_test.dir/workloads/program_test.cpp.o"
+  "CMakeFiles/ptb_workloads_test.dir/workloads/program_test.cpp.o.d"
+  "CMakeFiles/ptb_workloads_test.dir/workloads/suite_test.cpp.o"
+  "CMakeFiles/ptb_workloads_test.dir/workloads/suite_test.cpp.o.d"
+  "ptb_workloads_test"
+  "ptb_workloads_test.pdb"
+  "ptb_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptb_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

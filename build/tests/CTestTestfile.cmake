@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ptb_common_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_noc_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_power_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_dvfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_core_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ptb_integration_test[1]_include.cmake")
