@@ -9,30 +9,59 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Substrate ablations",
-                      "coherence protocol, DRAM model, warmup (8 cores)");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_abl_substrate",
+                          "Substrate ablations",
+                          "coherence protocol, DRAM model, warmup (8 cores)");
 
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
-  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
-                    0.0};
+  const TechniqueSpec none = base_technique();
+  const TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true,
+                          PtbPolicy::kToAll, 0.0};
 
   {
-    Table t({"benchmark", "variant", "base cycles", "fwd/1k-ops", "wb/1k-ops",
-             "PTB AoPB %"});
-    for (const char* bn : {"fft", "radix", "waternsq"}) {
+    // Base runs need post-run introspection of the directory, so the task
+    // builds the simulator itself and stashes the counters in its own slot
+    // (one writer per slot: no synchronization needed).
+    struct DirStats {
+      std::uint64_t owner_forwards = 0;
+      std::uint64_t writebacks = 0;
+    };
+    const char* benchmarks[] = {"fft", "radix", "waternsq"};
+    const CoherenceProtocol protos[] = {CoherenceProtocol::kMoesi,
+                                        CoherenceProtocol::kMesi};
+    std::vector<DirStats> stats(3 * 2);
+    std::size_t slot = 0;
+    for (const char* bn : benchmarks) {
       const auto& profile = benchmark_by_name(bn);
-      for (auto proto : {CoherenceProtocol::kMoesi, CoherenceProtocol::kMesi}) {
+      for (auto proto : protos) {
         SimConfig base_cfg = make_sim_config(8, none);
         SimConfig ptb_cfg = make_sim_config(8, ptb);
         base_cfg.l2.protocol = proto;
         ptb_cfg.l2.protocol = proto;
-        CmpSimulator sim(base_cfg, profile);
-        const RunResult base = sim.run();
-        const auto& dir = sim.memory().directory();
+        DirStats* out = &stats[slot++];
+        ctx.pool().submit([&profile, base_cfg, out] {
+          CmpSimulator sim(base_cfg, profile);
+          RunResult base = sim.run();
+          out->owner_forwards = sim.memory().directory().owner_forwards;
+          out->writebacks = sim.memory().directory().writebacks;
+          return base;
+        });
+        ctx.pool().submit(profile, ptb_cfg);
+      }
+    }
+    const auto results = ctx.pool().wait_all();
+
+    Table t({"benchmark", "variant", "base cycles", "fwd/1k-ops", "wb/1k-ops",
+             "PTB AoPB %"});
+    std::size_t idx = 0;
+    slot = 0;
+    for (const char* bn : benchmarks) {
+      const auto& profile = benchmark_by_name(bn);
+      for (auto proto : protos) {
+        const RunResult& base = results[idx++];
+        const RunResult& r = results[idx++];
+        const DirStats& dir = stats[slot++];
         const double kops = static_cast<double>(base.total_committed) / 1000;
-        const RunResult r = run_one(profile, ptb_cfg);
         const auto row = t.add_row();
         t.set(row, 0, profile.name);
         t.set(row, 1, proto == CoherenceProtocol::kMoesi ? "MOESI" : "MESI");
@@ -42,27 +71,53 @@ int main() {
         t.set(row, 5, base.aopb > 0 ? 100.0 * r.aopb / base.aopb : 0.0, 2);
       }
     }
-    t.print("Ablation A: coherence protocol (PTB results are robust)");
+    ctx.show(t, "Ablation A: coherence protocol (PTB results are robust)");
   }
   {
-    Table t({"benchmark", "DRAM model", "base cycles", "row hit %",
-             "PTB AoPB %"});
-    for (const char* bn : {"fft", "radix"}) {
+    struct DramStats {
+      std::uint64_t accesses = 0;
+      std::uint64_t row_hits = 0;
+    };
+    const char* benchmarks[] = {"fft", "radix"};
+    const bool banked_opts[] = {false, true};
+    std::vector<DramStats> stats(2 * 2);
+    std::size_t slot = 0;
+    for (const char* bn : benchmarks) {
       const auto& profile = benchmark_by_name(bn);
-      for (bool banked : {false, true}) {
+      for (bool banked : banked_opts) {
         SimConfig base_cfg = make_sim_config(8, none);
         SimConfig ptb_cfg = make_sim_config(8, ptb);
         base_cfg.mem.banked = banked;
         base_cfg.functional_warmup = false;  // cold misses exercise DRAM
         ptb_cfg.mem.banked = banked;
-        CmpSimulator sim(base_cfg, profile);
-        const RunResult base = sim.run();
-        const auto& dram = sim.memory().directory().dram();
+        DramStats* out = &stats[slot++];
+        ctx.pool().submit([&profile, base_cfg, out] {
+          CmpSimulator sim(base_cfg, profile);
+          RunResult base = sim.run();
+          const auto& dram = sim.memory().directory().dram();
+          out->accesses = dram.accesses;
+          out->row_hits = dram.row_hits;
+          return base;
+        });
+        ctx.pool().submit(profile, ptb_cfg);
+      }
+    }
+    const auto results = ctx.pool().wait_all();
+
+    Table t({"benchmark", "DRAM model", "base cycles", "row hit %",
+             "PTB AoPB %"});
+    std::size_t idx = 0;
+    slot = 0;
+    for (const char* bn : benchmarks) {
+      const auto& profile = benchmark_by_name(bn);
+      for (bool banked : banked_opts) {
+        const RunResult& base = results[idx++];
+        const RunResult& r = results[idx++];
+        const DramStats& dram = stats[slot++];
         const double hits =
             dram.accesses ? 100.0 * static_cast<double>(dram.row_hits) /
                                 static_cast<double>(dram.accesses)
                           : 0.0;
-        const RunResult r = run_one(profile, ptb_cfg);
         const auto row = t.add_row();
         t.set(row, 0, profile.name);
         t.set(row, 1, banked ? "banked row-buffer" : "flat 300 (Table 1)");
@@ -71,16 +126,27 @@ int main() {
         t.set(row, 4, base.aopb > 0 ? 100.0 * r.aopb / base.aopb : 0.0, 2);
       }
     }
-    t.print("Ablation B: DRAM model (cold caches)");
+    ctx.show(t, "Ablation B: DRAM model (cold caches)");
   }
   {
-    Table t({"benchmark", "warmup", "base cycles", "energy (M tokens)"});
-    for (const char* bn : {"fft", "blackscholes"}) {
+    const char* benchmarks[] = {"fft", "blackscholes"};
+    const bool warm_opts[] = {true, false};
+    for (const char* bn : benchmarks) {
       const auto& profile = benchmark_by_name(bn);
-      for (bool warm : {true, false}) {
+      for (bool warm : warm_opts) {
         SimConfig cfg = make_sim_config(8, none);
         cfg.functional_warmup = warm;
-        const RunResult r = run_one(profile, cfg);
+        ctx.pool().submit(profile, cfg);
+      }
+    }
+    const auto results = ctx.pool().wait_all();
+
+    Table t({"benchmark", "warmup", "base cycles", "energy (M tokens)"});
+    std::size_t idx = 0;
+    for (const char* bn : benchmarks) {
+      const auto& profile = benchmark_by_name(bn);
+      for (bool warm : warm_opts) {
+        const RunResult& r = results[idx++];
         const auto row = t.add_row();
         t.set(row, 0, profile.name);
         t.set(row, 1, warm ? "functional" : "cold");
@@ -88,7 +154,7 @@ int main() {
         t.set(row, 3, r.energy / 1e6, 2);
       }
     }
-    t.print("Ablation C: functional warmup vs cold start");
+    ctx.show(t, "Ablation C: functional warmup vs cold start");
   }
-  return 0;
+  return ctx.finish();
 }

@@ -13,55 +13,76 @@ using namespace ptb;
 
 namespace {
 
-double aopb_pct_for(const SimConfig& cfg, const WorkloadProfile& p,
-                    const RunResult& base) {
-  const RunResult r = run_one(p, cfg);
+double aopb_pct(const RunResult& base, const RunResult& r) {
   return base.aopb > 0 ? 100.0 * r.aopb / base.aopb : 0.0;
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Ablations", "PTB design-constant sensitivity");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_abl_tokens", "Ablations",
+                          "PTB design-constant sensitivity");
   const auto& fft = benchmark_by_name("fft");
   const auto& unstructured = benchmark_by_name("unstructured");
   const auto& ocean = benchmark_by_name("ocean");
+  const WorkloadProfile* profiles[] = {&fft, &ocean, &unstructured};
 
-  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
-                    0.0};
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
-  BaseRunCache cache;
+  const TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true,
+                          PtbPolicy::kToAll, 0.0};
+  // Warm the three 8-core base runs concurrently; later sections hit the
+  // cache.
+  for (const auto* p : profiles) {
+    ctx.pool().submit(
+        [&cache = ctx.cache(), p] { return cache.get(*p, 8); });
+  }
+  ctx.pool().wait_all();
 
   {
     Table t({"wire bits", "fft AoPB %", "ocean AoPB %", "unstr AoPB %"});
-    for (std::uint32_t bits : {2u, 4u, 8u}) {
-      SimConfig cfg = make_sim_config(8, ptb);
-      cfg.ptb.token_wire_bits = bits;
+    const std::uint32_t widths[] = {2u, 4u, 8u};
+    for (std::uint32_t bits : widths) {
+      for (const auto* p : profiles) {
+        SimConfig cfg = make_sim_config(8, ptb);
+        cfg.ptb.token_wire_bits = bits;
+        ctx.pool().submit(*p, cfg);
+      }
+    }
+    const auto results = ctx.pool().wait_all();
+    std::size_t idx = 0;
+    for (std::uint32_t bits : widths) {
       const auto row = t.add_row();
       t.set(row, 0, static_cast<std::int64_t>(bits));
-      t.set(row, 1, aopb_pct_for(cfg, fft, cache.get(fft, 8)), 2);
-      t.set(row, 2, aopb_pct_for(cfg, ocean, cache.get(ocean, 8)), 2);
-      t.set(row, 3,
-            aopb_pct_for(cfg, unstructured, cache.get(unstructured, 8)), 2);
+      for (std::size_t c = 0; c < 3; ++c) {
+        t.set(row, c + 1,
+              aopb_pct(ctx.cache().get(*profiles[c], 8), results[idx++]), 2);
+      }
     }
-    t.print("Ablation 1: token-wire width (8 cores; paper uses 4 bits)");
+    ctx.show(t, "Ablation 1: token-wire width (8 cores; paper uses 4 bits)");
   }
   {
     Table t({"wire latency", "fft AoPB %", "ocean AoPB %", "unstr AoPB %"});
-    for (std::uint32_t lat : {3u, 5u, 10u, 20u}) {
-      SimConfig cfg = make_sim_config(8, ptb);
-      cfg.ptb.wire_latency_override = lat;
+    const std::uint32_t latencies[] = {3u, 5u, 10u, 20u};
+    for (std::uint32_t lat : latencies) {
+      for (const auto* p : profiles) {
+        SimConfig cfg = make_sim_config(8, ptb);
+        cfg.ptb.wire_latency_override = lat;
+        ctx.pool().submit(*p, cfg);
+      }
+    }
+    const auto results = ctx.pool().wait_all();
+    std::size_t idx = 0;
+    for (std::uint32_t lat : latencies) {
       const auto row = t.add_row();
       t.set(row, 0, static_cast<std::int64_t>(lat));
-      t.set(row, 1, aopb_pct_for(cfg, fft, cache.get(fft, 8)), 2);
-      t.set(row, 2, aopb_pct_for(cfg, ocean, cache.get(ocean, 8)), 2);
-      t.set(row, 3,
-            aopb_pct_for(cfg, unstructured, cache.get(unstructured, 8)), 2);
+      for (std::size_t c = 0; c < 3; ++c) {
+        t.set(row, c + 1,
+              aopb_pct(ctx.cache().get(*profiles[c], 8), results[idx++]), 2);
+      }
     }
-    t.print("Ablation 2: balancer round-trip latency (cycles)");
+    ctx.show(t, "Ablation 2: balancer round-trip latency (cycles)");
   }
   {
+    // Analytic (no simulation): stays on the calling thread.
     Table t({"k-means groups", "aggregate error %", "per-instr |error| %"});
     for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
       PowerConfig pcfg;
@@ -72,22 +93,27 @@ int main() {
       t.set(row, 1, 100.0 * m.grouping_error(), 4);
       t.set(row, 2, 100.0 * m.grouping_abs_error(), 3);
     }
-    t.print("Ablation 3: instruction grouping (paper: 8 groups, <1% error)");
+    ctx.show(t, "Ablation 3: instruction grouping (paper: 8 groups, <1% "
+                "error)");
   }
   {
     Table t({"PTHT entries", "fft AoPB %", "fft energy %"});
-    for (std::uint32_t entries : {512u, 2048u, 8192u}) {
+    const std::uint32_t sizes[] = {512u, 2048u, 8192u};
+    for (std::uint32_t entries : sizes) {
       SimConfig cfg = make_sim_config(8, ptb);
       cfg.power.ptht_entries = entries;
-      const RunResult& base = cache.get(fft, 8);
-      const RunResult r = run_one(fft, cfg);
-      const Normalized n = normalize(base, r);
+      ctx.pool().submit(fft, cfg);
+    }
+    const auto results = ctx.pool().wait_all();
+    std::size_t idx = 0;
+    for (std::uint32_t entries : sizes) {
+      const Normalized n = normalize(ctx.cache().get(fft, 8), results[idx++]);
       const auto row = t.add_row();
       t.set(row, 0, static_cast<std::int64_t>(entries));
       t.set(row, 1, n.aopb_pct, 2);
       t.set(row, 2, n.energy_pct, 2);
     }
-    t.print("Ablation 4: PTHT capacity (paper: 8K entries)");
+    ctx.show(t, "Ablation 4: PTHT capacity (paper: 8K entries)");
   }
-  return 0;
+  return ctx.finish();
 }

@@ -9,9 +9,10 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Prior-art baselines",
-                      "thrifty barrier & meeting points vs PTB, 16 cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ext_baselines",
+                          "Prior-art baselines",
+                          "thrifty barrier & meeting points vs PTB, 16 cores");
 
   const std::vector<TechniqueSpec> techs{
       {"ThriftyBarrier", TechniqueKind::kThriftyBarrier, false,
@@ -21,17 +22,28 @@ int main() {
       {"PTB+2Level", TechniqueKind::kTwoLevel, true, PtbPolicy::kDynamic,
        0.0},
   };
+  const char* benchmarks[] = {"ocean", "tomcatv", "barnes", "radix",
+                              "watersp", "unstructured"};
+
+  for (const char* bn : benchmarks) {
+    const auto& profile = benchmark_by_name(bn);
+    ctx.pool().submit([&cache = ctx.cache(), &profile] {
+      return cache.get(profile, 16);
+    });
+    for (const auto& t : techs) {
+      ctx.pool().submit(profile, make_sim_config(16, t));
+    }
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
 
   Table table({"benchmark", "technique", "energy %", "AoPB %",
                "slowdown %"});
-  BaseRunCache cache;
-  for (const char* bn :
-       {"ocean", "tomcatv", "barnes", "radix", "watersp", "unstructured"}) {
+  std::size_t idx = 0;
+  for (const char* bn : benchmarks) {
     const auto& profile = benchmark_by_name(bn);
-    const RunResult& base = cache.get(profile, 16);
+    const RunResult& base = results[idx++];
     for (const auto& t : techs) {
-      const RunResult r = run_one(profile, make_sim_config(16, t));
-      const Normalized norm = normalize(base, r);
+      const Normalized norm = normalize(base, results[idx++]);
       const auto row = table.add_row();
       table.set(row, 0, profile.name);
       table.set(row, 1, t.label);
@@ -40,10 +52,10 @@ int main() {
       table.set(row, 4, norm.slowdown_pct, 2);
     }
   }
-  table.print(
-      "Energy mechanisms do not match budgets (AoPB stays near 100%)");
+  ctx.show(table,
+           "Energy mechanisms do not match budgets (AoPB stays near 100%)");
   std::printf(
       "Thrifty barriers / meeting points cut synchronization energy but\n"
       "cannot bound instantaneous power — the paper's case for PTB.\n");
-  return 0;
+  return ctx.finish();
 }

@@ -8,15 +8,12 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Clustered PTB",
-                      "monolithic vs per-cluster balancers at 32 cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ext_cluster", "Clustered PTB",
+                          "monolithic vs per-cluster balancers at 32 cores");
 
-  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
-                    0.0};
-  Table table({"benchmark", "variant", "energy %", "AoPB %", "slowdown %",
-               "tokens granted (M)"});
-  BaseRunCache cache;
+  const TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true,
+                          PtbPolicy::kToAll, 0.0};
   struct Variant {
     const char* label;
     std::uint32_t cluster;
@@ -26,13 +23,29 @@ int main() {
       {"2 clusters of 16", 16},
       {"4 clusters of 8", 8},
   };
-  for (const char* bn : {"fft", "ocean", "barnes", "waternsq"}) {
+  const char* benchmarks[] = {"fft", "ocean", "barnes", "waternsq"};
+
+  for (const char* bn : benchmarks) {
     const auto& profile = benchmark_by_name(bn);
-    const RunResult& base = cache.get(profile, 32);
+    ctx.pool().submit([&cache = ctx.cache(), &profile] {
+      return cache.get(profile, 32);
+    });
     for (const auto& v : variants) {
       SimConfig cfg = make_sim_config(32, ptb);
       cfg.ptb.cluster_size = v.cluster;
-      const RunResult r = run_one(profile, cfg);
+      ctx.pool().submit(profile, cfg);
+    }
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
+
+  Table table({"benchmark", "variant", "energy %", "AoPB %", "slowdown %",
+               "tokens granted (M)"});
+  std::size_t idx = 0;
+  for (const char* bn : benchmarks) {
+    const auto& profile = benchmark_by_name(bn);
+    const RunResult& base = results[idx++];
+    for (const auto& v : variants) {
+      const RunResult& r = results[idx++];
       const Normalized norm = normalize(base, r);
       const auto row = table.add_row();
       table.set(row, 0, profile.name);
@@ -43,8 +56,8 @@ int main() {
       table.set(row, 5, r.tokens_granted / 1e6, 2);
     }
   }
-  table.print("32-core CMP, 50% budget");
+  ctx.show(table, "32-core CMP, 50% budget");
   std::printf("Clusters keep the short wire latency while retaining most of\n"
               "the balancing benefit — the paper's >16-core scaling story.\n");
-  return 0;
+  return ctx.finish();
 }

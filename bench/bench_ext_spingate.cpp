@@ -9,26 +9,40 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Spin-gating extension",
-                      "PTB as a spin detector that gates spinning cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ext_spingate",
+                          "Spin-gating extension",
+                          "PTB as a spin detector that gates spinning cores");
 
-  TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true, PtbPolicy::kToAll,
-                    0.0};
-  BaseRunCache cache;
+  const TechniqueSpec ptb{"PTB", TechniqueKind::kTwoLevel, true,
+                          PtbPolicy::kToAll, 0.0};
+  const char* benchmarks[] = {"unstructured", "fluidanimate", "waternsq",
+                              "raytrace", "ocean", "barnes", "fft",
+                              "blackscholes"};
+  // Per benchmark: base (through the cache), plain PTB, and gated PTB.
+  for (const char* bn : benchmarks) {
+    const auto& profile = benchmark_by_name(bn);
+    ctx.pool().submit([&cache = ctx.cache(), &profile] {
+      return cache.get(profile, 16);
+    });
+    ctx.pool().submit(profile, make_sim_config(16, ptb));
+    SimConfig gated_cfg = make_sim_config(16, ptb);
+    gated_cfg.ptb.gate_spinners = true;
+    ctx.pool().submit(profile, gated_cfg);
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
+
   Table table({"benchmark", "PTB energy %", "+gate energy %",
                "PTB slowdown %", "+gate slowdown %", "gated Mcycles"});
   double e0 = 0, e1 = 0;
   int n = 0;
-  for (const char* bn :
-       {"unstructured", "fluidanimate", "waternsq", "raytrace", "ocean",
-        "barnes", "fft", "blackscholes"}) {
+  std::size_t idx = 0;
+  for (const char* bn : benchmarks) {
     const auto& profile = benchmark_by_name(bn);
-    const RunResult& base = cache.get(profile, 16);
-    const RunResult plain = run_one(profile, make_sim_config(16, ptb));
-    SimConfig gated_cfg = make_sim_config(16, ptb);
-    gated_cfg.ptb.gate_spinners = true;
-    const RunResult gated = run_one(profile, gated_cfg);
+    const RunResult& base = results[idx];
+    const RunResult& plain = results[idx + 1];
+    const RunResult& gated = results[idx + 2];
+    idx += 3;
     const Normalized np = normalize(base, plain);
     const Normalized ng = normalize(base, gated);
     const auto row = table.add_row();
@@ -43,8 +57,8 @@ int main() {
     e1 += ng.energy_pct;
     ++n;
   }
-  table.print("PTB vs PTB + power-pattern spinner gating (16 cores)");
+  ctx.show(table, "PTB vs PTB + power-pattern spinner gating (16 cores)");
   std::printf("Average energy: PTB %.2f%% -> with gating %.2f%%\n",
               e0 / n, e1 / n);
-  return 0;
+  return ctx.finish();
 }

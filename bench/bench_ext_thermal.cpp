@@ -10,22 +10,30 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Thermal extension",
-                      "per-core temperature mean / stability, 16 cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ext_thermal",
+                          "Thermal extension",
+                          "per-core temperature mean / stability, 16 cores");
 
-  std::vector<TechniqueSpec> techs{
-      {"none", TechniqueKind::kNone, false, PtbPolicy::kToAll, 0.0}};
+  std::vector<TechniqueSpec> techs{base_technique()};
   for (auto& t : standard_techniques(PtbPolicy::kDynamic))
     techs.push_back(t);
+  const char* benchmarks[] = {"fft", "ocean", "barnes", "blackscholes"};
+
+  for (const auto& tech : techs) {
+    for (const char* bn : benchmarks) {
+      ctx.pool().submit(benchmark_by_name(bn), make_sim_config(16, tech));
+    }
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
 
   Table table({"technique", "mean temp C", "max temp C", "temp stddev C"});
+  std::size_t idx = 0;
   for (const auto& tech : techs) {
     double mean = 0.0, mx = 0.0, sd = 0.0;
     int n = 0;
-    for (const char* bn : {"fft", "ocean", "barnes", "blackscholes"}) {
-      const RunResult r =
-          run_one(benchmark_by_name(bn), make_sim_config(16, tech));
+    for ([[maybe_unused]] const char* bn : benchmarks) {
+      const RunResult& r = results[idx++];
       for (const auto& c : r.cores) {
         mean += c.temp_mean;
         sd += c.temp_std;
@@ -39,9 +47,9 @@ int main() {
     table.set(row, 2, mx, 2);
     table.set(row, 3, sd / n, 3);
   }
-  table.print("Average core temperature and stability by technique");
+  ctx.show(table, "Average core temperature and stability by technique");
   std::printf("PTB's per-cycle budget matching keeps the power curve "
               "flatter, which the\nRC model turns into a lower, steadier "
               "temperature than the base case.\n");
-  return 0;
+  return ctx.finish();
 }

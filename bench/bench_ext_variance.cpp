@@ -8,15 +8,16 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Seed variance",
-                      "headline metrics across 5 seeds, 16 cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ext_variance", "Seed variance",
+                          "headline metrics across 5 seeds, 16 cores");
 
   const TechniqueSpec dvfs{"DVFS", TechniqueKind::kDvfs, false,
                            PtbPolicy::kToAll, 0.0};
   const TechniqueSpec ptb{"PTB+2Level", TechniqueKind::kTwoLevel, true,
                           PtbPolicy::kDynamic, 0.0};
   constexpr std::uint32_t kSeeds = 5;
+  ctx.report().set_seeds(kSeeds);
 
   Table table({"benchmark", "technique", "AoPB % mean", "AoPB % std",
                "energy % mean", "slowdown % mean"});
@@ -25,7 +26,7 @@ int main() {
     const auto& profile = benchmark_by_name(bn);
     for (const auto& tech : {dvfs, ptb}) {
       const ReplicatedResult r =
-          run_replicated(profile, 16, tech, kSeeds);
+          run_replicated(profile, 16, tech, kSeeds, ctx.pool());
       const auto row = table.add_row();
       table.set(row, 0, profile.name);
       table.set(row, 1, tech.label);
@@ -35,7 +36,7 @@ int main() {
       table.set(row, 5, r.slowdown_pct.mean(), 2);
     }
   }
-  table.print("5-seed replication: the AoPB gap is far larger than the "
-              "seed noise");
-  return 0;
+  ctx.show(table, "5-seed replication: the AoPB gap is far larger than the "
+                  "seed noise");
+  return ctx.finish();
 }

@@ -6,12 +6,12 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 2",
-                      "naive equal power split, 16-core CMP, 50% budget");
-  BaseRunCache cache;
-  FigureGrid grid = bench::run_suite_grid(16, naive_techniques(), cache);
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig02_naive", "Figure 2",
+                          "naive equal power split, 16-core CMP, 50% budget");
+  FigureGrid grid =
+      run_suite_grid(16, naive_techniques(), ctx.cache(), ctx.pool());
   grid.append_average();
-  print_energy_aopb(grid, "Figure 2 (16 cores, naive split)");
-  return 0;
+  ctx.show_energy_aopb(grid, "Figure 2 (16 cores, naive split)");
+  return ctx.finish();
 }

@@ -6,16 +6,25 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 3",
-                      "execution time breakdown for 2-16 cores (%)");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig03_breakdown", "Figure 3",
+                          "execution time breakdown for 2-16 cores (%)");
   Table table({"benchmark", "cores", "Lock-Acq", "Lock-Rel", "Barrier",
                "Busy"});
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
+  const TechniqueSpec none = base_technique();
+  const std::uint32_t core_counts[] = {2u, 4u, 8u, 16u};
+  // All (benchmark x cores) runs are independent: fan them out and read
+  // the results back in submission order.
   for (const auto& profile : benchmark_suite()) {
-    for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
-      const RunResult r = run_one(profile, make_sim_config(cores, none));
+    for (std::uint32_t cores : core_counts) {
+      ctx.pool().submit(profile, make_sim_config(cores, none));
+    }
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
+  std::size_t idx = 0;
+  for (const auto& profile : benchmark_suite()) {
+    for (std::uint32_t cores : core_counts) {
+      const RunResult& r = results[idx++];
       Cycle sums[kNumExecStates] = {};
       Cycle total = 0;
       for (const auto& c : r.cores) {
@@ -42,6 +51,6 @@ int main() {
                 1);
     }
   }
-  table.print("Figure 3: time in each execution state (% of core-cycles)");
-  return 0;
+  ctx.show(table, "Figure 3: time in each execution state (% of core-cycles)");
+  return ctx.finish();
 }

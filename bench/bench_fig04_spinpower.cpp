@@ -7,18 +7,26 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 4", "spin power as % of total CMP energy");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig04_spinpower", "Figure 4",
+                          "spin power as % of total CMP energy");
   Table table({"benchmark", "2 cores", "4 cores", "8 cores", "16 cores"});
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
+  const TechniqueSpec none = base_technique();
+  const std::uint32_t core_counts[] = {2u, 4u, 8u, 16u};
+  for (const auto& profile : benchmark_suite()) {
+    for (std::uint32_t cores : core_counts) {
+      ctx.pool().submit(profile, make_sim_config(cores, none));
+    }
+  }
+  const std::vector<RunResult> results = ctx.pool().wait_all();
+  std::size_t idx = 0;
   double avg[4] = {0, 0, 0, 0};
   for (const auto& profile : benchmark_suite()) {
     const auto row = table.add_row();
     table.set(row, 0, profile.name);
     int col = 1;
-    for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
-      const RunResult r = run_one(profile, make_sim_config(cores, none));
+    for ([[maybe_unused]] std::uint32_t cores : core_counts) {
+      const RunResult& r = results[idx++];
       const double pct = 100.0 * r.spin_energy / r.energy;
       table.set(row, col, pct, 1);
       avg[col - 1] += pct;
@@ -29,6 +37,6 @@ int main() {
   table.set(row, 0, "Avg.");
   const double n = static_cast<double>(benchmark_suite().size());
   for (int c = 0; c < 4; ++c) table.set(row, c + 1, avg[c] / n, 1);
-  table.print("Figure 4: normalized spinlock power (%)");
-  return 0;
+  ctx.show(table, "Figure 4: normalized spinlock power (%)");
+  return ctx.finish();
 }

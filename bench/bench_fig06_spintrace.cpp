@@ -5,17 +5,19 @@
 
 #include <algorithm>
 
+#include "common/table.hpp"
 #include "sim/cmp.hpp"
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 6", "per-cycle power of a spinning core");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig06_spintrace", "Figure 6",
+                          "per-cycle power of a spinning core");
 
   // Lock-bound benchmark at 8 cores; core 0 spends long stretches spinning.
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
-  SimConfig cfg = make_sim_config(8, none);
+  // A single traced run — the simulator needs introspection after run(), so
+  // this bench stays on the calling thread regardless of --jobs.
+  SimConfig cfg = make_sim_config(8, base_technique());
   const WorkloadProfile& profile = benchmark_by_name("unstructured");
   CmpSimulator sim(cfg, profile);
   RunOptions opts;
@@ -50,6 +52,7 @@ int main() {
   const std::size_t lo = edge > 24 ? edge - 24 : 0;
   const std::size_t hi = std::min(v.size(), edge + 40);
   const double vmax = *std::max_element(v.begin() + lo, v.begin() + hi);
+  Table window({"cycle", "tokens"});
   std::printf("%-10s %-9s  power (each # ~ %.1f tokens; | = local budget)\n",
               "cycle", "tokens", vmax / 40.0);
   for (std::size_t i = lo; i < hi; ++i) {
@@ -64,9 +67,15 @@ int main() {
       }
     }
     std::fputc('\n', stdout);
+    const auto row = window.add_row();
+    window.set(row, 0, trace.times()[i], 0);
+    window.set(row, 1, v[i], 1);
   }
   std::printf("\nAfter the initial peak the spinning core stabilizes far "
               "under its budget\n(the paper's Figure 6 signature) — those "
               "are the tokens PTB redistributes.\n");
-  return 0;
+  ctx.report().set_meta("local_budget", format_double(budget, 1));
+  ctx.report().add_table("Figure 6: busy->spin window (cycle, tokens)",
+                         window);
+  return ctx.finish();
 }

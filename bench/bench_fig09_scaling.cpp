@@ -7,21 +7,22 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header(
-      "Figure 9", "suite averages for 2-16 cores and both PTB policies");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig09_scaling", "Figure 9",
+                          "suite averages for 2-16 cores and both PTB "
+                          "policies");
 
   Table energy({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level"});
   Table aopb({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level"});
-  BaseRunCache cache;
   for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
     // The non-PTB columns do not depend on the policy: run them once.
     const auto naive_avg =
-        bench::run_suite_averages(cores, naive_techniques(), cache);
+        run_suite_averages(cores, naive_techniques(), ctx.cache(), ctx.pool());
     for (PtbPolicy policy : {PtbPolicy::kToOne, PtbPolicy::kToAll}) {
       const std::vector<TechniqueSpec> ptb_only{
           standard_techniques(policy).back()};
-      const auto ptb_avg = bench::run_suite_averages(cores, ptb_only, cache);
+      const auto ptb_avg =
+          run_suite_averages(cores, ptb_only, ctx.cache(), ctx.pool());
       const std::string label =
           std::to_string(cores) + "Core_" +
           (policy == PtbPolicy::kToOne ? "ToOne" : "ToAll");
@@ -37,7 +38,7 @@ int main() {
       aopb.set(ar, 4, ptb_avg[0].aopb_pct, 2);
     }
   }
-  energy.print("Figure 9 (left): normalized energy (%)");
-  aopb.print("Figure 9 (right): normalized AoPB (%)");
-  return 0;
+  ctx.show(energy, "Figure 9 (left): normalized energy (%)");
+  ctx.show(aopb, "Figure 9 (right): normalized AoPB (%)");
+  return ctx.finish();
 }

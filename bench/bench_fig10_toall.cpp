@@ -4,13 +4,12 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 10", "16-core detail, PTB policy = ToAll");
-  BaseRunCache cache;
-  FigureGrid grid =
-      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kToAll),
-                            cache);
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig10_toall", "Figure 10",
+                          "16-core detail, PTB policy = ToAll");
+  FigureGrid grid = run_suite_grid(16, standard_techniques(PtbPolicy::kToAll),
+                                   ctx.cache(), ctx.pool());
   grid.append_average();
-  print_energy_aopb(grid, "Figure 10 (16 cores, ToAll)");
-  return 0;
+  ctx.show_energy_aopb(grid, "Figure 10 (16 cores, ToAll)");
+  return ctx.finish();
 }

@@ -6,13 +6,12 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 11", "16-core detail, PTB policy = ToOne");
-  BaseRunCache cache;
-  FigureGrid grid =
-      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kToOne),
-                            cache);
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig11_toone", "Figure 11",
+                          "16-core detail, PTB policy = ToOne");
+  FigureGrid grid = run_suite_grid(16, standard_techniques(PtbPolicy::kToOne),
+                                   ctx.cache(), ctx.pool());
   grid.append_average();
-  print_energy_aopb(grid, "Figure 11 (16 cores, ToOne)");
-  return 0;
+  ctx.show_energy_aopb(grid, "Figure 11 (16 cores, ToOne)");
+  return ctx.finish();
 }

@@ -5,14 +5,13 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 12",
-                      "16-core detail, dynamic ToOne/ToAll selector");
-  BaseRunCache cache;
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig12_dynamic", "Figure 12",
+                          "16-core detail, dynamic ToOne/ToAll selector");
   FigureGrid grid =
-      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic),
-                            cache);
+      run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic), ctx.cache(),
+                     ctx.pool());
   grid.append_average();
-  print_energy_aopb(grid, "Figure 12 (16 cores, dynamic policy)");
-  return 0;
+  ctx.show_energy_aopb(grid, "Figure 12 (16 cores, dynamic policy)");
+  return ctx.finish();
 }

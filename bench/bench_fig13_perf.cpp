@@ -6,14 +6,13 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 13",
-                      "performance slowdown, 16 cores, dynamic selector");
-  BaseRunCache cache;
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig13_perf", "Figure 13",
+                          "performance slowdown, 16 cores, dynamic selector");
   FigureGrid grid =
-      bench::run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic),
-                            cache);
+      run_suite_grid(16, standard_techniques(PtbPolicy::kDynamic), ctx.cache(),
+                     ctx.pool());
   grid.append_average();
-  print_slowdown(grid, "Figure 13 (16 cores, dynamic policy)");
-  return 0;
+  ctx.show_slowdown(grid, "Figure 13 (16 cores, dynamic policy)");
+  return ctx.finish();
 }

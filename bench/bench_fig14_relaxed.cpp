@@ -9,26 +9,26 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Figure 14",
-                      "relaxed-accuracy PTB (+20% threshold), 2-16 cores");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_fig14_relaxed", "Figure 14",
+                          "relaxed-accuracy PTB (+20% threshold), 2-16 cores");
 
   Table energy({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level",
                 "Restricted PTB+2Level"});
   Table aopb({"configuration", "DVFS", "DFS", "2Level", "PTB+2Level",
               "Restricted PTB+2Level"});
-  BaseRunCache cache;
   for (std::uint32_t cores : {2u, 4u, 8u, 16u}) {
     // Non-PTB columns are policy-independent: run once per core count.
     const auto naive_avg =
-        bench::run_suite_averages(cores, naive_techniques(), cache);
+        run_suite_averages(cores, naive_techniques(), ctx.cache(), ctx.pool());
     for (PtbPolicy policy : {PtbPolicy::kToOne, PtbPolicy::kToAll}) {
       const std::vector<TechniqueSpec> ptb_cols{
           {"PTB+2Level", TechniqueKind::kTwoLevel, true, policy, 0.0},
           {"Restricted PTB+2Level", TechniqueKind::kTwoLevel, true, policy,
            0.20},
       };
-      const auto ptb_avg = bench::run_suite_averages(cores, ptb_cols, cache);
+      const auto ptb_avg =
+          run_suite_averages(cores, ptb_cols, ctx.cache(), ctx.pool());
       const std::string label =
           std::to_string(cores) + "Core_" +
           (policy == PtbPolicy::kToOne ? "ToOne" : "ToAll");
@@ -46,7 +46,7 @@ int main() {
       }
     }
   }
-  energy.print("Figure 14 (left): normalized energy (%)");
-  aopb.print("Figure 14 (right): normalized AoPB (%)");
-  return 0;
+  ctx.show(energy, "Figure 14 (left): normalized energy (%)");
+  ctx.show(aopb, "Figure 14 (right): normalized AoPB (%)");
+  return ctx.finish();
 }

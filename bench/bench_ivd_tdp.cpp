@@ -11,13 +11,13 @@
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Section IV.D",
-                      "cores per 100 W TDP from measured accuracy");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_ivd_tdp", "Section IV.D",
+                          "cores per 100 W TDP from measured accuracy");
 
-  BaseRunCache cache;
-  const auto avg = bench::run_suite_averages(
-      16, standard_techniques(PtbPolicy::kDynamic), cache);
+  const auto avg =
+      run_suite_averages(16, standard_techniques(PtbPolicy::kDynamic),
+                         ctx.cache(), ctx.pool());
 
   // The paper's arithmetic: 16-core, 100 W TDP -> 6.25 W/core; a 50%
   // budget targets 3.125 W/core; a technique with AoPB error e consumes
@@ -41,8 +41,8 @@ int main() {
   add("DFS", avg[1].aopb_pct);
   add("2Level", avg[2].aopb_pct);
   add("PTB+2Level", avg[3].aopb_pct);
-  table.print("Section IV.D: accuracy converts into cores under one TDP");
+  ctx.show(table, "Section IV.D: accuracy converts into cores under one TDP");
   std::printf("(The paper's numbers with its errors: DVFS 19, 2Level 22, "
               "PTB 29 cores.)\n");
-  return 0;
+  return ctx.finish();
 }

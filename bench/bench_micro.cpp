@@ -2,6 +2,9 @@
 // throughput, PTHT access, k-means grouping, mesh routing, balancer cycle.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "core/balancer.hpp"
 #include "mem/memory_system.hpp"
@@ -124,4 +127,35 @@ BENCHMARK(BM_SimulatorWithPtb)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accept the shared bench CLI (--jobs / --json) so drivers can treat every
+// bench binary uniformly: the microbenchmarks are single-process timing
+// loops, so --jobs is accepted and ignored, and --json maps onto
+// google-benchmark's native JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.emplace_back(argc > 0 ? argv[0] : "bench_micro");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      ++i;  // value consumed and ignored (timing loops are serial)
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // ignored
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

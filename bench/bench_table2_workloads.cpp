@@ -3,17 +3,22 @@
 // catalog is verifiable, not just declarative).
 #include "bench_util.hpp"
 
+#include <algorithm>
+
 #include "common/table.hpp"
 #include "sync/spin_tracker.hpp"
 #include "workloads/program.hpp"
 
 using namespace ptb;
 
-int main() {
-  bench::print_header("Table 2", "evaluated benchmarks and input sets");
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(argc, argv, "bench_table2_workloads", "Table 2",
+                          "evaluated benchmarks and input sets");
 
   Table table({"benchmark", "input size", "iters", "kops/iter", "locks",
                "cs/1k-ops", "imbalance", "mem %", "branch %"});
+  // Short single-thread stream drives, far cheaper than a simulation —
+  // runs on the calling thread regardless of --jobs.
   for (const auto& p : benchmark_suite()) {
     // Measure the actual emitted mix over a short single-thread drive.
     SyncState sync(std::max(1u, p.num_locks), 1, 1);
@@ -62,6 +67,6 @@ int main() {
     table.set(row, 8, 100.0 * static_cast<double>(branch) /
                           static_cast<double>(total), 1);
   }
-  table.print("SPLASH-2 + PARSEC workload catalog (measured stream mix)");
-  return 0;
+  ctx.show(table, "SPLASH-2 + PARSEC workload catalog (measured stream mix)");
+  return ctx.finish();
 }

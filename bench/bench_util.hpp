@@ -1,53 +1,140 @@
-// Shared helpers for the per-figure bench binaries.
+// Shared helpers for the per-figure bench binaries: common CLI parsing
+// (--jobs / --json), the run pool, and the JSON report every binary can
+// emit next to its printed tables.
+//
+// Threading & determinism: the BenchContext owns one RunPool sized by
+// --jobs; grid helpers (sim/experiment.hpp) and hand-rolled bench loops
+// submit their independent runs to it and read the results back in
+// submission order, so every table and every JSON byte is identical at any
+// --jobs value (only the wall clock changes).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
 #include "sim/reporting.hpp"
+#include "sim/run_pool.hpp"
 #include "workloads/suite.hpp"
 
 namespace ptb::bench {
 
-/// Runs every suite benchmark under each technique at `cores`, normalized
-/// against cached base runs. Returns the grid without the average row.
-inline FigureGrid run_suite_grid(std::uint32_t cores,
-                                 const std::vector<TechniqueSpec>& techs,
-                                 BaseRunCache& cache) {
-  FigureGrid grid;
-  for (const auto& t : techs) grid.technique_labels.push_back(t.label);
-  for (const auto& profile : benchmark_suite()) {
-    const RunResult& base = cache.get(profile, cores);
-    std::vector<Normalized> row;
-    row.reserve(techs.size());
-    for (const auto& t : techs) {
-      const RunResult r = run_one(profile, make_sim_config(cores, t));
-      row.push_back(normalize(base, r));
+/// Options every bench binary accepts.
+struct BenchOptions {
+  unsigned jobs = 0;      // --jobs N; 0 = RunPool::default_jobs()
+  std::string json_path;  // --json PATH; empty = no JSON output
+};
+
+/// Parses the shared flags; prints usage and exits on --help or on an
+/// unknown/malformed argument. Call once, from main.
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      const long n = std::strtol(value("--jobs"), nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const long n = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --jobs must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--json") {
+      opts.json_path = value("--json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--jobs N] [--json PATH]\n"
+          "  --jobs N     worker threads for the run grid (default: all\n"
+          "               hardware threads); results are identical for any N\n"
+          "  --json PATH  also write the results as machine-readable JSON\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], arg.c_str());
+      std::exit(2);
     }
-    grid.row_labels.push_back(profile.name);
-    grid.grid.push_back(std::move(row));
   }
-  return grid;
+  return opts;
 }
 
-/// Average one technique column over the suite at `cores` (no per-benchmark
-/// rows — for the scaling figures).
-inline std::vector<Normalized> run_suite_averages(
-    std::uint32_t cores, const std::vector<TechniqueSpec>& techs,
-    BaseRunCache& cache) {
-  FigureGrid g = run_suite_grid(cores, techs, cache);
-  g.append_average();
-  return g.grid.back();
-}
+/// Everything one bench main needs: parsed options, the worker pool, the
+/// base-run cache, and the JSON report. Construct first thing in main;
+/// return finish() last thing.
+class BenchContext {
+ public:
+  /// Parses argv, prints the standard figure header, and spins up the
+  /// pool. `name` is the binary's canonical name (the JSON "bench" field).
+  BenchContext(int argc, char** argv, const char* name, const char* figure,
+               const char* what)
+      : opts_(parse_bench_args(argc, argv)),
+        pool_(opts_.jobs),
+        report_(name) {
+    std::printf("==========================================================\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("(normalized to the no-power-control base case; budget = 50%%"
+                " of peak)\n");
+    std::printf("==========================================================\n\n");
+  }
 
-inline void print_header(const char* figure, const char* what) {
-  std::printf("==========================================================\n");
-  std::printf("%s — %s\n", figure, what);
-  std::printf("(normalized to the no-power-control base case; budget = 50%%"
-              " of peak)\n");
-  std::printf("==========================================================\n\n");
-}
+  RunPool& pool() { return pool_; }
+  BaseRunCache& cache() { return cache_; }
+  BenchReport& report() { return report_; }
+  const BenchOptions& options() const { return opts_; }
+
+  /// Print a table and record it in the JSON report.
+  void show(const Table& t, const std::string& title) {
+    t.print(title);
+    report_.add_table(title, t);
+  }
+
+  /// Print a grid's energy/AoPB pair (the paper's paired-figure layout)
+  /// and record the grid in the JSON report.
+  void show_energy_aopb(const FigureGrid& grid, const std::string& title) {
+    print_energy_aopb(grid, title);
+    report_.add_grid(title, grid);
+  }
+
+  /// Print a grid's slowdown table (Figure 13 style) and record the grid.
+  void show_slowdown(const FigureGrid& grid, const std::string& title) {
+    print_slowdown(grid, title);
+    report_.add_grid(title, grid);
+  }
+
+  /// Writes the JSON report if --json was given. Returns main's exit code.
+  int finish() {
+    if (opts_.json_path.empty()) return 0;
+    if (!report_.write(opts_.json_path)) {
+      std::fprintf(stderr, "error: cannot write JSON to %s\n",
+                   opts_.json_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  BenchOptions opts_;
+  RunPool pool_;
+  BaseRunCache cache_;
+  BenchReport report_;
+};
 
 }  // namespace ptb::bench

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Regenerate every file under results/: one .txt (human-readable tables) and
+# one .json (machine-readable, see src/sim/reporting.hpp) per bench binary.
+#
+# Usage: scripts/regen_results.sh [-j N] [build-dir]
+#   -j N       worker threads per bench binary (default: all hardware threads)
+#   build-dir  CMake build tree containing bench/ (default: build)
+#
+# Output is deterministic: the same sources produce byte-identical .txt and
+# .json files at any -j value, so a clean `git diff` after running this
+# script means the results are up to date.
+set -euo pipefail
+
+jobs=""
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N] [build-dir]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bench_dir="$build_dir/bench"
+results_dir="$repo_root/results"
+
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+jobs_flag=()
+if [[ -n "$jobs" ]]; then
+  jobs_flag=(--jobs "$jobs")
+fi
+
+mkdir -p "$results_dir"
+
+# Simulation-table benches: text tables to stdout, structured JSON via --json.
+benches=(
+  bench_table2_workloads
+  bench_fig02_naive
+  bench_fig03_breakdown
+  bench_fig04_spinpower
+  bench_fig06_spintrace
+  bench_fig09_scaling
+  bench_fig10_toall
+  bench_fig11_toone
+  bench_fig12_dynamic
+  bench_fig13_perf
+  bench_fig14_relaxed
+  bench_ivd_tdp
+  bench_ext_variance
+  bench_ext_thermal
+  bench_ext_spingate
+  bench_ext_baselines
+  bench_ext_cluster
+  bench_abl_tokens
+  bench_abl_substrate
+)
+
+for b in "${benches[@]}"; do
+  echo "== $b"
+  "$bench_dir/$b" "${jobs_flag[@]}" \
+      --json "$results_dir/$b.json" > "$results_dir/$b.txt"
+done
+
+# bench_micro is a google-benchmark timing harness: its numbers are
+# machine-dependent, so only the .txt snapshot is kept (--json would write
+# google-benchmark's own JSON schema, including wall-clock timings that
+# would churn on every run).
+echo "== bench_micro"
+"$bench_dir/bench_micro" --benchmark_min_time=0.05 \
+    > "$results_dir/bench_micro.txt"
+
+echo "done: $(ls "$results_dir" | wc -l) files in results/"

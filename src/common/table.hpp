@@ -24,6 +24,7 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
   std::size_t cols() const { return header_.size(); }
+  const std::string& header(std::size_t col) const { return header_[col]; }
   const std::string& cell(std::size_t row, std::size_t col) const;
 
   /// Render with aligned columns, header rule, and a title line.

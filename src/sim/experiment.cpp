@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include "common/assert.hpp"
+#include "workloads/suite.hpp"
 
 namespace ptb {
 
@@ -19,6 +20,10 @@ std::vector<TechniqueSpec> naive_techniques() {
       {"DFS", TechniqueKind::kDfs, false, PtbPolicy::kToAll, 0.0},
       {"2Level", TechniqueKind::kTwoLevel, false, PtbPolicy::kToAll, 0.0},
   };
+}
+
+TechniqueSpec base_technique() {
+  return {"none", TechniqueKind::kNone, false, PtbPolicy::kToAll, 0.0};
 }
 
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
@@ -51,39 +56,104 @@ RunResult run_one(const WorkloadProfile& profile, const SimConfig& cfg,
   return sim.run(opts);
 }
 
+void FigureGrid::append_average() {
+  PTB_ASSERT(!grid.empty(), "cannot average an empty grid");
+  const std::size_t cols = technique_labels.size();
+  std::vector<Normalized> avg(cols);
+  for (const auto& row : grid) {
+    PTB_ASSERT(row.size() == cols, "ragged figure grid");
+    for (std::size_t c = 0; c < cols; ++c) {
+      avg[c].energy_pct += row[c].energy_pct;
+      avg[c].aopb_pct += row[c].aopb_pct;
+      avg[c].slowdown_pct += row[c].slowdown_pct;
+    }
+  }
+  const double n = static_cast<double>(grid.size());
+  for (auto& a : avg) {
+    a.energy_pct /= n;
+    a.aopb_pct /= n;
+    a.slowdown_pct /= n;
+  }
+  row_labels.push_back("Avg.");
+  grid.push_back(std::move(avg));
+}
+
+const RunResult& BaseRunCache::get(const WorkloadProfile& profile,
+                                   std::uint32_t cores, std::uint64_t seed) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // std::map nodes are never relocated, so the pointer stays valid after
+    // the lock is dropped and across later insertions.
+    entry = &cache_[Key{profile.name, cores, seed}];
+  }
+  std::call_once(entry->once, [&] {
+    entry->result = run_one(profile, make_sim_config(cores, base_technique(),
+                                                     seed));
+    computed_.fetch_add(1);
+  });
+  return entry->result;
+}
+
+FigureGrid run_suite_grid(std::uint32_t cores,
+                          const std::vector<TechniqueSpec>& techs,
+                          BaseRunCache& cache, RunPool& pool) {
+  const auto& suite = benchmark_suite();
+  // Base runs first (through the cache, so a later bench section reuses
+  // them), then every (benchmark x technique) cell.
+  for (const auto& profile : suite) {
+    pool.submit([&cache, &profile, cores] { return cache.get(profile, cores); });
+  }
+  for (const auto& profile : suite) {
+    for (const auto& t : techs) pool.submit(profile, make_sim_config(cores, t));
+  }
+  const std::vector<RunResult> results = pool.wait_all();
+
+  FigureGrid grid;
+  for (const auto& t : techs) grid.technique_labels.push_back(t.label);
+  std::size_t idx = suite.size();  // cells follow the base runs
+  for (const auto& profile : suite) {
+    const RunResult& base = cache.get(profile, cores);
+    std::vector<Normalized> row;
+    row.reserve(techs.size());
+    for (std::size_t c = 0; c < techs.size(); ++c) {
+      row.push_back(normalize(base, results[idx++]));
+    }
+    grid.row_labels.push_back(profile.name);
+    grid.grid.push_back(std::move(row));
+  }
+  return grid;
+}
+
+std::vector<Normalized> run_suite_averages(
+    std::uint32_t cores, const std::vector<TechniqueSpec>& techs,
+    BaseRunCache& cache, RunPool& pool) {
+  FigureGrid g = run_suite_grid(cores, techs, cache, pool);
+  g.append_average();
+  return g.grid.back();
+}
+
 ReplicatedResult run_replicated(const WorkloadProfile& profile,
                                 std::uint32_t cores,
                                 const TechniqueSpec& tech,
-                                std::uint32_t num_seeds,
+                                std::uint32_t num_seeds, RunPool& pool,
                                 std::uint64_t first_seed) {
   PTB_ASSERT(num_seeds >= 1, "need at least one seed");
-  ReplicatedResult out;
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
+  const TechniqueSpec none = base_technique();
   for (std::uint32_t s = 0; s < num_seeds; ++s) {
     const std::uint64_t seed = first_seed + s;
-    const RunResult base =
-        run_one(profile, make_sim_config(cores, none, seed));
-    const RunResult r = run_one(profile, make_sim_config(cores, tech, seed));
-    const Normalized n = normalize(base, r);
+    pool.submit(profile, make_sim_config(cores, none, seed));
+    pool.submit(profile, make_sim_config(cores, tech, seed));
+  }
+  const std::vector<RunResult> results = pool.wait_all();
+  ReplicatedResult out;
+  for (std::uint32_t s = 0; s < num_seeds; ++s) {
+    const Normalized n = normalize(results[2 * s], results[2 * s + 1]);
     out.energy_pct.add(n.energy_pct);
     out.aopb_pct.add(n.aopb_pct);
     out.slowdown_pct.add(n.slowdown_pct);
   }
   return out;
-}
-
-const RunResult& BaseRunCache::get(const WorkloadProfile& profile,
-                                   std::uint32_t cores, std::uint64_t seed) {
-  const auto key = std::make_pair(profile.name, cores);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  TechniqueSpec none{"none", TechniqueKind::kNone, false, PtbPolicy::kToAll,
-                     0.0};
-  const SimConfig cfg = make_sim_config(cores, none, seed);
-  auto [ins, ok] = cache_.emplace(key, run_one(profile, cfg));
-  PTB_ASSERT(ok, "cache insert failed");
-  return ins->second;
 }
 
 }  // namespace ptb

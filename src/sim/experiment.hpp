@@ -1,15 +1,26 @@
 // Experiment harness: builds configurations for the paper's technique
-// matrix, runs benchmarks, and normalizes results against the no-control
-// base case exactly as the paper's figures do.
+// matrix, runs benchmarks (serially or fanned out across a RunPool), and
+// normalizes results against the no-control base case exactly as the
+// paper's figures do.
+//
+// Threading & determinism: every entry point in this header is
+// deterministic for a given (profile, config, seed) triple — the simulator
+// itself is a single-threaded cycle loop, and the grid runners gather
+// results in submission order, so the worker count never changes any
+// number. Unless a function takes a RunPool it runs on the calling thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/config.hpp"
 #include "sim/cmp.hpp"
+#include "sim/run_pool.hpp"
 #include "workloads/phases.hpp"
 
 namespace ptb {
@@ -24,13 +35,17 @@ struct TechniqueSpec {
 };
 
 /// The four techniques of Figures 9-12. `ptb_policy` selects the PTB column
-/// flavor; pass PtbPolicy::kDynamic for the dynamic selector.
+/// flavor; pass PtbPolicy::kDynamic for the dynamic selector. Pure; safe
+/// from any thread.
 std::vector<TechniqueSpec> standard_techniques(PtbPolicy ptb_policy);
 
-/// The three naive-split techniques of Figure 2 (no PTB).
+/// The three naive-split techniques of Figure 2 (no PTB). Pure.
 std::vector<TechniqueSpec> naive_techniques();
 
-/// Build a full simulator config for one run.
+/// The normalization reference: no power control at all.
+TechniqueSpec base_technique();
+
+/// Build a full simulator config for one run. Pure.
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
                           std::uint64_t seed = 1);
 
@@ -41,15 +56,81 @@ struct Normalized {
   double slowdown_pct = 0.0;  // 100 * (cycles - cycles_base) / cycles_base
 };
 
+/// Pure; safe from any thread.
 Normalized normalize(const RunResult& base, const RunResult& r);
 
-/// Convenience single-run entry point.
+/// Convenience single-run entry point. Runs on the calling thread; each
+/// call constructs a private CmpSimulator, so concurrent calls from pool
+/// workers never share simulator state.
 RunResult run_one(const WorkloadProfile& profile, const SimConfig& cfg,
                   const RunOptions& opts = {});
+
+/// A (benchmark x technique) grid of normalized results — the in-memory
+/// form of one paper figure (rendered by sim/reporting.hpp as text or
+/// JSON).
+struct FigureGrid {
+  std::vector<std::string> row_labels;        // benchmarks (plus "Avg.")
+  std::vector<std::string> technique_labels;  // columns
+  // grid[row][col]
+  std::vector<std::vector<Normalized>> grid;
+
+  /// Appends an average row over the existing rows.
+  void append_average();
+};
+
+/// Cache of base (TechniqueKind::kNone) runs shared across techniques
+/// within one bench binary.
+///
+/// Thread-safety contract: get() may be called concurrently from any
+/// number of pool workers. Each (benchmark, cores, seed) key is simulated
+/// exactly once — concurrent requests for a missing key block until the
+/// single computation finishes (per-entry std::call_once under a map
+/// guarded by a mutex; std::map's reference stability keeps returned
+/// references valid for the cache's lifetime).
+class BaseRunCache {
+ public:
+  const RunResult& get(const WorkloadProfile& profile, std::uint32_t cores,
+                       std::uint64_t seed = 1);
+
+  /// Number of simulations actually executed (cache misses); used by the
+  /// tests to assert the once-per-key guarantee.
+  std::size_t computed() const { return computed_.load(); }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    RunResult result;
+  };
+  using Key = std::tuple<std::string, std::uint32_t, std::uint64_t>;
+
+  std::mutex mu_;  // guards cache_ lookup/insert only, never the runs
+  std::map<Key, Entry> cache_;
+  std::atomic<std::size_t> computed_{0};
+};
+
+/// Runs every suite benchmark under each technique at `cores`, normalized
+/// against base runs from `cache`. All (benchmark x technique) cells plus
+/// any missing base runs are submitted to `pool` up front and execute
+/// concurrently; rows/columns follow suite/`techs` order regardless of
+/// completion order, so the output is identical at any worker count.
+/// The pool's current batch must be empty (wait_all drained) on entry.
+/// Returns the grid without the average row.
+FigureGrid run_suite_grid(std::uint32_t cores,
+                          const std::vector<TechniqueSpec>& techs,
+                          BaseRunCache& cache, RunPool& pool);
+
+/// Average of each technique column over the whole suite at `cores` (no
+/// per-benchmark rows — for the scaling figures). Same threading and
+/// determinism contract as run_suite_grid.
+std::vector<Normalized> run_suite_averages(
+    std::uint32_t cores, const std::vector<TechniqueSpec>& techs,
+    BaseRunCache& cache, RunPool& pool);
 
 /// Multi-seed replication: runs (benchmark, technique) under several seeds,
 /// each normalized against its own-seed base run, and aggregates the
 /// normalized metrics. Used to put error bars on the headline results.
+/// All 2*num_seeds runs are submitted to `pool` up front; aggregation is
+/// in seed order, so the result is worker-count independent.
 struct ReplicatedResult {
   RunningStat energy_pct;
   RunningStat aopb_pct;
@@ -59,18 +140,7 @@ struct ReplicatedResult {
 ReplicatedResult run_replicated(const WorkloadProfile& profile,
                                 std::uint32_t cores,
                                 const TechniqueSpec& tech,
-                                std::uint32_t num_seeds,
+                                std::uint32_t num_seeds, RunPool& pool,
                                 std::uint64_t first_seed = 1);
-
-/// Cache of base (TechniqueKind::kNone) runs shared across techniques
-/// within one bench binary.
-class BaseRunCache {
- public:
-  const RunResult& get(const WorkloadProfile& profile, std::uint32_t cores,
-                       std::uint64_t seed = 1);
-
- private:
-  std::map<std::pair<std::string, std::uint32_t>, RunResult> cache_;
-};
 
 }  // namespace ptb

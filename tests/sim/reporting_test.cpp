@@ -54,7 +54,8 @@ TEST(ReplicatedResult, AggregatesAcrossSeeds) {
   p.barrier_per_iter = false;
   TechniqueSpec t{"2l", TechniqueKind::kTwoLevel, false, PtbPolicy::kToAll,
                   0.0};
-  const ReplicatedResult r = run_replicated(p, 2, t, 2);
+  RunPool pool(2);
+  const ReplicatedResult r = run_replicated(p, 2, t, 2, pool);
   EXPECT_EQ(r.energy_pct.count(), 2u);
   EXPECT_EQ(r.aopb_pct.count(), 2u);
   EXPECT_EQ(r.slowdown_pct.count(), 2u);
