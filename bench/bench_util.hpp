@@ -26,6 +26,7 @@ namespace ptb::bench {
 struct BenchOptions {
   unsigned jobs = 0;      // --jobs N; 0 = RunPool::default_jobs()
   std::string json_path;  // --json PATH; empty = no JSON output
+  AuditLevel audit = AuditLevel::kOff;  // --audit {off,cheap,full}
 };
 
 /// Parses the shared flags; prints usage and exits on --help or on an
@@ -59,12 +60,25 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opts.json_path = value("--json");
     } else if (arg.rfind("--json=", 0) == 0) {
       opts.json_path = arg.substr(7);
+    } else if (arg == "--audit" || arg.rfind("--audit=", 0) == 0) {
+      const char* v =
+          arg[7] == '=' ? arg.c_str() + 8 : value("--audit");
+      if (!parse_audit_level(v, opts.audit)) {
+        std::fprintf(stderr, "%s: --audit must be off, cheap or full\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--jobs N] [--json PATH]\n"
-          "  --jobs N     worker threads for the run grid (default: all\n"
-          "               hardware threads); results are identical for any N\n"
-          "  --json PATH  also write the results as machine-readable JSON\n",
+          "usage: %s [--jobs N] [--json PATH] [--audit LEVEL]\n"
+          "  --jobs N      worker threads for the run grid (default: all\n"
+          "                hardware threads); results are identical for any N\n"
+          "  --json PATH   also write the results as machine-readable JSON\n"
+          "  --audit LEVEL run the invariant auditor on every simulation:\n"
+          "                off (default), cheap (per-core checks each cycle)\n"
+          "                or full (adds periodic coherence scans); any\n"
+          "                level aborts the run on a violated invariant and\n"
+          "                never changes the reported numbers\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -88,6 +102,9 @@ class BenchContext {
       : opts_(parse_bench_args(argc, argv)),
         pool_(opts_.jobs),
         report_(name) {
+    // Applies to every config built through make_sim_config from here on;
+    // set before any run is submitted to the pool.
+    set_default_audit_level(opts_.audit);
     std::printf("==========================================================\n");
     std::printf("%s — %s\n", figure, what);
     std::printf("(normalized to the no-power-control base case; budget = 50%%"

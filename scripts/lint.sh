@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Static checks for the simulator:
+#   1. determinism rules (grep-based, always run): the result path must not
+#      use wall-clock time, hardware entropy, or iteration-order-dependent
+#      containers — every table/JSON byte must be reproducible at any
+#      worker count (see sim/run_pool.hpp and scripts/regen_results.sh);
+#   2. clang-tidy with the repo's .clang-tidy profile, when clang-tidy and
+#      a compile database are available (skipped with a warning otherwise —
+#      the GCC-only container still gets the determinism checks).
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir  build tree with compile_commands.json (default: build)
+# Exit code: 0 clean, 1 findings, 2 usage error.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+cd "$repo_root"
+
+# Sources whose output feeds results/ (simulation + reporting); tests and
+# tools may use whatever they like.
+result_paths=(src bench examples)
+fail=0
+
+note() { printf '%s\n' "$*"; }
+finding() {
+  printf '\nlint: %s\n' "$1"
+  printf '%s\n' "$2"
+  fail=1
+}
+
+# --- 1. determinism rules ---------------------------------------------------
+
+# Hardware entropy / wall-clock time: a simulator result must be a pure
+# function of (config, seed).
+out=$(grep -rn --include='*.cpp' --include='*.hpp' \
+  -e 'std::random_device' \
+  -e '\bsrand(' -e '\brand()' \
+  -e '\btime(nullptr)' -e '\btime(NULL)' -e '\btime(0)' \
+  -e 'std::chrono::system_clock' \
+  "${result_paths[@]}" || true)
+if [[ -n "$out" ]]; then
+  finding "non-deterministic source in a result path (entropy/wall clock):" \
+    "$out"
+fi
+
+# steady_clock is fine for profiling prints but must never steer a run;
+# allow it only in run_pool (idle accounting) and bench timing harnesses.
+out=$(grep -rn --include='*.cpp' --include='*.hpp' \
+  -e 'steady_clock' "${result_paths[@]}" \
+  | grep -v -e 'run_pool' -e 'bench/' || true)
+if [[ -n "$out" ]]; then
+  finding "steady_clock outside the allow-listed timing harnesses:" "$out"
+fi
+
+# Iterating an unordered container feeds pointer-hash order into whatever
+# consumes the loop; on a result path that breaks byte-identical output.
+# Keyed lookup is fine, so flag only range-for over unordered containers
+# and ordered-output helpers applied to them.
+out=$(grep -rn --include='*.cpp' --include='*.hpp' -A 2 \
+  -e 'for *( *\(const *\)\?auto *&* *\[*[A-Za-z_].*: *[A-Za-z_]*unordered' \
+  "${result_paths[@]}" || true)
+if [[ -n "$out" ]]; then
+  finding "range-for over an unordered container in a result path \
+(iteration order is unspecified; use std::map/std::set or sort first):" "$out"
+fi
+
+# --- 2. clang-tidy (optional) ----------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f "$build_dir/compile_commands.json" ]]; then
+    note "running clang-tidy against $build_dir/compile_commands.json ..."
+    files=$(git ls-files 'src/**/*.cpp' 2>/dev/null || \
+            find src -name '*.cpp' | sort)
+    if ! clang-tidy -p "$build_dir" --quiet $files; then
+      fail=1
+    fi
+  else
+    note "warning: $build_dir/compile_commands.json not found; skipping" \
+         "clang-tidy (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  fi
+else
+  note "warning: clang-tidy not installed; skipping static analysis" \
+       "(determinism checks still ran)"
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  note ""
+  note "lint: FAILED"
+  exit 1
+fi
+note "lint: OK"

@@ -5,6 +5,7 @@
 // except where explicitly noted).
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +18,22 @@ namespace ptb::detail {
   std::abort();
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+assert_failf(const char* expr, const char* file, int line, const char* fmt,
+             ...) {
+  std::fprintf(stderr, "PTB_ASSERT failed: %s\n  at %s:%d\n  ", expr, file,
+               line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
 }  // namespace ptb::detail
 
 #define PTB_ASSERT(expr, msg)                                       \
@@ -24,4 +41,13 @@ namespace ptb::detail {
     if (!(expr)) [[unlikely]] {                                     \
       ::ptb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
     }                                                               \
+  } while (false)
+
+// Formatted variant: prints the offending values alongside the expression,
+// e.g. PTB_ASSERTF(a == b, "arity mismatch: got %zu want %zu", a, b).
+#define PTB_ASSERTF(expr, ...)                                            \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::ptb::detail::assert_failf(#expr, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                     \
   } while (false)

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -133,6 +134,31 @@ struct ThermalConfig {
   double tau_cycles = 20000;   // RC time constant in cycles
 };
 
+/// Runtime level of the invariant auditor (src/audit): kOff disables every
+/// check, kCheap runs the O(num_cores) per-cycle checks (token conservation,
+/// pipeline sanity, accounting), kFull additionally scans the cache/directory
+/// arrays for coherence legality at a fixed interval. Auditing never changes
+/// simulation results; it only observes (and aborts on a violated invariant).
+enum class AuditLevel : std::uint8_t { kOff = 0, kCheap, kFull };
+
+inline const char* audit_level_name(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kCheap: return "cheap";
+    case AuditLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+/// Parses "off" / "cheap" / "full"; returns false on anything else.
+inline bool parse_audit_level(std::string_view s, AuditLevel& out) {
+  if (s == "off") out = AuditLevel::kOff;
+  else if (s == "cheap") out = AuditLevel::kCheap;
+  else if (s == "full") out = AuditLevel::kFull;
+  else return false;
+  return true;
+}
+
 enum class TechniqueKind : std::uint8_t {
   kNone = 0,    // base case: no power control (normalization reference)
   kDvfs,        // 5-mode voltage+frequency scaling
@@ -212,6 +238,10 @@ struct SimConfig {
   /// Functional (zero-time) cache warmup before the timed run, skipping the
   /// cold-start DRAM phase (standard architectural-simulation practice).
   bool functional_warmup = true;
+
+  /// Invariant-auditor level (src/audit). Deliberately excluded from the
+  /// config fingerprint: auditing observes the run, it never changes it.
+  AuditLevel audit_level = AuditLevel::kOff;
 
   /// Mesh dimensions derived from num_cores (squarest factorization).
   std::uint32_t mesh_width() const;

@@ -24,7 +24,9 @@ std::size_t Table::add_row() {
 }
 
 void Table::set(std::size_t row, std::size_t col, std::string value) {
-  PTB_ASSERT(row < rows_.size() && col < header_.size(), "cell out of range");
+  PTB_ASSERTF(row < rows_.size() && col < header_.size(),
+              "cell (%zu, %zu) out of range (%zu x %zu table)", row, col,
+              rows_.size(), header_.size());
   rows_[row][col] = std::move(value);
 }
 
@@ -38,12 +40,16 @@ void Table::set(std::size_t row, std::size_t col, std::int64_t value) {
 }
 
 void Table::add_row(std::vector<std::string> cells) {
-  PTB_ASSERT(cells.size() == header_.size(), "row arity mismatch");
+  PTB_ASSERTF(cells.size() == header_.size(),
+              "row has %zu cells, table has %zu columns", cells.size(),
+              header_.size());
   rows_.push_back(std::move(cells));
 }
 
 const std::string& Table::cell(std::size_t row, std::size_t col) const {
-  PTB_ASSERT(row < rows_.size() && col < header_.size(), "cell out of range");
+  PTB_ASSERTF(row < rows_.size() && col < header_.size(),
+              "cell (%zu, %zu) out of range (%zu x %zu table)", row, col,
+              rows_.size(), header_.size());
   return rows_[row][col];
 }
 

@@ -36,10 +36,24 @@ PtbLoadBalancer::PtbLoadBalancer(const PtbConfig& cfg,
              "token wire width out of range");
 }
 
+double PtbLoadBalancer::in_flight_tokens() const {
+  double t = 0.0;
+  for (const double p : pool_arriving_) t += p;
+  return t;
+}
+
+double PtbLoadBalancer::outstanding_total() const {
+  double t = 0.0;
+  for (const double o : outstanding_) t += o;
+  return t;
+}
+
 void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
                             bool global_over, PtbPolicy policy,
                             std::vector<double>& eff_budget) {
-  PTB_ASSERT(est_power.size() == num_cores_, "power vector arity mismatch");
+  PTB_ASSERTF(est_power.size() == num_cores_,
+              "power vector has %zu entries for %u cores", est_power.size(),
+              num_cores_);
   eff_budget.resize(num_cores_);
   const std::size_t s = slot(now);
 

@@ -40,6 +40,17 @@ class PtbLoadBalancer {
   /// Tokens represented by one wire count (budget / (2^bits - 1)).
   double token_quantum() const { return quantum_; }
 
+  // Introspection for the invariant auditor (src/audit) and tests.
+  std::uint32_t num_cores() const { return num_cores_; }
+  double local_budget() const { return local_budget_; }
+  /// Largest per-core wire message per cycle, in quanta (2^bits - 1).
+  std::uint32_t max_wire_count() const { return max_count_; }
+  /// Tokens currently travelling on the wires (donated, not yet landed).
+  double in_flight_tokens() const;
+  /// Sum of the donors' outstanding budget debits; equals
+  /// in_flight_tokens() whenever the balancer is consistent.
+  double outstanding_total() const;
+
   /// Paper-configured round-trip latency for a core count.
   static std::uint32_t latency_for_cores(std::uint32_t num_cores);
 

@@ -35,6 +35,13 @@ class ClusteredBalancer {
     return static_cast<std::uint32_t>(clusters_.size());
   }
   std::uint32_t cluster_size() const { return cluster_size_; }
+  /// Cluster k's balancer and the index of its first core (auditing).
+  const PtbLoadBalancer& cluster(std::uint32_t k) const {
+    return *clusters_[k];
+  }
+  std::uint32_t cluster_begin(std::uint32_t k) const {
+    return k * cluster_size_;
+  }
   std::uint32_t wire_latency() const {
     return clusters_.empty() ? 0 : clusters_[0]->wire_latency();
   }

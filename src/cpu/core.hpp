@@ -55,6 +55,13 @@ class Core {
   /// clock-gating candidate state.
   bool idle() const { return idle_; }
 
+  // --- introspection for the invariant auditor (src/audit) and tests ---
+  std::uint32_t lsq_occupancy() const { return lsq_count_; }
+  /// Oldest in-flight sequence number; advances only at commit, so it
+  /// always equals `committed` (in-order retirement invariant).
+  std::uint64_t head_seq() const { return head_seq_; }
+  const FunctionalUnits& fus() const { return fus_; }
+
   // --- throttle knobs (microarchitectural power-saving techniques) ---
   void set_fetch_limit(std::uint32_t w) { fetch_limit_ = w; }
   std::uint32_t fetch_limit() const { return fetch_limit_; }

@@ -25,6 +25,15 @@ class FunctionalUnits {
   bool try_issue(OpClass c);
   void begin_cycle();
 
+  // Introspection for the invariant auditor (src/audit) and tests.
+  std::uint32_t limit(OpClass c) const {
+    return limit_[static_cast<std::size_t>(c)];
+  }
+  /// Units of class `c` claimed since the last begin_cycle().
+  std::uint32_t used(OpClass c) const {
+    return used_[static_cast<std::size_t>(c)];
+  }
+
  private:
   std::array<std::uint32_t, kNumOpClasses> limit_{};
   std::array<std::uint32_t, kNumOpClasses> used_{};

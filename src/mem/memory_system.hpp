@@ -49,8 +49,15 @@ class MemorySystem {
   const DirectoryController& directory() const { return *dir_; }
 
   /// Verifies the single-writer/multiple-reader invariant across all L1s.
-  /// Aborts via PTB_ASSERT on violation. Test/debug hook.
+  /// Aborts via PTB_ASSERT on violation. Test/debug hook; the richer
+  /// non-aborting audit lives in audit/audit.hpp (check_coherence).
   void check_swmr() const;
+
+  /// In-flight L1 misses for core `c` (may include completed entries not
+  /// yet reaped; never exceeds CacheConfig::mshrs). Auditor/tests hook.
+  std::size_t mshr_in_flight(CoreId c) const {
+    return mshr_outstanding_[c].size();
+  }
 
   // --- statistics (aggregate) ---
   std::uint64_t loads = 0;

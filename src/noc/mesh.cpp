@@ -49,7 +49,9 @@ Cycle Mesh::unloaded_latency(std::uint32_t h, std::uint32_t bytes) const {
 
 Cycle Mesh::route(std::uint32_t from, std::uint32_t to, std::uint32_t bytes,
                   Cycle now) {
-  PTB_ASSERT(from < nodes() && to < nodes(), "mesh endpoint out of range");
+  PTB_ASSERTF(from < nodes() && to < nodes(),
+              "mesh endpoint out of range: %u -> %u on %u nodes", from, to,
+              nodes());
   ++messages_;
   const std::uint32_t flits = flits_for(bytes);
   const std::uint32_t ser =

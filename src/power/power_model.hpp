@@ -52,7 +52,9 @@ class BaseEnergyModel {
  private:
   double jitter_factor(Pc pc) const;
 
-  const PowerConfig& cfg_;
+  // Copied, not referenced: callers (tests, ad-hoc tools) routinely pass a
+  // temporary config, which a stored reference would dangle on.
+  PowerConfig cfg_;
   std::array<double, kNumOpClasses> class_mean_{};
   std::vector<double> centroids_;
   double grouping_error_ = 0.0;

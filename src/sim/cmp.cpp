@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "sim/reporting.hpp"
 
 namespace ptb {
 
@@ -63,6 +64,11 @@ CmpSimulator::CmpSimulator(const SimConfig& cfg,
         SpinPowerDetector(budgets_.local_budget() * kSpinGateThresholdFrac,
                           64));
   }
+#if PTB_AUDIT_ENABLED
+  if (cfg_.audit_level != AuditLevel::kOff) {
+    auditor_ = std::make_unique<InvariantAuditor>(cfg_);
+  }
+#endif
 }
 
 CmpSimulator::~CmpSimulator() = default;
@@ -289,7 +295,22 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
         thermal_acc[i] = 0.0;
       }
     }
+
+    // --- 5. invariant audit (off the results path; read-only) ---
+    if (auditor_) audit_cycle(now, acct, total_act, eff_budget);
   }
+
+  if (auditor_) {
+    // The periodic scan can miss the tail of the run; always close with a
+    // full coherence sweep so short runs are audited end-to-end too.
+    if (auditor_->level() == AuditLevel::kFull) {
+      auditor_->check_coherence(now, *mem_);
+    }
+    PTB_ASSERTF(auditor_->clean(), "invariant audit failed: %s",
+                auditor_->report().summary().c_str());
+    res.audit_checks = auditor_->checks_run();
+  }
+  res.machine_fingerprint = machine_fingerprint(cfg_);
 
   res.cycles = now;
   res.hit_max_cycles = (finished_count < n);
@@ -327,6 +348,33 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   if (thrifty_) res.barrier_sleep_cycles = thrifty_->sleep_cycles;
   if (meeting_) res.meeting_point_episodes = meeting_->episodes;
   return res;
+}
+
+void CmpSimulator::audit_cycle(Cycle now, const EnergyAccounting& acct,
+                               double total_act,
+                               const std::vector<double>& eff_budget) {
+  InvariantAuditor& aud = *auditor_;
+  if (balancer_) {
+    aud.check_balancer(now, *balancer_, eff_budget.data(), cfg_.num_cores);
+  } else if (clustered_) {
+    for (std::uint32_t k = 0; k < clustered_->num_clusters(); ++k) {
+      const PtbLoadBalancer& b = clustered_->cluster(k);
+      aud.check_balancer(now, b,
+                         eff_budget.data() + clustered_->cluster_begin(k),
+                         b.num_cores());
+    }
+  }
+  for (CoreId i = 0; i < cfg_.num_cores; ++i) {
+    aud.check_core(now, i, *cores_[i]);
+    aud.check_enforcer(now, i, *enforcers_[i], *cores_[i]);
+  }
+  aud.check_accounting(now, acct, total_act);
+  if (aud.coherence_scan_due(now)) aud.check_coherence(now, *mem_);
+  // Fail fast: a violated invariant poisons every later cycle, so abort at
+  // the first dirty cycle with the full per-class digest.
+  PTB_ASSERTF(aud.clean(), "invariant audit failed at cycle %llu: %s",
+              static_cast<unsigned long long>(now),
+              aud.report().summary().c_str());
 }
 
 }  // namespace ptb

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -79,6 +80,13 @@ struct RunResult {
   std::uint64_t spin_gated_cycles = 0;  // spinner-gating extension
   std::uint64_t barrier_sleep_cycles = 0;  // thrifty-barrier baseline
   std::uint64_t meeting_point_episodes = 0;  // meeting-points baseline
+
+  // Invariant-audit bookkeeping (0 when auditing was off for this run).
+  std::uint64_t audit_checks = 0;
+  // Fingerprint of the simulated-machine parameters (technique knobs
+  // excluded); normalize() cross-checks it so a result is never normalized
+  // against a base run from a different machine (sim/reporting.hpp).
+  std::uint64_t machine_fingerprint = 0;
 };
 
 struct RunOptions {
@@ -105,8 +113,15 @@ class CmpSimulator {
   SyncState& sync() { return *sync_; }
   Core& core(CoreId i) { return *cores_[i]; }
   const SpinTracker& tracker(CoreId i) const { return trackers_[i]; }
+  /// Null when SimConfig::audit_level is kOff (or the build has PTB_AUDIT
+  /// off); otherwise the per-run invariant auditor.
+  const InvariantAuditor* auditor() const { return auditor_.get(); }
 
  private:
+  /// One end-of-cycle audit pass (only called when auditor_ is non-null);
+  /// aborts via PTB_ASSERTF on the first violated invariant.
+  void audit_cycle(Cycle now, const EnergyAccounting& acct, double total_act,
+                   const std::vector<double>& eff_budget);
   // Both are copied: a simulator must outlive any temporary it was
   // constructed from.
   SimConfig cfg_;
@@ -127,6 +142,7 @@ class CmpSimulator {
   std::unique_ptr<ThriftyBarrierController> thrifty_;
   std::unique_ptr<MeetingPointsController> meeting_;
   ThermalModel thermal_;
+  std::unique_ptr<InvariantAuditor> auditor_;
 };
 
 }  // namespace ptb

@@ -26,6 +26,16 @@ TechniqueSpec base_technique() {
   return {"none", TechniqueKind::kNone, false, PtbPolicy::kToAll, 0.0};
 }
 
+namespace {
+AuditLevel g_default_audit_level = AuditLevel::kOff;
+}  // namespace
+
+void set_default_audit_level(AuditLevel level) {
+  g_default_audit_level = level;
+}
+
+AuditLevel default_audit_level() { return g_default_audit_level; }
+
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
                           std::uint64_t seed) {
   SimConfig cfg;
@@ -35,11 +45,30 @@ SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
   cfg.ptb.enabled = tech.ptb;
   cfg.ptb.policy = tech.policy;
   cfg.ptb.relax_threshold = tech.relax;
+  cfg.audit_level = g_default_audit_level;
   return cfg;
 }
 
-Normalized normalize(const RunResult& base, const RunResult& r) {
+Normalized normalize(const RunResult& base, const RunResult& r,
+                     CrossMachine cross) {
   PTB_ASSERT(base.energy > 0.0, "base energy must be positive");
+  // A result may only be normalized against a base run of the same
+  // workload and — unless the caller opted into a cross-machine
+  // comparison (ablations do) — the same simulated machine. The
+  // fingerprints are zero for hand-built RunResults (unit tests), in
+  // which case the caller vouches.
+  if (base.machine_fingerprint != 0 && r.machine_fingerprint != 0) {
+    PTB_ASSERTF(cross == CrossMachine::kAllow ||
+                    base.machine_fingerprint == r.machine_fingerprint,
+                "normalize() across machines: base %016llx vs run %016llx",
+                static_cast<unsigned long long>(base.machine_fingerprint),
+                static_cast<unsigned long long>(r.machine_fingerprint));
+    PTB_ASSERTF(base.benchmark == r.benchmark &&
+                    base.num_cores == r.num_cores,
+                "normalize() across workloads: base %s/%u vs run %s/%u",
+                base.benchmark.c_str(), base.num_cores, r.benchmark.c_str(),
+                r.num_cores);
+  }
   Normalized n;
   n.energy_pct = 100.0 * (r.energy - base.energy) / base.energy;
   n.aopb_pct = base.aopb > 0.0 ? 100.0 * r.aopb / base.aopb : 0.0;

@@ -45,9 +45,18 @@ std::vector<TechniqueSpec> naive_techniques();
 /// The normalization reference: no power control at all.
 TechniqueSpec base_technique();
 
-/// Build a full simulator config for one run. Pure.
+/// Build a full simulator config for one run. Pure apart from the process-
+/// wide default audit level below.
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
                           std::uint64_t seed = 1);
+
+/// Process-wide audit level stamped into every config make_sim_config
+/// builds (default kOff). The bench binaries set it from --audit; since
+/// audit_level never changes results (and is outside the fingerprint),
+/// this is a diagnostic knob, not an experiment parameter. Not
+/// thread-safe: set it before submitting work to a RunPool.
+void set_default_audit_level(AuditLevel level);
+AuditLevel default_audit_level();
 
 /// Figure-style normalization vs the no-control base case.
 struct Normalized {
@@ -56,8 +65,17 @@ struct Normalized {
   double slowdown_pct = 0.0;  // 100 * (cycles - cycles_base) / cycles_base
 };
 
+/// Machine-identity policy for normalize(). By default a run may only be
+/// normalized against a base from the same simulated machine (the
+/// machine_fingerprint recorded in each RunResult must match). Ablations
+/// that deliberately compare a modified machine against the stock base
+/// (e.g. the PTHT-capacity sweep) opt out with kAllow; the same-workload
+/// check still applies.
+enum class CrossMachine { kForbid, kAllow };
+
 /// Pure; safe from any thread.
-Normalized normalize(const RunResult& base, const RunResult& r);
+Normalized normalize(const RunResult& base, const RunResult& r,
+                     CrossMachine cross = CrossMachine::kForbid);
 
 /// Convenience single-run entry point. Runs on the calling thread; each
 /// call constructs a private CmpSimulator, so concurrent calls from pool

@@ -54,7 +54,12 @@ std::string string_array_json(const std::vector<std::string>& v) {
   std::string out = "[";
   for (std::size_t i = 0; i < v.size(); ++i) {
     if (i) out += ",";
-    out += "\"" + json_escape(v[i]) + "\"";
+    // += chain rather than operator+: GCC 12 -O3 emits a spurious
+    // -Wrestrict for `"lit" + std::string(...)` (GCC PR 105329), which
+    // the PTB_WERROR=ON release build promotes to an error.
+    out += '"';
+    out += json_escape(v[i]);
+    out += '"';
   }
   out += "]";
   return out;
@@ -87,10 +92,11 @@ void print_slowdown(const FigureGrid& grid, const std::string& title) {
                &Normalized::slowdown_pct);
 }
 
-std::uint64_t config_fingerprint(const SimConfig& cfg) {
+std::uint64_t machine_fingerprint(const SimConfig& cfg) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
   // Field-by-field (never struct-at-once: padding bytes are
-  // indeterminate). Every field that can change a result participates.
+  // indeterminate). Every field that can change a result participates;
+  // audit_level is deliberately absent (auditing is read-only).
   fnv_mix_value(h, cfg.num_cores);
   fnv_mix_value(h, cfg.core.rob_entries);
   fnv_mix_value(h, cfg.core.lsq_entries);
@@ -159,6 +165,15 @@ std::uint64_t config_fingerprint(const SimConfig& cfg) {
   fnv_mix_value(h, cfg.dvfs.window_cycles);
   fnv_mix_value(h, cfg.dvfs.up_hysteresis);
   fnv_mix_value(h, cfg.dvfs.mv_per_cycle);
+  return h;
+}
+
+std::uint64_t config_fingerprint(const SimConfig& cfg) {
+  // Continue the FNV stream from the machine prefix with the technique
+  // knobs, so config_fingerprint stays byte-identical to the pre-split
+  // value (results/*.json embed it) while machine_fingerprint is exactly
+  // its machine-only prefix.
+  std::uint64_t h = machine_fingerprint(cfg);
   fnv_mix_value(h, cfg.ptb.enabled);
   fnv_mix_value(h, cfg.ptb.policy);
   fnv_mix_value(h, cfg.ptb.wire_latency_override);
@@ -260,8 +275,11 @@ std::string BenchReport::to_json() const {
   out += "\"meta\":{";
   for (std::size_t i = 0; i < meta_.size(); ++i) {
     if (i) out += ",";
-    out += "\"" + json_escape(meta_[i].first) + "\":\"" +
-           json_escape(meta_[i].second) + "\"";
+    out += '"';  // += chain: see string_array_json (GCC PR 105329)
+    out += json_escape(meta_[i].first);
+    out += "\":\"";
+    out += json_escape(meta_[i].second);
+    out += '"';
   }
   out += "},";
   out += "\"grids\":[";

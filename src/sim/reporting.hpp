@@ -26,6 +26,16 @@ void print_slowdown(const FigureGrid& grid, const std::string& title);
 /// "configuration changed".
 std::uint64_t config_fingerprint(const SimConfig& cfg);
 
+/// Fingerprint of the simulated-machine parameters only (Table 1 core/
+/// cache/NoC/DRAM/power/thermal/DVFS fields) — the prefix of
+/// config_fingerprint that stops before the technique knobs (ptb.*,
+/// technique, budget_fraction, seed, max_cycles, functional_warmup). Two
+/// runs are comparable under normalize() iff their machine fingerprints
+/// match: the techniques may differ, the machine may not. Diagnostic knobs
+/// that cannot change results (SimConfig::audit_level) are excluded from
+/// both fingerprints.
+std::uint64_t machine_fingerprint(const SimConfig& cfg);
+
 /// JSON string literal escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);
 

@@ -33,8 +33,9 @@ std::uint64_t SyncState::try_acquire(std::uint32_t id, CoreId by) {
 
 void SyncState::release(std::uint32_t id, CoreId by) {
   Lock& l = locks_[id];
-  PTB_ASSERT(l.held == 1, "release of a free lock");
-  PTB_ASSERT(l.holder == by, "release by a non-holder");
+  PTB_ASSERTF(l.held == 1, "core %u released free lock %u", by, id);
+  PTB_ASSERTF(l.holder == by,
+              "core %u released lock %u held by core %u", by, id, l.holder);
   l.held = 0;
   l.holder = kNoCore;
 }

@@ -249,7 +249,7 @@ const std::vector<WorkloadProfile>& benchmark_suite() {
 const WorkloadProfile& benchmark_by_name(const std::string& name) {
   for (const auto& p : benchmark_suite())
     if (p.name == name) return p;
-  PTB_ASSERT(false, "unknown benchmark name");
+  PTB_ASSERTF(false, "unknown benchmark name '%s'", name.c_str());
   return benchmark_suite().front();  // unreachable
 }
 

@@ -36,7 +36,7 @@ TEST(SyncState, ContendedAcquireFails) {
 TEST(SyncStateDeath, ReleaseByNonHolderAborts) {
   SyncState s(1, 1, 2);
   s.try_acquire(0, 0);
-  EXPECT_DEATH(s.release(0, 1), "non-holder");
+  EXPECT_DEATH(s.release(0, 1), "held by core");
 }
 
 TEST(SyncStateDeath, ReleaseOfFreeLockAborts) {

@@ -72,7 +72,9 @@ TEST(Suite, AllProfilesWellFormed) {
     EXPECT_GE(p.imbalance, 0.0) << p.name;
     EXPECT_LE(p.imbalance, 1.0) << p.name;
     EXPECT_GT(p.code_footprint, 0u) << p.name;
-    if (p.cs_per_1k_ops > 0) EXPECT_GT(p.num_locks, 0u) << p.name;
+    if (p.cs_per_1k_ops > 0) {
+      EXPECT_GT(p.num_locks, 0u) << p.name;
+    }
     const auto& m = p.mix;
     const double total = m.int_alu + m.int_mult + m.fp_alu + m.fp_mult +
                          m.load + m.store + m.branch;
