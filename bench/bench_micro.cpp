@@ -125,6 +125,27 @@ void BM_SimulatorWithPtb(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorWithPtb)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatorTracing(benchmark::State& state) {
+  // Event-tracing overhead on the paper's headline configuration:
+  // arg 0 = tracing off, 1 = token category only, 2 = all categories.
+  const auto& profile = benchmark_by_name("fft");
+  TechniqueSpec dyn{"dyn", TechniqueKind::kTwoLevel, true,
+                    PtbPolicy::kDynamic, 0.0};
+  RunOptions opts;
+  if (state.range(0) == 1)
+    opts.trace_categories = trace_category_bit(TraceCategory::kToken);
+  if (state.range(0) == 2) opts.trace_categories = kTraceAll;
+  std::uint64_t core_cycles = 0;
+  for (auto _ : state) {
+    const RunResult r = run_one(profile, make_sim_config(16, dyn), opts);
+    core_cycles += r.cycles * 16;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(core_cycles));
+}
+BENCHMARK(BM_SimulatorTracing)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Accept the shared bench CLI (--jobs / --json) so drivers can treat every

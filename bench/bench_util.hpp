@@ -18,6 +18,7 @@
 #include "sim/experiment.hpp"
 #include "sim/reporting.hpp"
 #include "sim/run_pool.hpp"
+#include "trace/trace.hpp"
 #include "workloads/suite.hpp"
 
 namespace ptb::bench {
@@ -27,6 +28,12 @@ struct BenchOptions {
   unsigned jobs = 0;      // --jobs N; 0 = RunPool::default_jobs()
   std::string json_path;  // --json PATH; empty = no JSON output
   AuditLevel audit = AuditLevel::kOff;  // --audit {off,cheap,full}
+  std::string only;       // --only NAME; empty = whole suite
+  // --trace PATH[:categories]: capture one event-traced reference run
+  // (PTB+2Level under the dynamic selector, 16 cores, the suite's first
+  // benchmark) and write the binary trace to PATH for ptb-trace.
+  std::string trace_path;
+  std::uint32_t trace_categories = kTraceAll;
 };
 
 /// Parses the shared flags; prints usage and exits on --help or on an
@@ -68,9 +75,33 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
                      argv[0]);
         std::exit(2);
       }
+    } else if (arg == "--only") {
+      opts.only = value("--only");
+    } else if (arg.rfind("--only=", 0) == 0) {
+      opts.only = arg.substr(7);
+    } else if (arg == "--list") {
+      for (const std::string& n : full_benchmark_names())
+        std::printf("%s\n", n.c_str());
+      std::exit(0);
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      // PATH[:categories] — the suffix after the last ':' is a category
+      // list only if it parses as one; otherwise it is part of the path.
+      std::string v = arg[7] == '=' ? arg.substr(8) : value("--trace");
+      const std::size_t colon = v.rfind(':');
+      if (colon != std::string::npos &&
+          parse_trace_categories(v.substr(colon + 1),
+                                 opts.trace_categories)) {
+        v.resize(colon);
+      }
+      if (v.empty()) {
+        std::fprintf(stderr, "%s: --trace requires a file path\n", argv[0]);
+        std::exit(2);
+      }
+      opts.trace_path = v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--jobs N] [--json PATH] [--audit LEVEL]\n"
+          "          [--only NAME | --list] [--trace PATH[:CATS]]\n"
           "  --jobs N      worker threads for the run grid (default: all\n"
           "                hardware threads); results are identical for any N\n"
           "  --json PATH   also write the results as machine-readable JSON\n"
@@ -78,7 +109,16 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
           "                off (default), cheap (per-core checks each cycle)\n"
           "                or full (adds periodic coherence scans); any\n"
           "                level aborts the run on a violated invariant and\n"
-          "                never changes the reported numbers\n",
+          "                never changes the reported numbers\n"
+          "  --only NAME   restrict the benchmark suite to one benchmark\n"
+          "  --list        print the suite's benchmark names and exit\n"
+          "  --trace PATH[:CATS]\n"
+          "                additionally capture one event-traced reference\n"
+          "                run (PTB+2Level, dynamic policy, 16 cores, the\n"
+          "                suite's first benchmark) and write the binary\n"
+          "                trace to PATH (inspect with ptb-trace). CATS is\n"
+          "                'all' (default) or a comma list of: token,\n"
+          "                policy, dvfs, spin, enforcer, sync, budget\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -105,6 +145,14 @@ class BenchContext {
     // Applies to every config built through make_sim_config from here on;
     // set before any run is submitted to the pool.
     set_default_audit_level(opts_.audit);
+    // The suite filter must be installed before anything materializes the
+    // suite (the first benchmark_suite() call freezes it).
+    if (!set_suite_filter(opts_.only)) {
+      std::fprintf(stderr,
+                   "error: unknown benchmark '%s' for --only (try --list)\n",
+                   opts_.only.c_str());
+      std::exit(2);
+    }
     std::printf("==========================================================\n");
     std::printf("%s — %s\n", figure, what);
     std::printf("(normalized to the no-power-control base case; budget = 50%%"
@@ -136,18 +184,50 @@ class BenchContext {
     report_.add_grid(title, grid);
   }
 
-  /// Writes the JSON report if --json was given. Returns main's exit code.
+  /// Writes the JSON report if --json was given and captures the --trace
+  /// reference run if requested. Returns main's exit code.
   int finish() {
-    if (opts_.json_path.empty()) return 0;
-    if (!report_.write(opts_.json_path)) {
+    int rc = 0;
+    if (!opts_.trace_path.empty() && !write_trace()) rc = 1;
+    if (!opts_.json_path.empty() && !report_.write(opts_.json_path)) {
       std::fprintf(stderr, "error: cannot write JSON to %s\n",
                    opts_.json_path.c_str());
-      return 1;
+      rc = 1;
     }
-    return 0;
+    return rc;
   }
 
  private:
+  /// The --trace reference run: the paper's headline configuration
+  /// (PTB+2Level under the dynamic policy selector, 16 cores) on the first
+  /// benchmark of the (possibly --only-filtered) suite. Runs on the calling
+  /// thread, so the trace bytes are independent of --jobs.
+  bool write_trace() {
+    TechniqueSpec tech;
+    tech.label = "PTB+2Level(dyn)";
+    tech.kind = TechniqueKind::kTwoLevel;
+    tech.ptb = true;
+    tech.policy = PtbPolicy::kDynamic;
+    const SimConfig cfg = make_sim_config(16, tech);
+    RunOptions ropts;
+    ropts.trace_categories = opts_.trace_categories;
+    const WorkloadProfile& prof = benchmark_suite().front();
+    const RunResult r = run_one(prof, cfg, ropts);
+    if (!r.trace || !r.trace->save(opts_.trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   opts_.trace_path.c_str());
+      return false;
+    }
+    std::printf(
+        "\ntrace: %s on PTB+2Level(dyn)/16 cores -> %s (%llu events, %llu "
+        "dropped; categories %s)\n",
+        prof.name.c_str(), opts_.trace_path.c_str(),
+        static_cast<unsigned long long>(r.trace->total_events()),
+        static_cast<unsigned long long>(r.trace->total_dropped()),
+        trace_categories_string(r.trace->categories).c_str());
+    return true;
+  }
+
   BenchOptions opts_;
   RunPool pool_;
   BaseRunCache cache_;

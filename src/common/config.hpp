@@ -7,6 +7,7 @@
 //   2D mesh, 4-cycle links, 4-byte flits, 1 flit/cycle links.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -159,6 +160,18 @@ inline bool parse_audit_level(std::string_view s, AuditLevel& out) {
   return true;
 }
 
+/// Event-trace recorder knobs (src/trace). Which categories are recorded is
+/// a per-run choice (RunOptions::trace_categories); these size the recorder.
+/// Like AuditLevel, tracing only observes a run — TraceConfig is excluded
+/// from the config fingerprint.
+struct TraceConfig {
+  /// Per-category ring capacity in events; the ring overwrites the oldest
+  /// events and counts the drops.
+  std::size_t buffer_events = std::size_t{1} << 16;
+  /// Budget-deficit sampling period in cycles (kBudgetSample decimation).
+  Cycle budget_sample_period = 64;
+};
+
 enum class TechniqueKind : std::uint8_t {
   kNone = 0,    // base case: no power control (normalization reference)
   kDvfs,        // 5-mode voltage+frequency scaling
@@ -242,6 +255,10 @@ struct SimConfig {
   /// Invariant-auditor level (src/audit). Deliberately excluded from the
   /// config fingerprint: auditing observes the run, it never changes it.
   AuditLevel audit_level = AuditLevel::kOff;
+
+  /// Event-trace recorder sizing (src/trace); excluded from the config
+  /// fingerprint for the same reason as audit_level.
+  TraceConfig trace{};
 
   /// Mesh dimensions derived from num_cores (squarest factorization).
   std::uint32_t mesh_width() const;

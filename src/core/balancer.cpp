@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -73,6 +74,10 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
   //    just bounce back next cycle); undeliverable tokens evaporate —
   //    nothing is banked across cycles.
   if (pool > 0.0) {
+    // Grants/evaporation reference the pool's donate cycle (the balancer
+    // knows it exactly: the landing pool was sent `latency_` cycles ago), so
+    // the trace analyzer can attribute each grant to that cycle's donors.
+    const std::uint64_t donated_at = (pool_tag_ << 48) | (now - latency_);
     std::uint32_t needy = 0;
     CoreId neediest = kNoCore;
     double worst_deficit = 0.0;
@@ -94,6 +99,10 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
         eff_budget[neediest] += grant;
         tokens_granted += grant;
         remaining -= grant;
+        if (tracer_ && grant > 0.0) {
+          tracer_->emit(TraceEventType::kGrant, core_offset_ + neediest,
+                        donated_at, grant);
+        }
       } else {
         // ToAll: one equal share per over-budget core (the paper's "equally
         // distribute the extra tokens"), capped at each core's deficit.
@@ -105,10 +114,18 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
           eff_budget[i] += grant;
           tokens_granted += grant;
           remaining -= grant;
+          if (tracer_ && grant > 0.0) {
+            tracer_->emit(TraceEventType::kGrant, core_offset_ + i,
+                          donated_at, grant);
+          }
         }
       }
     }
     tokens_evaporated += remaining;
+    if (tracer_ && remaining > 0.0) {
+      tracer_->emit(TraceEventType::kEvaporate, kNoCore, donated_at,
+                    remaining);
+    }
   }
 
   // 3. Cores with spare tokens donate (only while the CMP is globally over
@@ -127,6 +144,10 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
       pool_arriving_[arrive] += amount;
       tokens_donated += amount;
       ++donation_events;
+      if (tracer_) {
+        tracer_->emit(TraceEventType::kDonate, core_offset_ + i, pool_tag_,
+                      amount);
+      }
       // The donor honours the tightened budget immediately.
       eff_budget[i] -= amount;
     }

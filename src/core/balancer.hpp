@@ -22,6 +22,8 @@
 
 namespace ptb {
 
+class EventTracer;
+
 class PtbLoadBalancer {
  public:
   PtbLoadBalancer(const PtbConfig& cfg, std::uint32_t num_cores,
@@ -54,6 +56,17 @@ class PtbLoadBalancer {
   /// Paper-configured round-trip latency for a core count.
   static std::uint32_t latency_for_cores(std::uint32_t num_cores);
 
+  /// Attach/detach the event tracer (src/trace): Donate/Grant/Evaporate
+  /// events are emitted against it when non-null. `core_offset` maps this
+  /// balancer's local core indices to CMP core ids and `pool_tag` tags the
+  /// token events' pool (both non-zero only under ClusteredBalancer).
+  void set_tracer(EventTracer* t, std::uint32_t core_offset = 0,
+                  std::uint64_t pool_tag = 0) {
+    tracer_ = t;
+    core_offset_ = core_offset;
+    pool_tag_ = pool_tag;
+  }
+
   // --- statistics ---
   double tokens_donated = 0.0;
   double tokens_granted = 0.0;
@@ -74,6 +87,10 @@ class PtbLoadBalancer {
   std::vector<double> pool_arriving_;            // [ring]
   std::vector<std::vector<double>> returning_;   // [ring][core]
   std::vector<double> outstanding_;              // per core
+
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
+  std::uint32_t core_offset_ = 0;
+  std::uint64_t pool_tag_ = 0;
 };
 
 }  // namespace ptb

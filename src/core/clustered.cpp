@@ -54,6 +54,11 @@ double ClusteredBalancer::tokens_donated() const {
   return t;
 }
 
+void ClusteredBalancer::set_tracer(EventTracer* t) {
+  for (std::uint32_t k = 0; k < num_clusters(); ++k)
+    clusters_[k]->set_tracer(t, cluster_begin(k), k);
+}
+
 double ClusteredBalancer::tokens_granted() const {
   double t = 0.0;
   for (const auto& c : clusters_) t += c->tokens_granted;

@@ -49,6 +49,10 @@ class ClusteredBalancer {
   double tokens_donated() const;
   double tokens_granted() const;
 
+  /// Attach/detach the event tracer on every cluster balancer; cluster k
+  /// emits token events with its global core ids and pool tag k.
+  void set_tracer(EventTracer* t);
+
  private:
   std::uint32_t num_cores_;
   std::uint32_t cluster_size_;

@@ -27,6 +27,12 @@ class PowerEnforcer {
   TechniqueKind kind() const { return kind_; }
   const TwoLevelController& controller() const { return ctrl_; }
 
+  /// Attach/detach the event tracer (src/trace); forwards to the 2-level
+  /// controller (DVFS transitions + microarch throttle-level changes).
+  void set_tracer(EventTracer* t, std::uint32_t core) {
+    ctrl_.set_tracer(t, core);
+  }
+
  private:
   TechniqueKind kind_;
   TwoLevelController ctrl_;

@@ -1,5 +1,7 @@
 #include "core/policy.hpp"
 
+#include "trace/trace.hpp"
+
 namespace ptb {
 
 DynamicPolicySelector::DynamicPolicySelector(const PtbConfig& cfg,
@@ -12,7 +14,15 @@ DynamicPolicySelector::DynamicPolicySelector(const PtbConfig& cfg,
     detectors_.emplace_back(spin_threshold, 32);
 }
 
-void DynamicPolicySelector::account(PtbPolicy p) {
+void DynamicPolicySelector::account(PtbPolicy p, std::uint32_t spinners) {
+  if (tracer_ && (!policy_emitted_ || p != last_)) {
+    const std::uint64_t old =
+        policy_emitted_ ? static_cast<std::uint64_t>(last_) : 0xff;
+    tracer_->emit(TraceEventType::kPolicySwitch, kNoCore,
+                  static_cast<std::uint64_t>(p) | (old << 8),
+                  static_cast<double>(spinners));
+    policy_emitted_ = true;
+  }
   last_ = p;
   if (p == PtbPolicy::kToOne) {
     ++to_one_cycles;
@@ -34,7 +44,7 @@ PtbPolicy DynamicPolicySelector::select(
   const PtbPolicy p = (lock_spinners > barrier_spinners)
                           ? PtbPolicy::kToOne
                           : PtbPolicy::kToAll;
-  account(p);
+  account(p, lock_spinners + barrier_spinners);
   return p;
 }
 
@@ -64,7 +74,7 @@ PtbPolicy DynamicPolicySelector::select_heuristic(
   } else if (spinning_now == 0) {
     heuristic_current_ = PtbPolicy::kToAll;  // nothing spinning: default
   }
-  account(heuristic_current_);
+  account(heuristic_current_, spinning_now);
   return heuristic_current_;
 }
 

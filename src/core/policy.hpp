@@ -20,6 +20,8 @@
 
 namespace ptb {
 
+class EventTracer;
+
 class DynamicPolicySelector {
  public:
   DynamicPolicySelector(const PtbConfig& cfg, std::uint32_t num_cores,
@@ -35,12 +37,17 @@ class DynamicPolicySelector {
 
   PtbPolicy last() const { return last_; }
 
+  /// Attach/detach the event tracer (src/trace): a kPolicySwitch event is
+  /// emitted whenever the selected policy changes (and once for the first
+  /// selection, with old policy 0xff).
+  void set_tracer(EventTracer* t) { tracer_ = t; }
+
   // Statistics.
   std::uint64_t to_one_cycles = 0;
   std::uint64_t to_all_cycles = 0;
 
  private:
-  void account(PtbPolicy p);
+  void account(PtbPolicy p, std::uint32_t spinners);
 
   std::vector<SpinPowerDetector> detectors_;
   std::vector<bool> was_spinning_;
@@ -48,6 +55,8 @@ class DynamicPolicySelector {
   std::uint32_t recent_exits_ = 0;
   PtbPolicy last_ = PtbPolicy::kToAll;
   PtbPolicy heuristic_current_ = PtbPolicy::kToAll;
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
+  bool policy_emitted_ = false;    // first emit carries old policy 0xff
 };
 
 }  // namespace ptb

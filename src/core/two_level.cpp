@@ -1,6 +1,7 @@
 #include "core/two_level.hpp"
 
 #include "cpu/core.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -20,6 +21,7 @@ void TwoLevelController::tick(Cycle now, double est_power, double budget,
   }
   // Level 2: per-cycle spike removal. The trigger point moves out with the
   // relaxed-accuracy threshold of Section IV.C.
+  const std::uint32_t prev_level = level_;
   const double trigger = budget * (1.0 + relax_threshold);
   if (!enforce || est_power <= trigger) {
     level_ = 0;
@@ -34,6 +36,9 @@ void TwoLevelController::tick(Cycle now, double est_power, double budget,
     }
   }
   ++level_cycles[level_];
+  if (tracer_ && level_ != prev_level) {
+    tracer_->emit(TraceEventType::kThrottleLevel, core_, level_, est_power);
+  }
   switch (level_) {
     case 0: core.set_fetch_limit(cfg_.core.fetch_width); break;
     case 1: core.set_fetch_limit(cfg_.core.fetch_width / 2); break;

@@ -40,6 +40,15 @@ class TwoLevelController {
   const DvfsController& dvfs() const { return dvfs_; }
   std::uint32_t microarch_level() const { return level_; }
 
+  /// Attach/detach the event tracer (src/trace): forwards to the DVFS
+  /// controller and emits a kThrottleLevel event on every level-2
+  /// (microarchitectural) throttle change for `core`.
+  void set_tracer(EventTracer* t, std::uint32_t core) {
+    tracer_ = t;
+    core_ = core;
+    dvfs_.set_tracer(t, core);
+  }
+
   // Statistics.
   std::uint64_t level_cycles[4] = {0, 0, 0, 0};
 
@@ -49,6 +58,8 @@ class TwoLevelController {
   bool use_dvfs_;
   bool use_microarch_;
   std::uint32_t level_ = 0;  // 0 = off, 1..3 = progressively stronger
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
+  std::uint32_t core_ = 0;
 };
 
 }  // namespace ptb

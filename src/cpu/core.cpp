@@ -47,7 +47,7 @@ void Core::deliver_value(const MicroOp& op) {
       sync_.release(op.sync_id, id_);
       break;
     case SyncRole::kBarrierArrive:
-      value = sync_.arrive(op.sync_id);
+      value = sync_.arrive(op.sync_id, id_);
       break;
     case SyncRole::kBarrierSpinLoad:
       value = sync_.read_sense(op.sync_id);

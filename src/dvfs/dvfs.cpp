@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace ptb {
 
 DvfsController::DvfsController(const DvfsConfig& cfg,
@@ -18,7 +20,13 @@ Cycle DvfsController::transition_cycles(double delta_v) const {
 void DvfsController::change_mode(Cycle now, std::uint32_t next) {
   if (next == mode_) return;
   const double dv = (vdd_of(next) - vdd_of(mode_)) * vdd_nominal_;
-  transition_until_ = now + transition_cycles(dv);
+  const Cycle stall = transition_cycles(dv);
+  transition_until_ = now + stall;
+  if (tracer_) {
+    tracer_->emit(TraceEventType::kDvfsTransition, core_,
+                  (static_cast<std::uint64_t>(mode_) << 8) | next,
+                  static_cast<double>(stall));
+  }
   mode_ = next;
   ++transitions;
 }

@@ -15,6 +15,8 @@
 
 namespace ptb {
 
+class EventTracer;
+
 struct DvfsMode {
   double vdd_ratio;
   double freq_ratio;
@@ -51,6 +53,13 @@ class DvfsController {
   /// regulator slew rate.
   Cycle transition_cycles(double delta_v) const;
 
+  /// Attach/detach the event tracer (src/trace): every mode change emits a
+  /// kDvfsTransition event for `core` with its regulator stall window.
+  void set_tracer(EventTracer* t, std::uint32_t core) {
+    tracer_ = t;
+    core_ = core;
+  }
+
   // Statistics.
   std::uint64_t transitions = 0;
 
@@ -67,6 +76,8 @@ class DvfsController {
   Cycle transition_until_ = 0;
   double window_acc_ = 0.0;
   std::uint32_t window_n_ = 0;
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
+  std::uint32_t core_ = 0;
 };
 
 }  // namespace ptb

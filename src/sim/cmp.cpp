@@ -108,6 +108,28 @@ void CmpSimulator::warm_caches() {
 
 RunResult CmpSimulator::run(const RunOptions& opts) {
   const std::uint32_t n = cfg_.num_cores;
+
+  // Event tracing (src/trace): allocated only for traced runs; every
+  // collaborator holds a raw pointer (null = one-branch no-op per emit
+  // site, the audit-hook pattern). Detached again before returning so the
+  // pointers never outlive this local recorder.
+  std::unique_ptr<EventTracer> tracer;
+  if (opts.trace_categories != 0) {
+    tracer = std::make_unique<EventTracer>(opts.trace_categories,
+                                           cfg_.trace.buffer_events);
+  }
+  const auto wire_tracer = [&](EventTracer* t) {
+    if (balancer_) balancer_->set_tracer(t);
+    if (clustered_) clustered_->set_tracer(t);
+    if (selector_) selector_->set_tracer(t);
+    sync_->set_tracer(t);
+    for (CoreId i = 0; i < n; ++i) {
+      trackers_[i].set_tracer(t, i);
+      enforcers_[i]->set_tracer(t, i);
+    }
+  };
+  if (tracer) wire_tracer(tracer.get());
+
   if (cfg_.functional_warmup) warm_caches();
   RunResult res;
   res.benchmark = profile_.name;
@@ -152,6 +174,9 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 
   Cycle now = 0;
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
+    // Stamp the cycle once; emit sites then need no cycle parameter.
+    if (tracer) tracer->begin_cycle(now);
+
     // --- 1. core ticks + per-core power ---
     double total_est = 0.0;
     double total_act = 0.0;
@@ -222,6 +247,12 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
                  kNocTokensPerFlitHop;
 
     // --- 2. global over-budget signal ---
+    if (tracer && now % cfg_.trace.budget_sample_period == 0) {
+      // Deficit of the *control* signal (the PTHT estimate the balancer and
+      // enforcers act on); negative while under budget.
+      tracer->emit(TraceEventType::kBudgetSample, kNoCore, 0,
+                   total_est - budgets_.global_budget());
+    }
     const bool global_over_now = total_est > budgets_.global_budget();
     epoch_acc += total_est;
     if (++epoch_n >= cfg_.dvfs.window_cycles) {
@@ -347,6 +378,14 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   }
   if (thrifty_) res.barrier_sleep_cycles = thrifty_->sleep_cycles;
   if (meeting_) res.meeting_point_episodes = meeting_->episodes;
+  if (tracer) {
+    std::uint32_t wire_latency = 0;
+    if (balancer_) wire_latency = balancer_->wire_latency();
+    else if (clustered_) wire_latency = clustered_->wire_latency();
+    res.trace = std::make_shared<EventTrace>(
+        tracer->finish(n, now, wire_latency));
+    wire_tracer(nullptr);
+  }
   return res;
 }
 

@@ -36,6 +36,7 @@
 #include "power/thermal.hpp"
 #include "sync/spin_tracker.hpp"
 #include "sync/sync_state.hpp"
+#include "trace/trace.hpp"
 #include "workloads/program.hpp"
 
 namespace ptb {
@@ -81,6 +82,10 @@ struct RunResult {
   std::uint64_t barrier_sleep_cycles = 0;  // thrifty-barrier baseline
   std::uint64_t meeting_point_episodes = 0;  // meeting-points baseline
 
+  // Recorded event trace (null unless RunOptions::trace_categories != 0).
+  // shared_ptr keeps RunResult cheap to move/copy through the RunPool.
+  std::shared_ptr<const EventTrace> trace;
+
   // Invariant-audit bookkeeping (0 when auditing was off for this run).
   std::uint64_t audit_checks = 0;
   // Fingerprint of the simulated-machine parameters (technique knobs
@@ -92,6 +97,10 @@ struct RunResult {
 struct RunOptions {
   bool record_cmp_trace = false;
   bool record_core_traces = false;
+  /// Event-trace category mask (bits of TraceCategory; see
+  /// parse_trace_categories). 0 = tracing fully off: no tracer is
+  /// allocated and every emit site stays a single null-pointer branch.
+  std::uint32_t trace_categories = 0;
 };
 
 class CmpSimulator {

@@ -9,9 +9,6 @@
 
 namespace ptb {
 
-namespace {
-
-/// Value of a decimated series at the last point with time <= t.
 double sample_at(const TimeSeries& s, double t, std::size_t& cursor) {
   const auto& times = s.times();
   const auto& values = s.values();
@@ -19,8 +16,6 @@ double sample_at(const TimeSeries& s, double t, std::size_t& cursor) {
   while (cursor + 1 < times.size() && times[cursor + 1] <= t) ++cursor;
   return values[cursor];
 }
-
-}  // namespace
 
 std::string power_trace_csv(const RunResult& r) {
   std::ostringstream out;
@@ -60,10 +55,14 @@ std::string run_summary_kv(const RunResult& r) {
       << "total_committed=" << r.total_committed << '\n'
       << "tokens_donated=" << format_double(r.tokens_donated, 1) << '\n'
       << "tokens_granted=" << format_double(r.tokens_granted, 1) << '\n'
+      << "tokens_evaporated=" << format_double(r.tokens_evaporated, 1) << '\n'
       << "dvfs_transitions=" << r.dvfs_transitions << '\n'
       << "to_one_cycles=" << r.to_one_cycles << '\n'
       << "to_all_cycles=" << r.to_all_cycles << '\n'
-      << "spin_gated_cycles=" << r.spin_gated_cycles << '\n';
+      << "spin_gated_cycles=" << r.spin_gated_cycles << '\n'
+      << "barrier_sleep_cycles=" << r.barrier_sleep_cycles << '\n'
+      << "meeting_point_episodes=" << r.meeting_point_episodes << '\n'
+      << "audit_checks=" << r.audit_checks << '\n';
   Cycle state_totals[kNumExecStates] = {};
   for (const auto& c : r.cores)
     for (std::uint32_t s = 0; s < kNumExecStates; ++s)

@@ -9,6 +9,14 @@
 
 namespace ptb {
 
+/// Value of a decimated series at the last point with time <= t. `cursor`
+/// carries the scan position between calls, so walking a trace with
+/// monotonically increasing `t` is linear overall; it is never rewound, so
+/// out-of-order queries return the value at the cursor, not before `t`.
+/// An empty series yields 0. This is the row-alignment primitive behind
+/// power_trace_csv.
+double sample_at(const TimeSeries& s, double t, std::size_t& cursor);
+
 /// Renders the decimated CMP power trace (and per-core traces when they
 /// were recorded) as CSV: `cycle,cmp[,core0,core1,...]`. Rows align on the
 /// CMP trace's timestamps; per-core values are sampled at the nearest

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace ptb {
 
@@ -29,8 +30,30 @@ const char* exec_state_name(ExecState s);
 
 class SpinTracker {
  public:
-  void set_state(ExecState s) { state_ = s; }
+  void set_state(ExecState s) {
+    if (s == state_) return;
+    if (tracer_) {
+      // A spin *phase* is any non-busy interval: exiting one state and
+      // entering another (lock-release right after lock-acquisition) emits
+      // both edges at the same cycle.
+      if (state_ != ExecState::kBusy) {
+        tracer_->emit(TraceEventType::kSpinExit, core_,
+                      static_cast<std::uint64_t>(state_), 0.0);
+      }
+      if (s != ExecState::kBusy) {
+        tracer_->emit(TraceEventType::kSpinEnter, core_,
+                      static_cast<std::uint64_t>(s), 0.0);
+      }
+    }
+    state_ = s;
+  }
   ExecState state() const { return state_; }
+
+  /// Attach/detach the event tracer (src/trace) for this tracker's core.
+  void set_tracer(EventTracer* t, std::uint32_t core) {
+    tracer_ = t;
+    core_ = core;
+  }
 
   /// True while the core is in any spinning/synchronization state.
   bool spinning() const { return state_ != ExecState::kBusy; }
@@ -67,6 +90,8 @@ class SpinTracker {
   ExecState state_ = ExecState::kBusy;
   std::array<Cycle, kNumExecStates> cycles_{};
   std::array<double, kNumExecStates> power_{};
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
+  std::uint32_t core_ = 0;
 };
 
 }  // namespace ptb

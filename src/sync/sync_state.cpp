@@ -1,5 +1,7 @@
 #include "sync/sync_state.hpp"
 
+#include "trace/trace.hpp"
+
 namespace ptb {
 
 SyncState::SyncState(std::uint32_t num_locks, std::uint32_t num_barriers,
@@ -25,6 +27,7 @@ std::uint64_t SyncState::try_acquire(std::uint32_t id, CoreId by) {
     l.held = 1;
     l.holder = by;
     ++acquisitions;
+    if (tracer_) tracer_->emit(TraceEventType::kLockAcquire, by, id, 0.0);
   } else {
     ++failed_acquires;
   }
@@ -38,16 +41,19 @@ void SyncState::release(std::uint32_t id, CoreId by) {
               "core %u released lock %u held by core %u", by, id, l.holder);
   l.held = 0;
   l.holder = kNoCore;
+  if (tracer_) tracer_->emit(TraceEventType::kLockRelease, by, id, 0.0);
 }
 
-std::uint64_t SyncState::arrive(std::uint32_t id) {
+std::uint64_t SyncState::arrive(std::uint32_t id, CoreId by) {
   Barrier& b = barriers_[id];
   const std::uint64_t sense_at_arrival = b.sense;
   const bool last = (++b.count == num_threads_);
+  if (tracer_) tracer_->emit(TraceEventType::kBarrierArrive, by, id, 0.0);
   if (last) {
     b.count = 0;
     b.sense ^= 1;
     ++barrier_episodes;
+    if (tracer_) tracer_->emit(TraceEventType::kBarrierRelease, by, id, 0.0);
   }
   return sense_at_arrival | (last ? 2u : 0u);
 }

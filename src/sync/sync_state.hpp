@@ -17,6 +17,8 @@
 
 namespace ptb {
 
+class EventTracer;
+
 class SyncState {
  public:
   /// Sync variables live in a dedicated address region, one cache line each
@@ -56,7 +58,12 @@ class SyncState {
   }
   /// Atomic arrival. Returns the sense value *at arrival* in bit 0 and
   /// "was last" in bit 1; the last arriver resets the count and flips sense.
-  std::uint64_t arrive(std::uint32_t id);
+  /// `by` identifies the arriving core for the event trace only.
+  std::uint64_t arrive(std::uint32_t id, CoreId by = kNoCore);
+
+  /// Attach/detach the event tracer (src/trace): successful lock acquires,
+  /// releases and barrier arrivals/releases emit kSync events.
+  void set_tracer(EventTracer* t) { tracer_ = t; }
 
   // Statistics.
   std::uint64_t acquisitions = 0;
@@ -76,6 +83,7 @@ class SyncState {
   std::vector<Lock> locks_;
   std::vector<Barrier> barriers_;
   std::uint32_t num_threads_;
+  EventTracer* tracer_ = nullptr;  // owned by the running simulator
 };
 
 }  // namespace ptb

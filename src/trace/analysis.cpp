@@ -1,0 +1,343 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+namespace {
+
+const std::vector<TraceEvent>& log_of(const EventTrace& t,
+                                      TraceCategory c) {
+  return t.logs[static_cast<std::size_t>(c)].events;
+}
+
+const char* exec_state_label(std::uint64_t s) {
+  switch (static_cast<ExecState>(s)) {
+    case ExecState::kLockAcq: return "lock-acq";
+    case ExecState::kLockRel: return "lock-rel";
+    case ExecState::kBarrier: return "barrier";
+    case ExecState::kBusy: return "busy";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+TokenFlowMatrix token_flow_matrix(const EventTrace& t) {
+  TokenFlowMatrix m;
+  m.num_cores = t.num_cores;
+  m.flow.assign(static_cast<std::size_t>(t.num_cores) * t.num_cores, 0.0);
+  m.evaporated_by_donor.assign(t.num_cores, 0.0);
+
+  // Donations grouped by (pool tag, send cycle): a balancer pools
+  // everything donated on one cycle and lands it wire_latency cycles
+  // later, so the donor mix of any grant is exactly that send cycle's
+  // donation vector (of the same pool; clusters never mix).
+  struct DonateGroup {
+    double total = 0.0;
+    std::vector<std::pair<std::uint32_t, double>> donors;
+  };
+  std::map<std::uint64_t, DonateGroup> by_cycle;
+  for (const TraceEvent& e : log_of(t, TraceCategory::kToken)) {
+    switch (e.type) {
+      case TraceEventType::kDonate: {
+        DonateGroup& g = by_cycle[(e.arg << 48) | e.cycle];
+        g.total += e.value;
+        g.donors.emplace_back(e.core, e.value);
+        m.total_donated += e.value;
+        break;
+      }
+      case TraceEventType::kGrant:
+      case TraceEventType::kEvaporate: {
+        const bool grant = e.type == TraceEventType::kGrant;
+        (grant ? m.total_granted : m.total_evaporated) += e.value;
+        const auto it = by_cycle.find(e.arg);  // donate cycle | tag << 48
+        if (it == by_cycle.end() || it->second.total <= 0.0) {
+          m.unattributed += e.value;
+          break;
+        }
+        for (const auto& [donor, amount] : it->second.donors) {
+          const double share = e.value * (amount / it->second.total);
+          if (donor >= t.num_cores) {
+            m.unattributed += share;
+          } else if (grant) {
+            m.flow[donor * t.num_cores + e.core] += share;
+          } else {
+            m.evaporated_by_donor[donor] += share;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return m;
+}
+
+DvfsResidency dvfs_residency(const EventTrace& t) {
+  DvfsResidency r;
+  r.mode_cycles.assign(t.num_cores, {});
+  r.stall_cycles.assign(t.num_cores, 0);
+  // Every core starts in mode 0 at cycle 0.
+  std::vector<std::uint32_t> mode(t.num_cores, 0);
+  std::vector<Cycle> since(t.num_cores, 0);
+  for (const TraceEvent& e : log_of(t, TraceCategory::kDvfs)) {
+    if (e.type != TraceEventType::kDvfsTransition || e.core >= t.num_cores)
+      continue;
+    ++r.transitions;
+    const auto to = static_cast<std::uint32_t>(e.arg & 0xff);
+    if (to >= 5) continue;  // defensive: unknown mode table
+    r.mode_cycles[e.core][mode[e.core]] += e.cycle - since[e.core];
+    mode[e.core] = to;
+    since[e.core] = e.cycle;
+    r.stall_cycles[e.core] += static_cast<Cycle>(e.value);
+  }
+  for (std::uint32_t c = 0; c < t.num_cores; ++c)
+    r.mode_cycles[c][mode[c]] += t.end_cycle - since[c];
+  return r;
+}
+
+std::vector<SpinInterval> spin_timeline(const EventTrace& t) {
+  std::vector<SpinInterval> out;
+  std::vector<SpinInterval> open(t.num_cores);
+  std::vector<bool> is_open(t.num_cores, false);
+  for (const TraceEvent& e : log_of(t, TraceCategory::kSpin)) {
+    if (e.core >= t.num_cores) continue;
+    if (e.type == TraceEventType::kSpinEnter) {
+      // An enter while open means the matching exit was dropped; close the
+      // stale interval at the new enter cycle rather than losing it.
+      if (is_open[e.core]) {
+        open[e.core].end = e.cycle;
+        out.push_back(open[e.core]);
+      }
+      open[e.core] = SpinInterval{e.core, e.arg, e.cycle, e.cycle};
+      is_open[e.core] = true;
+    } else if (e.type == TraceEventType::kSpinExit && is_open[e.core]) {
+      open[e.core].end = e.cycle;
+      out.push_back(open[e.core]);
+      is_open[e.core] = false;
+    }
+  }
+  for (std::uint32_t c = 0; c < t.num_cores; ++c) {
+    if (!is_open[c]) continue;
+    open[c].end = t.end_cycle;
+    out.push_back(open[c]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpinInterval& a, const SpinInterval& b) {
+                     return a.begin < b.begin;
+                   });
+  return out;
+}
+
+PolicyResidency policy_residency(const EventTrace& t) {
+  PolicyResidency r;
+  const auto& log = log_of(t, TraceCategory::kPolicy);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const TraceEvent& e = log[i];
+    if (e.type != TraceEventType::kPolicySwitch) continue;
+    if ((e.arg >> 8) != 0xff) ++r.switches;
+    const Cycle until = i + 1 < log.size() ? log[i + 1].cycle : t.end_cycle;
+    const Cycle span = until - e.cycle;
+    if ((e.arg & 0xff) == 1) {
+      r.to_one_cycles += span;
+    } else {
+      r.to_all_cycles += span;
+    }
+  }
+  return r;
+}
+
+DeficitHistogram deficit_histogram(const EventTrace& t,
+                                   std::size_t buckets) {
+  DeficitHistogram h;
+  const auto& log = log_of(t, TraceCategory::kBudget);
+  std::vector<double> samples;
+  samples.reserve(log.size());
+  double sum = 0.0;
+  std::uint64_t over = 0;
+  for (const TraceEvent& e : log) {
+    if (e.type != TraceEventType::kBudgetSample) continue;
+    samples.push_back(e.value);
+    sum += e.value;
+    if (e.value > 0.0) ++over;
+  }
+  h.samples = samples.size();
+  if (samples.empty()) return h;
+  const auto [lo_it, hi_it] = std::minmax_element(samples.begin(),
+                                                  samples.end());
+  h.min = *lo_it;
+  h.max = *hi_it;
+  h.mean = sum / static_cast<double>(samples.size());
+  h.over_budget_frac =
+      static_cast<double>(over) / static_cast<double>(samples.size());
+  h.lo = h.min;
+  h.hi = h.max;
+  // Degenerate (constant) sample sets still get one well-formed bucket.
+  h.bucket_width =
+      h.hi > h.lo ? (h.hi - h.lo) / static_cast<double>(buckets) : 1.0;
+  h.counts.assign(buckets, 0);
+  for (const double v : samples) {
+    auto b = static_cast<std::size_t>((v - h.lo) / h.bucket_width);
+    if (b >= buckets) b = buckets - 1;  // v == hi lands in the top bucket
+    ++h.counts[b];
+  }
+  return h;
+}
+
+TokenTotals token_totals(const EventTrace& t) {
+  TokenTotals s;
+  for (const TraceEvent& e : log_of(t, TraceCategory::kToken)) {
+    switch (e.type) {
+      case TraceEventType::kDonate:
+        s.donated += e.value;
+        ++s.donate_events;
+        break;
+      case TraceEventType::kGrant:
+        s.granted += e.value;
+        ++s.grant_events;
+        break;
+      case TraceEventType::kEvaporate:
+        s.evaporated += e.value;
+        ++s.evaporate_events;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+// --- renderings -------------------------------------------------------------
+
+std::string render_summary(const EventTrace& t) {
+  std::ostringstream out;
+  out << "trace: " << t.num_cores << " cores, " << t.end_cycle
+      << " cycles, wire latency " << t.wire_latency << ", categories "
+      << trace_categories_string(t.categories) << "\n\n";
+  out << "category   kept      emitted   dropped\n";
+  for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
+    const auto& log = t.logs[c];
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-10s %-9zu %-9llu %llu\n",
+                  trace_category_name(static_cast<TraceCategory>(c)),
+                  log.events.size(),
+                  static_cast<unsigned long long>(log.emitted),
+                  static_cast<unsigned long long>(log.dropped));
+    out << line;
+  }
+  const TokenTotals s = token_totals(t);
+  out << "\ntokens: donated=" << format_double(s.donated, 1)
+      << " granted=" << format_double(s.granted, 1)
+      << " evaporated=" << format_double(s.evaporated, 1) << " ("
+      << s.donate_events << " donate / " << s.grant_events << " grant / "
+      << s.evaporate_events << " evaporate events)\n";
+  const PolicyResidency p = policy_residency(t);
+  out << "policy: to_all=" << p.to_all_cycles
+      << " to_one=" << p.to_one_cycles << " cycles, " << p.switches
+      << " switches\n";
+  if (t.total_dropped() > 0) {
+    out << "\nwarning: " << t.total_dropped()
+        << " events dropped (ring overflow) — analyses cover the kept "
+           "suffix of each category\n";
+  }
+  return out.str();
+}
+
+std::string render_flows(const EventTrace& t) {
+  const TokenFlowMatrix m = token_flow_matrix(t);
+  std::ostringstream out;
+  std::vector<std::string> head{"donor\\grantee"};
+  for (std::uint32_t c = 0; c < m.num_cores; ++c)
+    head.push_back("c" + std::to_string(c));
+  head.push_back("evaporated");
+  Table tab(head);
+  for (std::uint32_t d = 0; d < m.num_cores; ++d) {
+    std::vector<std::string> row{"c" + std::to_string(d)};
+    for (std::uint32_t g = 0; g < m.num_cores; ++g)
+      row.push_back(format_double(m.at(d, g), 1));
+    row.push_back(format_double(m.evaporated_by_donor[d], 1));
+    tab.add_row(row);
+  }
+  out << tab.to_text("token flow (rows donate, columns receive; tokens)");
+  out << "totals: donated=" << format_double(m.total_donated, 1)
+      << " granted=" << format_double(m.total_granted, 1)
+      << " evaporated=" << format_double(m.total_evaporated, 1)
+      << " unattributed=" << format_double(m.unattributed, 1) << "\n";
+  return out.str();
+}
+
+std::string render_dvfs(const EventTrace& t) {
+  const DvfsResidency r = dvfs_residency(t);
+  std::ostringstream out;
+  Table tab({"core", "m0 100/100", "m1 95/95", "m2 90/90", "m3 90/75",
+             "m4 90/65", "stall"});
+  for (std::uint32_t c = 0; c < t.num_cores; ++c) {
+    std::vector<std::string> row{"c" + std::to_string(c)};
+    for (std::uint32_t m = 0; m < 5; ++m)
+      row.push_back(std::to_string(r.mode_cycles[c][m]));
+    row.push_back(std::to_string(r.stall_cycles[c]));
+    tab.add_row(row);
+  }
+  out << tab.to_text(
+      "DVFS residency (cycles per mode; paper's 5-point (VDD%,F%) table)");
+  out << "transitions: " << r.transitions << "\n";
+  return out.str();
+}
+
+std::string render_spin(const EventTrace& t, std::uint32_t only_core) {
+  std::ostringstream out;
+  out << "spin-phase timeline (begin..end [cycles] state)\n";
+  std::size_t shown = 0;
+  for (const SpinInterval& iv : spin_timeline(t)) {
+    if (only_core != kNoCore && iv.core != only_core) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "c%-3u %12llu .. %-12llu %8llu  %s\n", iv.core,
+                  static_cast<unsigned long long>(iv.begin),
+                  static_cast<unsigned long long>(iv.end),
+                  static_cast<unsigned long long>(iv.end - iv.begin),
+                  exec_state_label(iv.state));
+    out << line;
+    ++shown;
+  }
+  if (shown == 0) out << "(no spin phases recorded)\n";
+  return out.str();
+}
+
+std::string render_deficit(const EventTrace& t) {
+  const DeficitHistogram h = deficit_histogram(t);
+  std::ostringstream out;
+  out << "budget-deficit histogram (estimated CMP power - global budget, "
+         "decimated samples)\n";
+  if (h.samples == 0) {
+    out << "(no budget samples recorded)\n";
+    return out.str();
+  }
+  out << "samples=" << h.samples << " min=" << format_double(h.min, 3)
+      << " mean=" << format_double(h.mean, 3)
+      << " max=" << format_double(h.max, 3)
+      << " over-budget=" << format_double(100.0 * h.over_budget_frac, 1)
+      << "%\n";
+  std::uint64_t peak = 1;
+  for (const std::uint64_t c : h.counts) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double lo = h.lo + h.bucket_width * static_cast<double>(b);
+    char head[64];
+    std::snprintf(head, sizeof(head), "%10.3f .. %-10.3f %8llu ", lo,
+                  lo + h.bucket_width,
+                  static_cast<unsigned long long>(h.counts[b]));
+    out << head
+        << std::string((h.counts[b] * 50) / peak, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ptb

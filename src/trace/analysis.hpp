@@ -1,0 +1,114 @@
+// Trace analyzers: turn a recorded EventTrace into the paper-shaped
+// summaries the `ptb-trace` CLI prints — per-core-pair token flows, DVFS
+// mode residency, spin-phase timelines, policy residency and the
+// budget-deficit histogram. Pure functions of the trace; the consistency
+// tests (tests/trace) cross-check them against the RunResult counters of
+// the run that produced the trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ptb {
+
+/// Who funded whom, attributed through the balancer pool: a grant landing
+/// at cycle t was donated at cycle t - wire_latency (the Grant/Evaporate
+/// events carry that donate cycle), so each grant is split over that
+/// cycle's donors in proportion to their donated amounts.
+struct TokenFlowMatrix {
+  std::uint32_t num_cores = 0;
+  /// flow[donor * num_cores + grantee], in tokens.
+  std::vector<double> flow;
+  /// Tokens a donor sent that evaporated (landed with no needy core).
+  std::vector<double> evaporated_by_donor;
+  double total_donated = 0.0;
+  double total_granted = 0.0;
+  double total_evaporated = 0.0;
+  /// Grant/evaporation tokens whose donors are missing from the trace
+  /// (ring overwrote the matching Donate events); 0 on a drop-free trace.
+  double unattributed = 0.0;
+
+  double at(std::uint32_t donor, std::uint32_t grantee) const {
+    return flow[donor * num_cores + grantee];
+  }
+};
+
+TokenFlowMatrix token_flow_matrix(const EventTrace& t);
+
+/// Per-core cycles spent in each of the 5 DVFS modes (mode 0 at cycle 0;
+/// each kDvfsTransition closes the previous interval; the last interval
+/// runs to end_cycle) plus the summed regulator stall windows.
+struct DvfsResidency {
+  std::vector<std::array<Cycle, 5>> mode_cycles;  // [core][mode]
+  std::vector<Cycle> stall_cycles;                // [core]
+  std::uint64_t transitions = 0;
+};
+
+DvfsResidency dvfs_residency(const EventTrace& t);
+
+/// Closed spin intervals per core, in cycle order. An interval still open
+/// at end_cycle is closed there.
+struct SpinInterval {
+  std::uint32_t core = 0;
+  std::uint64_t state = 0;  // ExecState as recorded in the event arg
+  Cycle begin = 0;
+  Cycle end = 0;
+};
+
+std::vector<SpinInterval> spin_timeline(const EventTrace& t);
+
+/// Cycles under each balancer policy, reconstructed from the switch events
+/// (matches the selector's to_one_cycles/to_all_cycles counters exactly on
+/// a drop-free trace of a kDynamic run).
+struct PolicyResidency {
+  Cycle to_all_cycles = 0;
+  Cycle to_one_cycles = 0;
+  std::uint64_t switches = 0;  // excluding the initial selection
+};
+
+PolicyResidency policy_residency(const EventTrace& t);
+
+/// Histogram of the decimated budget-deficit samples (estimated CMP power
+/// minus global budget; negative = under budget).
+struct DeficitHistogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  double bucket_width = 0.0;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Fraction of samples over budget (deficit > 0).
+  double over_budget_frac = 0.0;
+};
+
+DeficitHistogram deficit_histogram(const EventTrace& t,
+                                   std::size_t buckets = 16);
+
+/// Token donate/grant/evaporate totals and event counts straight from the
+/// kToken log (the quantities RunResult::tokens_* accumulate).
+struct TokenTotals {
+  double donated = 0.0;
+  double granted = 0.0;
+  double evaporated = 0.0;
+  std::uint64_t donate_events = 0;
+  std::uint64_t grant_events = 0;
+  std::uint64_t evaporate_events = 0;
+};
+
+TokenTotals token_totals(const EventTrace& t);
+
+// --- text renderings (the ptb-trace subcommand bodies) ----------------------
+
+std::string render_summary(const EventTrace& t);
+std::string render_flows(const EventTrace& t);
+std::string render_dvfs(const EventTrace& t);
+std::string render_spin(const EventTrace& t, std::uint32_t only_core);
+std::string render_deficit(const EventTrace& t);
+
+}  // namespace ptb

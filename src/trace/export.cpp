@@ -1,0 +1,166 @@
+#include "trace/export.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "sync/spin_tracker.hpp"
+
+namespace ptb {
+
+namespace {
+
+// Perfetto track ids: tid 0 is the balancer/CMP track, core i is tid i+1.
+constexpr std::uint32_t kBalancerTid = 0;
+
+std::uint32_t tid_of(const TraceEvent& e) {
+  return e.core == kNoCore ? kBalancerTid : e.core + 1;
+}
+
+const char* spin_slice_name(std::uint64_t exec_state) {
+  switch (static_cast<ExecState>(exec_state)) {
+    case ExecState::kLockAcq: return "spin:lock-acq";
+    case ExecState::kLockRel: return "spin:lock-rel";
+    case ExecState::kBarrier: return "spin:barrier";
+    default: return "spin:?";
+  }
+}
+
+const char* policy_name(std::uint64_t p) {
+  switch (p) {
+    case 0: return "ToAll";
+    case 1: return "ToOne";
+    case 2: return "Dynamic";
+    case 0xff: return "(start)";
+    default: return "?";
+  }
+}
+
+void meta_event(std::ostringstream& out, const char* kind,
+                std::uint32_t tid, const std::string& name) {
+  out << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+      << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+void event_prefix(std::ostringstream& out, const char* name, const char* ph,
+                  std::uint32_t tid, Cycle ts) {
+  out << "{\"name\":\"" << name << "\",\"ph\":\"" << ph
+      << "\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << ts;
+}
+
+}  // namespace
+
+std::string trace_chrome_json(const EventTrace& t) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  meta_event(out, "process_name", 0, "ptb cmp (ts = cycle)");
+  out << ",\n";
+  meta_event(out, "thread_name", kBalancerTid, "balancer");
+  for (std::uint32_t c = 0; c < t.num_cores; ++c) {
+    out << ",\n";
+    meta_event(out, "thread_name", c + 1, "core " + std::to_string(c));
+  }
+
+  // Open spin slices per core, so unclosed B events get a matching E at
+  // end_cycle (Perfetto rejects unbalanced duration slices).
+  std::vector<std::uint64_t> open_spin(t.num_cores, 0);
+  std::vector<bool> spin_open(t.num_cores, false);
+
+  for (const TraceEvent& e : t.merged()) {
+    out << ",\n";
+    const std::uint32_t tid = tid_of(e);
+    switch (e.type) {
+      case TraceEventType::kSpinEnter:
+        event_prefix(out, spin_slice_name(e.arg), "B", tid, e.cycle);
+        out << "}";
+        if (e.core < t.num_cores) {
+          spin_open[e.core] = true;
+          open_spin[e.core] = e.arg;
+        }
+        break;
+      case TraceEventType::kSpinExit:
+        event_prefix(out, spin_slice_name(e.arg), "E", tid, e.cycle);
+        out << "}";
+        if (e.core < t.num_cores) spin_open[e.core] = false;
+        break;
+      case TraceEventType::kBudgetSample:
+        event_prefix(out, "budget deficit", "C", tid, e.cycle);
+        out << ",\"args\":{\"tokens_over_budget\":"
+            << format_double(e.value, 4) << "}}";
+        break;
+      case TraceEventType::kDvfsTransition: {
+        event_prefix(out, "dvfs", "i", tid, e.cycle);
+        out << ",\"s\":\"t\",\"args\":{\"from_mode\":" << (e.arg >> 8)
+            << ",\"to_mode\":" << (e.arg & 0xff)
+            << ",\"stall_cycles\":" << format_double(e.value, 0) << "}}";
+        // A counter track makes the per-core mode residency visible as a
+        // stepped line in Perfetto.
+        out << ",\n";
+        event_prefix(out,
+                     ("dvfs mode core" + std::to_string(e.core)).c_str(),
+                     "C", tid, e.cycle);
+        out << ",\"args\":{\"mode\":" << (e.arg & 0xff) << "}}";
+        break;
+      }
+      case TraceEventType::kPolicySwitch:
+        event_prefix(out, "policy", "i", tid, e.cycle);
+        out << ",\"s\":\"g\",\"args\":{\"to\":\"" << policy_name(e.arg & 0xff)
+            << "\",\"from\":\"" << policy_name(e.arg >> 8)
+            << "\",\"spinning_cores\":" << format_double(e.value, 0) << "}}";
+        break;
+      case TraceEventType::kDonate:
+        event_prefix(out, trace_event_name(e.type), "i", tid, e.cycle);
+        out << ",\"s\":\"t\",\"args\":{\"tokens\":" << format_double(e.value, 4)
+            << ",\"pool\":" << e.arg << "}}";
+        break;
+      case TraceEventType::kGrant:
+      case TraceEventType::kEvaporate:
+        event_prefix(out, trace_event_name(e.type), "i", tid, e.cycle);
+        out << ",\"s\":\"t\",\"args\":{\"tokens\":" << format_double(e.value, 4)
+            << ",\"donated_at\":" << (e.arg & ((std::uint64_t{1} << 48) - 1))
+            << ",\"pool\":" << (e.arg >> 48) << "}}";
+        break;
+      case TraceEventType::kThrottleLevel:
+        event_prefix(out, "throttle", "i", tid, e.cycle);
+        out << ",\"s\":\"t\",\"args\":{\"level\":" << e.arg
+            << ",\"est_power\":" << format_double(e.value, 4) << "}}";
+        break;
+      case TraceEventType::kLockAcquire:
+      case TraceEventType::kLockRelease:
+      case TraceEventType::kBarrierArrive:
+      case TraceEventType::kBarrierRelease:
+        event_prefix(out, trace_event_name(e.type), "i", tid, e.cycle);
+        out << ",\"s\":\"t\",\"args\":{\"id\":" << e.arg << "}}";
+        break;
+      case TraceEventType::kCount:
+        break;
+    }
+  }
+  for (std::uint32_t c = 0; c < t.num_cores; ++c) {
+    if (!spin_open[c]) continue;
+    out << ",\n";
+    event_prefix(out, spin_slice_name(open_spin[c]), "E", c + 1,
+                 t.end_cycle);
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string trace_csv(const EventTrace& t) {
+  std::ostringstream out;
+  out << "cycle,category,event,core,arg,value\n";
+  for (const TraceEvent& e : t.merged()) {
+    out << e.cycle << ','
+        << trace_category_name(trace_event_category(e.type)) << ','
+        << trace_event_name(e.type) << ',';
+    if (e.core == kNoCore) {
+      out << "cmp";
+    } else {
+      out << e.core;
+    }
+    out << ',' << e.arg << ',' << format_double(e.value, 4) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ptb

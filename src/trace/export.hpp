@@ -1,0 +1,25 @@
+// Trace exporters: Chrome trace-event / Perfetto JSON (open the file at
+// ui.perfetto.dev or chrome://tracing) and a flat CSV for ad-hoc tooling.
+// Both render the immutable EventTrace a traced run produced; neither
+// touches simulator state.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ptb {
+
+/// Chrome trace-event format (the JSON Perfetto ingests): one named thread
+/// track per core plus a "balancer" track (tid 0) for CMP-level events.
+/// Spin phases render as duration (B/E) slices on the core's track; token,
+/// DVFS, throttle and sync events as instant events with their payload in
+/// "args"; budget-deficit samples and per-core DVFS modes as counters.
+/// `ts` is the simulated cycle (display unit only).
+std::string trace_chrome_json(const EventTrace& t);
+
+/// Flat CSV, one event per row: `cycle,category,event,core,arg,value`.
+/// Events are merged across categories in cycle order (EventTrace::merged).
+std::string trace_csv(const EventTrace& t);
+
+}  // namespace ptb

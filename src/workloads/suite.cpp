@@ -239,23 +239,60 @@ std::vector<WorkloadProfile> build_suite() {
   return v;
 }
 
-}  // namespace
-
-const std::vector<WorkloadProfile>& benchmark_suite() {
+const std::vector<WorkloadProfile>& full_suite() {
   static const std::vector<WorkloadProfile> suite = build_suite();
   return suite;
 }
 
+std::string& suite_filter() {
+  static std::string filter;
+  return filter;
+}
+
+bool g_suite_materialized = false;
+
+}  // namespace
+
+bool set_suite_filter(const std::string& name) {
+  PTB_ASSERT(!g_suite_materialized,
+             "set_suite_filter must run before the first benchmark_suite() "
+             "call (the suite is materialized once)");
+  if (!name.empty()) {
+    bool found = false;
+    for (const auto& p : full_suite()) found = found || p.name == name;
+    if (!found) return false;
+  }
+  suite_filter() = name;
+  return true;
+}
+
+const std::vector<WorkloadProfile>& benchmark_suite() {
+  static const std::vector<WorkloadProfile> suite = [] {
+    g_suite_materialized = true;
+    std::vector<WorkloadProfile> v;
+    for (const auto& p : full_suite())
+      if (suite_filter().empty() || p.name == suite_filter()) v.push_back(p);
+    return v;
+  }();
+  return suite;
+}
+
 const WorkloadProfile& benchmark_by_name(const std::string& name) {
-  for (const auto& p : benchmark_suite())
+  for (const auto& p : full_suite())
     if (p.name == name) return p;
   PTB_ASSERTF(false, "unknown benchmark name '%s'", name.c_str());
-  return benchmark_suite().front();  // unreachable
+  return full_suite().front();  // unreachable
 }
 
 std::vector<std::string> benchmark_names() {
   std::vector<std::string> names;
   for (const auto& p : benchmark_suite()) names.push_back(p.name);
+  return names;
+}
+
+std::vector<std::string> full_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& p : full_suite()) names.push_back(p.name);
   return names;
 }
 

@@ -12,13 +12,26 @@
 
 namespace ptb {
 
-/// All 14 profiles, in the paper's Figure ordering.
+/// All 14 profiles, in the paper's Figure ordering — unless a process-wide
+/// filter was installed with set_suite_filter, in which case only the
+/// selected profile.
 const std::vector<WorkloadProfile>& benchmark_suite();
 
-/// Lookup by (case-sensitive) name; aborts if unknown.
+/// Process-wide suite filter (the bench binaries' --only flag, same pattern
+/// as set_default_audit_level): after set_suite_filter("fft"),
+/// benchmark_suite() returns just that profile. Returns false on an unknown
+/// name (filter unchanged). Must be called before the first
+/// benchmark_suite() call and is not thread-safe; an empty name clears the
+/// filter. benchmark_by_name / full_benchmark_names ignore the filter.
+bool set_suite_filter(const std::string& name);
+
+/// Lookup by (case-sensitive) name; aborts if unknown. Ignores the filter.
 const WorkloadProfile& benchmark_by_name(const std::string& name);
 
-/// Names in suite order.
+/// Names in (possibly filtered) suite order.
 std::vector<std::string> benchmark_names();
+
+/// Names of the full 14-benchmark suite, ignoring any filter (--list).
+std::vector<std::string> full_benchmark_names();
 
 }  // namespace ptb

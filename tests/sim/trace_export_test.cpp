@@ -59,6 +59,73 @@ TEST(TraceExport, SummaryContainsCoreMetrics) {
   EXPECT_NE(kv.find("cycles_barrier="), std::string::npos);
 }
 
+TEST(TraceExport, SummaryContainsMechanismCounters) {
+  const RunResult r = traced_run();
+  const std::string kv = run_summary_kv(r);
+  EXPECT_NE(kv.find("tokens_donated="), std::string::npos);
+  EXPECT_NE(kv.find("tokens_granted="), std::string::npos);
+  EXPECT_NE(kv.find("tokens_evaporated="), std::string::npos);
+  EXPECT_NE(kv.find("spin_gated_cycles="), std::string::npos);
+  EXPECT_NE(kv.find("barrier_sleep_cycles="), std::string::npos);
+  EXPECT_NE(kv.find("meeting_point_episodes="), std::string::npos);
+  EXPECT_NE(kv.find("audit_checks=" + std::to_string(r.audit_checks)),
+            std::string::npos);
+}
+
+// Golden output: a hand-built result pins the exact bytes, including the
+// hold-last alignment of per-core rows onto the CMP trace's timestamps.
+TEST(TraceExport, CsvGoldenOutput) {
+  RunResult r;
+  r.cmp_power_trace.add(0.0, 10.0);
+  r.cmp_power_trace.add(4.0, 12.5);
+  r.cmp_power_trace.add(8.0, 11.0);
+  r.core_power_traces.resize(2);
+  r.core_power_traces[0].add(0.0, 5.0);
+  r.core_power_traces[0].add(8.0, 6.0);   // holds 5.0 through cycle 4
+  r.core_power_traces[1].add(0.0, 5.0);
+  r.core_power_traces[1].add(3.0, 6.5);   // already 6.5 by cycle 4
+  r.core_power_traces[1].add(7.0, 4.5);   // already 4.5 by cycle 8
+  EXPECT_EQ(power_trace_csv(r),
+            "cycle,cmp_power,core0,core1\n"
+            "0,10.000,5.000,5.000\n"
+            "4,12.500,5.000,6.500\n"
+            "8,11.000,6.000,4.500\n");
+}
+
+TEST(SampleAt, EmptySeriesYieldsZero) {
+  TimeSeries s;
+  std::size_t cursor = 0;
+  EXPECT_EQ(sample_at(s, 5.0, cursor), 0.0);
+  EXPECT_EQ(cursor, 0u);
+}
+
+TEST(SampleAt, HoldsLastValueAtOrBeforeT) {
+  TimeSeries s;
+  s.add(0.0, 1.0);
+  s.add(10.0, 2.0);
+  s.add(20.0, 3.0);
+  std::size_t cursor = 0;
+  EXPECT_EQ(sample_at(s, 0.0, cursor), 1.0);
+  EXPECT_EQ(sample_at(s, 9.9, cursor), 1.0);
+  EXPECT_EQ(sample_at(s, 10.0, cursor), 2.0);  // boundary: <= advances
+  EXPECT_EQ(sample_at(s, 19.0, cursor), 2.0);
+  EXPECT_EQ(sample_at(s, 1000.0, cursor), 3.0);
+  EXPECT_EQ(cursor, 2u);
+}
+
+TEST(SampleAt, CursorNeverRewinds) {
+  TimeSeries s;
+  s.add(0.0, 1.0);
+  s.add(10.0, 2.0);
+  std::size_t cursor = 0;
+  EXPECT_EQ(sample_at(s, 15.0, cursor), 2.0);
+  EXPECT_EQ(cursor, 1u);
+  // Out-of-order query: the cursor stays put, so the value at the cursor
+  // comes back — documented behavior for the monotone-scan use case.
+  EXPECT_EQ(sample_at(s, 0.0, cursor), 2.0);
+  EXPECT_EQ(cursor, 1u);
+}
+
 TEST(TraceExport, WritesFiles) {
   const RunResult r = traced_run();
   ASSERT_TRUE(export_run(r, testing::TempDir()));

@@ -1,0 +1,112 @@
+// ptb-trace: inspect a binary event trace captured with the bench
+// binaries' --trace flag (or EventTrace::save from a test/example).
+//
+//   ptb-trace summary TRACE            counts, token totals, policy residency
+//   ptb-trace flows TRACE              per-core-pair token-flow matrix
+//   ptb-trace dvfs TRACE               DVFS mode residency + stall windows
+//   ptb-trace spin TRACE [--core N]    spin-phase timeline (lock vs barrier)
+//   ptb-trace deficit TRACE            budget-deficit histogram
+//   ptb-trace export-json TRACE OUT    Chrome/Perfetto JSON (OUT '-' = stdout)
+//   ptb-trace export-csv TRACE OUT     flat CSV              (OUT '-' = stdout)
+//
+// Exits nonzero on an unreadable/corrupt trace or bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(
+      rc == 0 ? stdout : stderr,
+      "usage: %s COMMAND TRACE [ARGS]\n"
+      "  summary TRACE            event counts, token totals, policy "
+      "residency\n"
+      "  flows TRACE              per-core-pair token-flow matrix\n"
+      "  dvfs TRACE               DVFS mode residency and stall windows\n"
+      "  spin TRACE [--core N]    spin-phase timeline (lock vs barrier)\n"
+      "  deficit TRACE            budget-deficit histogram\n"
+      "  export-json TRACE OUT    Chrome trace-event / Perfetto JSON\n"
+      "  export-csv TRACE OUT     flat CSV (cycle,category,event,core,arg,"
+      "value)\n"
+      "TRACE is a file written by a bench binary's --trace flag; OUT may be "
+      "'-' for stdout.\n",
+      argv0);
+  return rc;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    return usage(argv[0], 0);
+  }
+  if (argc < 3) return usage(argv[0], 2);
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  ptb::EventTrace trace;
+  if (!ptb::EventTrace::load(path, trace)) {
+    std::fprintf(stderr, "%s: cannot parse '%s' as a PTB event trace\n",
+                 argv[0], path.c_str());
+    return 1;
+  }
+
+  if (cmd == "summary") {
+    std::fputs(ptb::render_summary(trace).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "flows") {
+    std::fputs(ptb::render_flows(trace).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "dvfs") {
+    std::fputs(ptb::render_dvfs(trace).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "spin") {
+    std::uint32_t only_core = ptb::kNoCore;
+    if (argc >= 5 && std::strcmp(argv[3], "--core") == 0) {
+      only_core = static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr,
+                                                          10));
+    } else if (argc > 3) {
+      return usage(argv[0], 2);
+    }
+    std::fputs(ptb::render_spin(trace, only_core).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "deficit") {
+    std::fputs(ptb::render_deficit(trace).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "export-json" || cmd == "export-csv") {
+    if (argc != 4) return usage(argv[0], 2);
+    const std::string text = cmd == "export-json"
+                                 ? ptb::trace_chrome_json(trace)
+                                 : ptb::trace_csv(trace);
+    if (!write_text(argv[3], text)) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], argv[3]);
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0], cmd.c_str());
+  return usage(argv[0], 2);
+}
