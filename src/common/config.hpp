@@ -212,6 +212,15 @@ struct PtbConfig {
   // reported configuration) or the power-pattern heuristic.
   bool dynamic_uses_ground_truth = true;
 
+  // ToAll residual redistribution. Section III.D only says "equally
+  // distribute the extra tokens": with a single equal-share pass (the
+  // literal reading, and the default) a core whose deficit is smaller than
+  // its share leaves a residual that evaporates even while other cores in
+  // the same cycle still have deficit. When set, the residual is re-split
+  // among the still-needy cores for a bounded number of extra rounds
+  // (core/balancer.cpp) before anything evaporates.
+  bool toall_redistribute = false;
+
   // The paper's stated future work (Section IV.C): use PTB's power-pattern
   // spin detection to duty-cycle-gate spinning cores for extra energy
   // savings. Detected spinners fetch only 2 cycles out of every

@@ -8,6 +8,15 @@
 
 namespace ptb {
 
+namespace {
+// Cap on the extra ToAll redistribution rounds (PtbConfig::
+// toall_redistribute): each round re-splits the residual among the cores
+// that still have deficit, so a handful of rounds either drains the pool or
+// satisfies every deficit. Bounded to keep the wire-layer model honest — a
+// real re-arbitration would cost another wire round-trip per pass.
+constexpr std::uint32_t kToAllExtraPasses = 4;
+}  // namespace
+
 std::uint32_t PtbLoadBalancer::latency_for_cores(std::uint32_t num_cores) {
   // Paper (Section III.E.2, Xilinx ISE): 4-core: 1+1+1 = 3 cycles;
   // 8-core: 2+1+2 = 5; 16-core: 4+2+4 = 10. Beyond 16 the paper clusters
@@ -29,9 +38,9 @@ PtbLoadBalancer::PtbLoadBalancer(const PtbConfig& cfg,
                                               : latency_for_cores(num_cores)),
       max_count_((1u << cfg.token_wire_bits) - 1),
       quantum_(local_budget / static_cast<double>(max_count_)),
-      ring_(latency_ + 1), pool_arriving_(ring_, 0.0),
-      returning_(ring_, std::vector<double>(num_cores, 0.0)),
-      outstanding_(num_cores, 0.0) {
+      toall_redistribute_(cfg.toall_redistribute), ring_(latency_ + 1),
+      pool_arriving_(ring_, 0.0), returning_(ring_ * num_cores, 0.0),
+      outstanding_(num_cores, 0.0), deficit_(num_cores, 0.0) {
   PTB_ASSERT(local_budget > 0.0, "local budget must be positive");
   PTB_ASSERT(cfg.token_wire_bits >= 1 && cfg.token_wire_bits <= 16,
              "token wire width out of range");
@@ -49,24 +58,22 @@ double PtbLoadBalancer::outstanding_total() const {
   return t;
 }
 
-void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
+void PtbLoadBalancer::cycle(Cycle now, const double* est_power,
                             bool global_over, PtbPolicy policy,
-                            std::vector<double>& eff_budget) {
-  PTB_ASSERTF(est_power.size() == num_cores_,
-              "power vector has %zu entries for %u cores", est_power.size(),
-              num_cores_);
-  eff_budget.resize(num_cores_);
+                            double* eff_budget) {
   const std::size_t s = slot(now);
 
   // 1. Donations sent `latency_` cycles ago land: the pool becomes
   //    grantable and the donors' budgets recover.
   const double pool = pool_arriving_[s];
   pool_arriving_[s] = 0.0;
+  double* returning_now = returning_.data() + s * num_cores_;
   for (CoreId i = 0; i < num_cores_; ++i) {
-    outstanding_[i] -= returning_[s][i];
-    if (outstanding_[i] < 0.0) outstanding_[i] = 0.0;  // float guard
-    returning_[s][i] = 0.0;
-    eff_budget[i] = local_budget_ - outstanding_[i];
+    double o = outstanding_[i] - returning_now[i];
+    if (o < 0.0) o = 0.0;  // float guard
+    outstanding_[i] = o;
+    returning_now[i] = 0.0;
+    eff_budget[i] = local_budget_ - o;
   }
 
   // 2. Distribute the arriving pool among over-budget cores. Grants are
@@ -83,6 +90,7 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
     double worst_deficit = 0.0;
     for (CoreId i = 0; i < num_cores_; ++i) {
       const double deficit = est_power[i] - eff_budget[i];
+      deficit_[i] = deficit;
       if (deficit > 0.0) {
         ++needy;
         if (deficit > worst_deficit) {
@@ -106,18 +114,32 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
       } else {
         // ToAll: one equal share per over-budget core (the paper's "equally
         // distribute the extra tokens"), capped at each core's deficit.
-        const double share = remaining / static_cast<double>(needy);
-        for (CoreId i = 0; i < num_cores_; ++i) {
-          const double deficit = est_power[i] - eff_budget[i];
-          if (deficit <= 0.0) continue;
-          const double grant = std::min(share, deficit);
-          eff_budget[i] += grant;
-          tokens_granted += grant;
-          remaining -= grant;
-          if (tracer_ && grant > 0.0) {
-            tracer_->emit(TraceEventType::kGrant, core_offset_ + i,
-                          donated_at, grant);
+        // Section III.D says only "equally distribute"; a single pass is
+        // the literal reading and the default. With cfg.toall_redistribute
+        // the residual a small-deficit core leaves behind is re-split among
+        // the cores still short (bounded rounds) instead of evaporating.
+        std::uint32_t still_needy = needy;
+        for (std::uint32_t pass = 0; pass <= kToAllExtraPasses; ++pass) {
+          const double share =
+              remaining / static_cast<double>(still_needy);
+          std::uint32_t next_needy = 0;
+          for (CoreId i = 0; i < num_cores_; ++i) {
+            const double deficit = deficit_[i];
+            if (deficit <= 0.0) continue;
+            const double grant = std::min(share, deficit);
+            eff_budget[i] += grant;
+            deficit_[i] = deficit - grant;
+            tokens_granted += grant;
+            remaining -= grant;
+            if (deficit_[i] > 0.0) ++next_needy;
+            if (tracer_ && grant > 0.0) {
+              tracer_->emit(TraceEventType::kGrant, core_offset_ + i,
+                            donated_at, grant);
+            }
           }
+          still_needy = next_needy;
+          if (!toall_redistribute_ || still_needy == 0 || remaining <= 0.0)
+            break;
         }
       }
     }
@@ -132,6 +154,7 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
   //    budget), quantized to the wire width and capped by it.
   if (global_over) {
     const std::size_t arrive = slot(now + latency_);
+    double* returning_arrive = returning_.data() + arrive * num_cores_;
     for (CoreId i = 0; i < num_cores_; ++i) {
       const double spare = eff_budget[i] - est_power[i];
       if (spare <= 0.0) continue;
@@ -140,7 +163,7 @@ void PtbLoadBalancer::cycle(Cycle now, const std::vector<double>& est_power,
       if (counts == 0) continue;
       const double amount = static_cast<double>(counts) * quantum_;
       outstanding_[i] += amount;
-      returning_[arrive][i] += amount;
+      returning_arrive[i] += amount;
       pool_arriving_[arrive] += amount;
       tokens_donated += amount;
       ++donation_events;

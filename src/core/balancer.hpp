@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
@@ -33,14 +34,38 @@ class PtbLoadBalancer {
   /// instantaneous power; `global_over` gates donation (cores only donate
   /// while the CMP exceeds the global budget); `policy` distributes the
   /// arriving pool. On return `eff_budget[i]` is core i's budget this cycle
-  /// (local share - outstanding donations + arriving grants).
+  /// (local share - outstanding donations + arriving grants). Both arrays
+  /// must have num_cores() entries; this is the allocation-free hot path
+  /// the CMP cycle loop drives (sim/cmp.cpp, CycleFrame).
+  void cycle(Cycle now, const double* est_power, bool global_over,
+             PtbPolicy policy, double* eff_budget);
+
+  /// Vector convenience overload (tests, examples, microbenches): sizes
+  /// `eff_budget` for the caller, then runs the pointer hot path.
   void cycle(Cycle now, const std::vector<double>& est_power,
              bool global_over, PtbPolicy policy,
-             std::vector<double>& eff_budget);
+             std::vector<double>& eff_budget) {
+    PTB_ASSERTF(est_power.size() == num_cores_,
+                "power vector has %zu entries for %u cores",
+                est_power.size(), num_cores_);
+    eff_budget.resize(num_cores_);
+    cycle(now, est_power.data(), global_over, policy, eff_budget.data());
+  }
 
   std::uint32_t wire_latency() const { return latency_; }
   /// Tokens represented by one wire count (budget / (2^bits - 1)).
   double token_quantum() const { return quantum_; }
+
+  /// Re-derives the per-core budget (and with it the wire quantum) from a
+  /// new local budget — the hook for mid-run global-budget changes (budget
+  /// schedules / ablations). Outstanding donations stay debited against
+  /// the donors, so eff_budget tracks the new budget from the next cycle
+  /// on and in-flight tokens still land and recover as usual.
+  void set_local_budget(double local_budget) {
+    PTB_ASSERT(local_budget > 0.0, "local budget must be positive");
+    local_budget_ = local_budget;
+    quantum_ = local_budget / static_cast<double>(max_count_);
+  }
 
   // Introspection for the invariant auditor (src/audit) and tests.
   std::uint32_t num_cores() const { return num_cores_; }
@@ -82,11 +107,13 @@ class PtbLoadBalancer {
   std::uint32_t latency_;
   std::uint32_t max_count_;  // 2^wire_bits - 1
   double quantum_;
+  bool toall_redistribute_;
   std::size_t ring_;
 
-  std::vector<double> pool_arriving_;            // [ring]
-  std::vector<std::vector<double>> returning_;   // [ring][core]
-  std::vector<double> outstanding_;              // per core
+  std::vector<double> pool_arriving_;  // [ring]
+  std::vector<double> returning_;      // [ring * cores], slot-major
+  std::vector<double> outstanding_;    // per core
+  std::vector<double> deficit_;        // per-cycle scratch (grant passes)
 
   EventTracer* tracer_ = nullptr;  // owned by the running simulator
   std::uint32_t core_offset_ = 0;

@@ -20,32 +20,29 @@ ClusteredBalancer::ClusteredBalancer(const PtbConfig& cfg,
     clusters_.push_back(
         std::make_unique<PtbLoadBalancer>(sub, n, local_budget));
   }
-  cluster_power_.reserve(cluster_size);
-  cluster_eff_.reserve(cluster_size);
 }
 
-void ClusteredBalancer::cycle(Cycle now, const std::vector<double>& est_power,
+void ClusteredBalancer::cycle(Cycle now, const double* est_power,
                               double cluster_budget_total, PtbPolicy policy,
-                              std::vector<double>& eff_budget) {
-  PTB_ASSERT(est_power.size() == num_cores_, "power vector arity mismatch");
-  eff_budget.resize(num_cores_);
+                              double* eff_budget) {
+  // Each cluster balances over its own contiguous slice of the per-core
+  // arrays — no staging copies; the slices are disjoint by construction.
   std::uint32_t base = 0;
   for (auto& cluster : clusters_) {
-    const std::uint32_t n =
-        std::min(cluster_size_, num_cores_ - base);
-    cluster_power_.assign(est_power.begin() + base,
-                          est_power.begin() + base + n);
+    const std::uint32_t n = std::min(cluster_size_, num_cores_ - base);
     double cluster_total = 0.0;
-    for (double p : cluster_power_) cluster_total += p;
+    for (std::uint32_t i = 0; i < n; ++i) cluster_total += est_power[base + i];
     const double cluster_budget =
         cluster_budget_total * static_cast<double>(n) /
         static_cast<double>(num_cores_);
     const bool over = cluster_total > cluster_budget;
-    cluster->cycle(now, cluster_power_, over, policy, cluster_eff_);
-    for (std::uint32_t i = 0; i < n; ++i)
-      eff_budget[base + i] = cluster_eff_[i];
+    cluster->cycle(now, est_power + base, over, policy, eff_budget + base);
     base += n;
   }
+}
+
+void ClusteredBalancer::set_local_budget(double local_budget) {
+  for (auto& c : clusters_) c->set_local_budget(local_budget);
 }
 
 double ClusteredBalancer::tokens_donated() const {

@@ -26,10 +26,24 @@ class ClusteredBalancer {
 
   /// Same contract as PtbLoadBalancer::cycle, applied per cluster. The
   /// `global_over` gate uses each *cluster's* aggregate (a cluster only has
-  /// its own wires), which is what makes the scheme scalable.
+  /// its own wires), which is what makes the scheme scalable. Both arrays
+  /// must have num_cores() entries (allocation-free hot path).
+  void cycle(Cycle now, const double* est_power, double cluster_budget_total,
+             PtbPolicy policy, double* eff_budget);
+
+  /// Vector convenience overload (tests and benches).
   void cycle(Cycle now, const std::vector<double>& est_power,
              double cluster_budget_total, PtbPolicy policy,
-             std::vector<double>& eff_budget);
+             std::vector<double>& eff_budget) {
+    PTB_ASSERT(est_power.size() == num_cores_, "power vector arity mismatch");
+    eff_budget.resize(num_cores_);
+    cycle(now, est_power.data(), cluster_budget_total, policy,
+          eff_budget.data());
+  }
+
+  /// Forwards a new per-core budget to every cluster balancer (mid-run
+  /// global-budget changes; see PtbLoadBalancer::set_local_budget).
+  void set_local_budget(double local_budget);
 
   std::uint32_t num_clusters() const {
     return static_cast<std::uint32_t>(clusters_.size());
@@ -57,9 +71,6 @@ class ClusteredBalancer {
   std::uint32_t num_cores_;
   std::uint32_t cluster_size_;
   std::vector<std::unique_ptr<PtbLoadBalancer>> clusters_;
-  // Scratch buffers reused per cycle (no allocation on the cycle path).
-  std::vector<double> cluster_power_;
-  std::vector<double> cluster_eff_;
 };
 
 }  // namespace ptb

@@ -40,4 +40,6 @@ bool PowerEnforcer::stalled(Cycle now) const {
   return is_budget_enforcer(kind_) && ctrl_.stalled(now);
 }
 
+bool PowerEnforcer::active() const { return is_budget_enforcer(kind_); }
+
 }  // namespace ptb

@@ -23,6 +23,10 @@ class PowerEnforcer {
   double freq_ratio() const;
   /// True while a DVFS transition stalls the core.
   bool stalled(Cycle now) const;
+  /// True when this technique actually enforces a local budget: kNone and
+  /// the CMP-level baselines (thrifty barrier / meeting points) never react
+  /// to tick(), so the cycle loop may skip them wholesale.
+  bool active() const;
 
   TechniqueKind kind() const { return kind_; }
   const TwoLevelController& controller() const { return ctrl_; }

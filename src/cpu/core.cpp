@@ -19,17 +19,23 @@ Core::Core(CoreId id, const SimConfig& cfg, MemorySystem& mem,
     : id_(id), cfg_(cfg), mem_(mem), sync_(sync), program_(program),
       energy_(energy), predictor_(cfg.core), fus_(cfg.core),
       ptht_(cfg.power.ptht_entries), rob_(cfg.core.rob_entries),
+      rob_mask_((cfg.core.rob_entries & (cfg.core.rob_entries - 1)) == 0
+                    ? cfg.core.rob_entries - 1
+                    : 0),
       fetch_limit_(cfg.core.fetch_width) {}
 
-bool Core::deps_ready(std::uint64_t seq) const {
-  const MicroOp& op = rob_[seq % rob_.size()].op;
-  for (std::uint8_t dist : {op.dep1, op.dep2}) {
-    if (dist == 0) continue;
-    if (seq < head_seq_ + dist) continue;  // producer already committed
-    const std::uint64_t dep_seq = seq - dist;
-    if (dep_seq < head_seq_) continue;
-    const RobEntry& dep = rob_[dep_seq % rob_.size()];
-    if (!dep.completed) return false;
+bool Core::deps_ready(std::uint64_t seq, const MicroOp& op) const {
+  // seq < head_seq_ + dist <=> seq - dist < head_seq_: the producer is
+  // already committed (and the test also guards the unsigned underflow).
+  const std::uint8_t d1 = op.dep1;
+  if (d1 != 0 && seq >= head_seq_ + d1 &&
+      !rob_[rob_index(seq - d1)].completed) {
+    return false;
+  }
+  const std::uint8_t d2 = op.dep2;
+  if (d2 != 0 && seq >= head_seq_ + d2 &&
+      !rob_[rob_index(seq - d2)].completed) {
+    return false;
   }
   return true;
 }
@@ -85,9 +91,9 @@ void Core::do_commit(Cycle now) {
     const double residency =
         static_cast<double>(now - e.dispatched_at) *
         cfg_.power.residency_token;
-    const double base = energy_.grouped_base(e.op.cls, e.op.pc);
-    ptht_.update(e.op.pc, base + residency);
-    commit_exact_ += energy_.exact_base(e.op.cls, e.op.pc) + residency;
+    const BaseCost& bc = base_cost(e.op.cls, e.op.pc);
+    ptht_.update(e.op.pc, bc.grouped + residency);
+    commit_exact_ += bc.exact + residency;
     bct_.on_commit(e.op);
     if (e.op.is_memory()) --lsq_count_;
     ++head_seq_;
@@ -105,14 +111,15 @@ void Core::do_issue(Cycle now) {
     ++issue_cursor_;
   }
   std::uint32_t issued = 0;
+  const std::uint32_t issue_width = cfg_.core.issue_width;
   const std::uint64_t tail = head_seq_ + rob_count_;
   const std::uint64_t scan_end =
       std::min(tail, issue_cursor_ + kIssueScanWindow);
   for (std::uint64_t seq = issue_cursor_;
-       seq < scan_end && issued < cfg_.core.issue_width; ++seq) {
+       seq < scan_end && issued < issue_width; ++seq) {
     RobEntry& e = entry(seq);
     if (e.issued) continue;
-    if (!deps_ready(seq)) continue;
+    if (!deps_ready(seq, e.op)) continue;
     if (!fus_.try_issue(e.op.cls)) continue;
 
     Cycle complete_at;
@@ -216,9 +223,16 @@ void Core::do_fetch(Cycle now) {
     ++fetched;
     ++dispatched;
 
-    fetch_exact_ += energy_.exact_base(op.cls, op.pc);
-    fetch_est_ += ptht_.lookup(
-        op.pc, energy_.grouped_base(op.cls, op.pc) + kColdResidencyGuess);
+    const BaseCost& bc = base_cost(op.cls, op.pc);
+    fetch_exact_ += bc.exact;
+    if (estimate_fetch_) {
+      // Lazy cold default: the grouped cost is only consulted on a PTHT
+      // miss, so the warm path is a single inline-cache probe.
+      double est;
+      fetch_est_ += ptht_.lookup_hit(op.pc, est)
+                        ? est
+                        : bc.grouped + kColdResidencyGuess;
+    }
 
     if (op.is_branch()) {
       const bool predicted = predictor_.predict(op.pc);
@@ -235,7 +249,7 @@ void Core::do_fetch(Cycle now) {
 
 std::string Core::debug_string(Cycle now) const {
   char buf[256];
-  const RobEntry* head = rob_count_ ? &rob_[head_seq_ % rob_.size()] : nullptr;
+  const RobEntry* head = rob_count_ ? &rob_[rob_index(head_seq_)] : nullptr;
   std::snprintf(
       buf, sizeof(buf),
       "core%u rob=%u lsq=%u progfin=%d pend=%d fblock=%llu wbr=%d "

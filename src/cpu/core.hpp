@@ -12,6 +12,7 @@
 // the power model.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <queue>
 #include <string>
@@ -66,6 +67,13 @@ class Core {
   void set_fetch_limit(std::uint32_t w) { fetch_limit_ = w; }
   std::uint32_t fetch_limit() const { return fetch_limit_; }
 
+  /// Enables/disables accumulation of the PTHT fetch estimate (the control
+  /// signal). The simulator turns it off when nothing consumes the estimate
+  /// (no PTB, no budget enforcer, no tracer/auditor), which removes the
+  /// per-op PTHT lookup from the fetch path. Commit-side PTHT updates
+  /// continue regardless, so the table stays warm for introspection.
+  void set_estimate_fetch(bool on) { estimate_fetch_ = on; }
+
   /// One-line diagnostic of the pipeline state (debugging aid).
   std::string debug_string(Cycle now) const;
 
@@ -97,14 +105,48 @@ class Core {
     bool completed = false;
   };
 
-  RobEntry& entry(std::uint64_t seq) { return rob_[seq % rob_.size()]; }
+  /// ROB slot for a sequence number. rob_entries is a power of two in every
+  /// shipped config, making the wraparound a single AND; the hardware
+  /// divide in the generic path dominated the issue-scan profile.
+  std::size_t rob_index(std::uint64_t seq) const {
+    return rob_mask_ != 0 ? (seq & rob_mask_) : (seq % rob_.size());
+  }
+  RobEntry& entry(std::uint64_t seq) { return rob_[rob_index(seq)]; }
+
+  // Memo of the energy model's per-static-instruction costs. exact_base is
+  // a 64-bit mix + multiply and grouped_of a centroid binary search, both
+  // recomputed per fetch and per commit of the same static PCs; a
+  // direct-mapped cache makes the repeat cost two loads. Sized so the
+  // default workload footprint (1024 template slots at stride 4 plus the
+  // sync handlers at +0x8000) maps collision-free; larger footprints only
+  // cost recomputes, never correctness (tag-checked on pc and, defensively,
+  // cls). Only touched entries occupy data cache.
+  struct BaseCost {
+    Pc tag = 0;
+    std::uint8_t cls_tag = 0;  // OpClass value + 1; 0 = empty
+    double exact = 0.0;
+    double grouped = 0.0;
+  };
+  static constexpr std::size_t kBaseCostEntries = 16384;
+
+  const BaseCost& base_cost(OpClass cls, Pc pc) {
+    BaseCost& e = base_costs_[(pc >> 2) & (kBaseCostEntries - 1)];
+    const std::uint8_t ct = static_cast<std::uint8_t>(cls) + 1;
+    if (e.tag != pc || e.cls_tag != ct) {
+      e.tag = pc;
+      e.cls_tag = ct;
+      e.exact = energy_.exact_base(cls, pc);
+      e.grouped = energy_.grouped_of(e.exact);
+    }
+    return e;
+  }
 
   void process_completions(Cycle now);
   void do_commit(Cycle now);
   void do_issue(Cycle now);
   void do_fetch(Cycle now);
   void deliver_value(const MicroOp& op);
-  bool deps_ready(std::uint64_t seq) const;
+  bool deps_ready(std::uint64_t seq, const MicroOp& op) const;
 
   CoreId id_;
   const SimConfig& cfg_;
@@ -119,6 +161,7 @@ class Core {
   BctDetector bct_;
 
   std::vector<RobEntry> rob_;
+  std::uint64_t rob_mask_ = 0;   // size-1 when size is a power of two
   std::uint64_t head_seq_ = 0;   // oldest in-flight op
   std::uint32_t rob_count_ = 0;
   std::uint32_t lsq_count_ = 0;  // memory ops resident in the ROB
@@ -142,6 +185,9 @@ class Core {
   double fetch_est_ = 0.0;
   double commit_exact_ = 0.0;
   bool idle_ = false;
+  bool estimate_fetch_ = true;
+
+  std::array<BaseCost, kBaseCostEntries> base_costs_{};
 
   // Issue scan cursor: the oldest sequence number that may be unissued.
   std::uint64_t issue_cursor_ = 0;

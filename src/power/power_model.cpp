@@ -1,6 +1,7 @@
 #include "power/power_model.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "common/assert.hpp"
 
@@ -18,7 +19,56 @@ std::uint64_t mix64(std::uint64_t x) {
   return x;
 }
 
+// Exact field-wise equality (never a hash): a false positive would silently
+// hand a caller the wrong profiling population. PowerConfig is all scalars,
+// so == on every member is both cheap and complete.
+bool same_power_config(const PowerConfig& a, const PowerConfig& b) {
+  return a.residency_token == b.residency_token &&
+         a.peak_fetch_frac == b.peak_fetch_frac &&
+         a.peak_rob_frac == b.peak_rob_frac &&
+         a.base_int_alu == b.base_int_alu &&
+         a.base_int_mult == b.base_int_mult &&
+         a.base_fp_alu == b.base_fp_alu &&
+         a.base_fp_mult == b.base_fp_mult && a.base_load == b.base_load &&
+         a.base_store == b.base_store && a.base_branch == b.base_branch &&
+         a.base_atomic == b.base_atomic && a.base_nop == b.base_nop &&
+         a.base_jitter == b.base_jitter &&
+         a.kmeans_groups == b.kmeans_groups &&
+         a.ptht_entries == b.ptht_entries &&
+         a.leakage_per_core == b.leakage_per_core &&
+         a.clock_gated_dynamic == b.clock_gated_dynamic &&
+         a.uncore_per_core == b.uncore_per_core &&
+         a.ptht_overhead_frac == b.ptht_overhead_frac &&
+         a.ptb_wire_overhead_frac == b.ptb_wire_overhead_frac &&
+         a.vdd_nominal == b.vdd_nominal &&
+         a.freq_nominal_ghz == b.freq_nominal_ghz;
+}
+
 }  // namespace
+
+std::shared_ptr<const BaseEnergyModel> BaseEnergyModel::shared(
+    const PowerConfig& cfg, std::uint64_t seed) {
+  struct CacheEntry {
+    PowerConfig cfg;
+    std::uint64_t seed;
+    std::shared_ptr<const BaseEnergyModel> model;
+  };
+  static std::mutex mu;
+  static std::vector<CacheEntry>* cache = new std::vector<CacheEntry>();
+  std::lock_guard<std::mutex> lock(mu);
+  for (const CacheEntry& e : *cache) {
+    if (e.seed == seed && same_power_config(e.cfg, cfg)) return e.model;
+  }
+  // Construct under the lock: racing threads duplicating the k-means would
+  // cost more than the brief serialization. Bound the cache so ablation
+  // sweeps over power constants cannot grow it without limit (FIFO evict;
+  // live simulators keep their shared_ptr alive regardless).
+  constexpr std::size_t kMaxEntries = 64;
+  if (cache->size() >= kMaxEntries) cache->erase(cache->begin());
+  auto model = std::make_shared<const BaseEnergyModel>(cfg, seed);
+  cache->push_back(CacheEntry{cfg, seed, model});
+  return model;
+}
 
 BaseEnergyModel::BaseEnergyModel(const PowerConfig& cfg, std::uint64_t seed)
     : cfg_(cfg) {
@@ -93,6 +143,36 @@ double core_cycle_power(const PowerConfig& cfg, const CoreActivity& a) {
   }
   return cfg.leakage_per_core * a.vdd_ratio + cfg.uncore_per_core +
          dynamic * v2;
+}
+
+void core_cycle_power_batch(const PowerConfig& cfg, const CoreActivityBatch& b,
+                            std::size_t n, double scale, double* act,
+                            double* est) {
+  // Mirrors core_cycle_power term for term (same expressions, same
+  // association) so the batch is bit-identical to the scalar calls.
+  const double overhead = 1.0 + cfg.ptht_overhead_frac;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vdd = b.vdd_ratio[i];
+    const double v2 = vdd * vdd;
+    const double static_part =
+        cfg.leakage_per_core * vdd + cfg.uncore_per_core;
+    double dyn_act = 0.0;
+    double dyn_est = 0.0;
+    if (b.active[i]) {
+      if (b.gated[i]) {
+        dyn_act = cfg.clock_gated_dynamic;
+        dyn_est = cfg.clock_gated_dynamic;
+      } else {
+        dyn_act = (b.fetch_exact[i] +
+                   static_cast<double>(b.rob_occupancy[i]) *
+                       cfg.residency_token) *
+                  overhead;
+        dyn_est = b.fetch_estimated[i] * overhead;
+      }
+    }
+    act[i] = (static_part + dyn_act * v2) * scale;
+    if (est) est[i] = (static_part + dyn_est * v2) * scale;
+  }
 }
 
 double analytic_peak_core_power(const PowerConfig& cfg,

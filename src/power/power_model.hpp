@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/config.hpp"
@@ -26,6 +27,14 @@ class BaseEnergyModel {
  public:
   BaseEnergyModel(const PowerConfig& cfg, std::uint64_t seed);
 
+  /// Process-wide memoized constructor: the model is a pure function of
+  /// (cfg, seed) but costs a full k-means over the synthesized profiling
+  /// population, which dominated CmpSimulator construction when every
+  /// run_one() of a RunPool grid rebuilt it. Returns a shared immutable
+  /// instance (thread-safe; exact config equality, never a hash).
+  static std::shared_ptr<const BaseEnergyModel> shared(const PowerConfig& cfg,
+                                                       std::uint64_t seed);
+
   /// Mean base tokens of an instruction class (pre-jitter).
   double class_mean(OpClass c) const {
     return class_mean_[static_cast<std::size_t>(c)];
@@ -38,6 +47,12 @@ class BaseEnergyModel {
   /// Base tokens quantized to the nearest of the 8 k-means group centroids —
   /// what the hardware tables carry.
   double grouped_base(OpClass cls, Pc pc) const;
+
+  /// Quantizes an already-computed exact base cost (callers that memoize
+  /// exact_base can group without recomputing the jitter).
+  double grouped_of(double exact_tokens) const {
+    return centroids_[nearest_centroid(centroids_, exact_tokens)];
+  }
 
   const std::vector<double>& centroids() const { return centroids_; }
 
@@ -74,6 +89,28 @@ struct CoreActivity {
 /// Dynamic power scales with VDD^2 and is spent only on active cycles;
 /// leakage scales ~linearly with VDD and is always paid.
 double core_cycle_power(const PowerConfig& cfg, const CoreActivity& a);
+
+/// Structure-of-arrays view of every core's activity for one global cycle
+/// (borrowed pointers into the simulator's CycleFrame, length n).
+struct CoreActivityBatch {
+  const double* fetch_exact;      // exact base tokens fetched (actual power)
+  const double* fetch_estimated;  // PTHT-estimated tokens (control signal)
+  const std::uint32_t* rob_occupancy;
+  const std::uint8_t* active;
+  const std::uint8_t* gated;
+  const double* vdd_ratio;
+};
+
+/// Batched core_cycle_power over all cores of one cycle. `act[i]` receives
+/// the actual-power evaluation (fetch_exact + ROB residency); `est[i]` (when
+/// non-null) the control estimate (fetch_estimated only — residency is folded
+/// into the stored PTHT values). Both are scaled by `scale` (the PTB wire
+/// overhead factor). Bit-identical to the equivalent per-core
+/// core_cycle_power calls; the batch form exists so the cycle loop evaluates
+/// the model once over packed arrays instead of 2n scattered calls.
+void core_cycle_power_batch(const PowerConfig& cfg, const CoreActivityBatch& b,
+                            std::size_t n, double scale, double* act,
+                            double* est);
 
 /// Analytic reference peak per-core power used to define the global power
 /// budget (paper: budget = 50% of the processor's peak). TDP-like: leakage +

@@ -10,21 +10,4 @@ Ptht::Ptht(std::uint32_t entries) : table_(entries), mask_(entries - 1) {
   PTB_ASSERT(std::has_single_bit(entries), "PTHT size must be a power of 2");
 }
 
-double Ptht::lookup(Pc pc, double cold_default) const {
-  ++lookups;
-  const Entry& e = table_[index_of(pc)];
-  if (e.tokens < 0.0f || e.tag != pc) {
-    ++cold_misses;
-    return cold_default;
-  }
-  return static_cast<double>(e.tokens);
-}
-
-void Ptht::update(Pc pc, double tokens) {
-  ++updates;
-  Entry& e = table_[index_of(pc)];
-  e.tag = pc;
-  e.tokens = static_cast<float>(tokens);
-}
-
 }  // namespace ptb

@@ -2,8 +2,17 @@
 // power cost (in tokens) of each static instruction's last execution
 // (Section III.B of the paper). Updated at commit, read at fetch to estimate
 // per-cycle power without performance counters.
+//
+// Hot-path layout: the full table (8K x 12B) misses the L1D, and straight-
+// line code (spin loops above all) re-looks-up the same handful of PCs every
+// cycle. A small direct-mapped inline cache in front of the table keeps
+// those repeat lookups L1-resident. The cache is kept coherent by
+// construction: its index is derived from the *table* index, so any table
+// write that could remap a PC lands on (and replaces) the one inline entry
+// that could have cached it — no invalidation scan, no stale reads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,12 +25,53 @@ class Ptht {
   /// `entries` must be a power of two (paper: 8192).
   explicit Ptht(std::uint32_t entries);
 
+  /// Inline-cache size (power of two; 256 x 16B = 4KB, comfortably L1).
+  static constexpr std::size_t kInlineEntries = 256;
+
+  /// Warm-hit fast path: returns true and sets `tokens` when the entry for
+  /// `pc` is warm and tag-matching (inline cache first, then the table);
+  /// false on a cold or conflict miss, leaving the caller to supply its
+  /// own default — computing that default is often the expensive part, so
+  /// this keeps it off the hit path.
+  bool lookup_hit(Pc pc, double& tokens) const {
+    ++lookups;
+    const std::size_t ti = index_of(pc);
+    InlineEntry& c = inline_cache_[ti & (kInlineEntries - 1)];
+    if (c.tag == pc && c.tokens >= 0.0f) {
+      tokens = static_cast<double>(c.tokens);
+      return true;
+    }
+    const Entry& e = table_[ti];
+    if (e.tokens < 0.0f || e.tag != pc) {
+      ++cold_misses;
+      return false;
+    }
+    c.tag = pc;
+    c.tokens = e.tokens;
+    tokens = static_cast<double>(e.tokens);
+    return true;
+  }
+
   /// Estimated tokens for the instruction at `pc`; returns `cold_default`
   /// when the entry is cold or tagged for a different pc.
-  double lookup(Pc pc, double cold_default) const;
+  double lookup(Pc pc, double cold_default) const {
+    double tokens;
+    return lookup_hit(pc, tokens) ? tokens : cold_default;
+  }
 
   /// Records the tokens consumed by the committed instruction at `pc`.
-  void update(Pc pc, double tokens);
+  void update(Pc pc, double tokens) {
+    ++updates;
+    const std::size_t ti = index_of(pc);
+    Entry& e = table_[ti];
+    e.tag = pc;
+    e.tokens = static_cast<float>(tokens);
+    // Write-through: replace whatever inline entry aliases this table
+    // index (the coherence rule in the header comment).
+    InlineEntry& c = inline_cache_[ti & (kInlineEntries - 1)];
+    c.tag = pc;
+    c.tokens = e.tokens;
+  }
 
   std::uint32_t entries() const {
     return static_cast<std::uint32_t>(table_.size());
@@ -37,6 +87,10 @@ class Ptht {
     Pc tag = 0;
     float tokens = -1.0f;  // <0 == cold
   };
+  struct InlineEntry {
+    Pc tag = 0;
+    float tokens = -1.0f;  // <0 == empty (pc 0 stays checkable)
+  };
 
   std::size_t index_of(Pc pc) const {
     // Instructions are 4-byte aligned in the synthetic ISA.
@@ -45,6 +99,8 @@ class Ptht {
 
   std::vector<Entry> table_;
   std::size_t mask_;
+  // Filled from const lookups (it is a cache, not model state).
+  mutable std::array<InlineEntry, kInlineEntries> inline_cache_{};
 };
 
 }  // namespace ptb

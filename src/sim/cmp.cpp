@@ -18,9 +18,28 @@ constexpr double kSpinThresholdFrac = 0.30;
 constexpr double kSpinGateThresholdFrac = 0.55;
 }  // namespace
 
+void CycleFrame::reset(std::uint32_t n, double local_budget) {
+  freq_acc.assign(n, 0.0);
+  est_ema.assign(n, 0.0);
+  act_ema.assign(n, 0.0);
+  eff_budget.assign(n, local_budget);
+  thermal_acc.assign(n, 0.0);
+  finished.assign(n, 0);
+  states.assign(n, ExecState::kBusy);
+  fetch_exact.assign(n, 0.0);
+  fetch_est.assign(n, 0.0);
+  rob_occ.assign(n, 0);
+  active.assign(n, 0);
+  gated.assign(n, 0);
+  vdd.assign(n, 1.0);
+  est_power.assign(n, 0.0);
+  act_power.assign(n, 0.0);
+}
+
 CmpSimulator::CmpSimulator(const SimConfig& cfg,
                            const WorkloadProfile& profile)
-    : cfg_(cfg), profile_(profile), energy_model_(cfg_.power, cfg_.seed),
+    : cfg_(cfg), profile_(profile),
+      energy_model_(BaseEnergyModel::shared(cfg_.power, cfg_.seed)),
       budgets_(cfg_), thermal_(cfg_.thermal, cfg_.num_cores) {
   PTB_ASSERT(cfg_.num_cores >= 1, "need at least one core");
   mesh_ = std::make_unique<Mesh>(cfg_.noc, cfg_.mesh_width(),
@@ -33,7 +52,7 @@ CmpSimulator::CmpSimulator(const SimConfig& cfg,
     programs_.push_back(std::make_unique<SyntheticProgram>(
         profile_, i, cfg_.num_cores, *sync_, trackers_[i], cfg_.seed));
     cores_.push_back(std::make_unique<Core>(i, cfg_, *mem_, *sync_,
-                                            *programs_[i], energy_model_));
+                                            *programs_[i], *energy_model_));
     enforcers_.push_back(
         std::make_unique<PowerEnforcer>(cfg_, cfg_.technique));
   }
@@ -142,16 +161,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   }
 
   EnergyAccounting acct(budgets_.global_budget());
-  std::vector<double> freq_acc(n, 0.0);
-  std::vector<double> est_power(n, 0.0);
-  std::vector<double> act_power(n, 0.0);
-  std::vector<double> est_ema(n, 0.0);
-  std::vector<double> act_ema(n, 0.0);
-  std::vector<double> eff_budget(n, budgets_.local_budget());
-  std::vector<bool> finished(n, false);
-  std::vector<double> thermal_acc(n, 0.0);
+  // All per-core scratch lives in the simulator-owned CycleFrame: reset()
+  // reuses capacity across runs and the loop below never allocates.
+  CycleFrame& f = frame_;
+  f.reset(n, budgets_.local_budget());
   std::uint32_t finished_count = 0;
-  std::vector<ExecState> states(n, ExecState::kBusy);
 
   // Commit charging concentrates an instruction's energy into one cycle;
   // physically the pipeline spreads it over several. A short exponential
@@ -172,28 +186,48 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   const double wire_overhead =
       cfg_.ptb.enabled ? (1.0 + cfg_.power.ptb_wire_overhead_frac) : 1.0;
 
+  const bool ptb_active = balancer_ != nullptr || clustered_ != nullptr;
+  // One technique kind per run, so enforcer activity is uniform; inactive
+  // enforcers (kNone / CMP-level baselines) no-op their tick and pin both
+  // ratios at 1.0, letting the loop skip the calls wholesale.
+  const bool enforcers_active = enforcers_[0]->active();
+  // The PTHT estimate is pure control/observability input. When nothing
+  // consumes it — no balancer, no budget enforcer, no spinner gating, no
+  // tracer, no auditor — skip the whole estimate path: the per-op PTHT
+  // lookups at fetch, the second power-model evaluation and its EMA. Every
+  // consumer below is gated on the same conditions, so results are
+  // unchanged byte for byte.
+  const bool est_needed = ptb_active || enforcers_active ||
+                          !gate_detectors_.empty() || tracer != nullptr ||
+                          auditor_ != nullptr;
+  for (CoreId i = 0; i < n; ++i) cores_[i]->set_estimate_fetch(est_needed);
+
   Cycle now = 0;
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
     // Stamp the cycle once; emit sites then need no cycle parameter.
     if (tracer) tracer->begin_cycle(now);
 
-    // --- 1. core ticks + per-core power ---
-    double total_est = 0.0;
-    double total_act = 0.0;
+    // --- 1. core ticks: fill the activity frame ---
     for (CoreId i = 0; i < n; ++i) {
       Core& core = *cores_[i];
-      PowerEnforcer& enf = *enforcers_[i];
 
       // Baseline controllers (prior art; Section II.C).
       bool asleep = false;
-      double freq_ratio = enf.freq_ratio();
-      double vdd_ratio = enf.vdd_ratio();
-      if (thrifty_ && !finished[i]) {
+      double freq_ratio = 1.0;
+      double vdd_ratio = 1.0;
+      bool stalled = false;
+      if (enforcers_active) {
+        const PowerEnforcer& enf = *enforcers_[i];
+        freq_ratio = enf.freq_ratio();
+        vdd_ratio = enf.vdd_ratio();
+        stalled = enf.stalled(now);
+      }
+      if (thrifty_ && !f.finished[i]) {
         asleep = thrifty_->tick(i, now, trackers_[i].state(),
                                 sync_->barrier_episodes,
                                 core.rob_occupancy() == 0);
       }
-      if (meeting_ && !finished[i]) {
+      if (meeting_ && !f.finished[i]) {
         meeting_->tick(i, now, trackers_[i].state());
         const DvfsMode& m = kDvfsModes[meeting_->mode_for(i)];
         freq_ratio = m.freq_ratio;
@@ -201,45 +235,55 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       }
 
       bool active = false;
-      if (!finished[i] && !enf.stalled(now) && !asleep) {
-        freq_acc[i] += freq_ratio;
-        if (freq_acc[i] >= 1.0) {
-          freq_acc[i] -= 1.0;
+      if (!f.finished[i] && !stalled && !asleep) {
+        f.freq_acc[i] += freq_ratio;
+        if (f.freq_acc[i] >= 1.0) {
+          f.freq_acc[i] -= 1.0;
           active = true;
         }
       }
       if (active) core.tick(now);
 
-      CoreActivity a;
-      a.active = active;
-      a.gated = !active || core.idle();
-      a.vdd_ratio = vdd_ratio;
+      f.active[i] = active ? 1 : 0;
+      f.gated[i] = (!active || core.idle()) ? 1 : 0;
+      f.vdd[i] = vdd_ratio;
       // Actual power: exact base tokens of the instructions entering the
       // pipeline this cycle plus the (small) ROB residency component.
       // Front-end attribution makes the fetch-throttling techniques act on
       // the power curve within a few cycles, as in the paper.
-      a.rob_occupancy = core.rob_occupancy();
-      a.fetch_tokens = active ? core.fetch_tokens_exact() : 0.0;
-      act_power[i] = core_cycle_power(cfg_.power, a) * wire_overhead;
+      f.rob_occ[i] = core.rob_occupancy();
+      f.fetch_exact[i] = active ? core.fetch_tokens_exact() : 0.0;
       // Control estimate: PTHT tokens of the instructions being fetched
       // (residency folded into the stored values, Section III.B).
-      a.rob_occupancy = 0;
-      a.fetch_tokens = active ? core.fetch_tokens_estimated() : 0.0;
-      est_power[i] = core_cycle_power(cfg_.power, a) * wire_overhead;
+      f.fetch_est[i] = active ? core.fetch_tokens_estimated() : 0.0;
 
-      act_ema[i] += kEmaAlpha * (act_power[i] - act_ema[i]);
-      est_ema[i] += kEmaAlpha * (est_power[i] - est_ema[i]);
-      act_power[i] = act_ema[i];
-      est_power[i] = est_ema[i];
-
-      total_est += est_power[i];
-      total_act += act_power[i];
-
-      if (!finished[i] && core.finished()) {
-        finished[i] = true;
+      if (!f.finished[i] && core.finished()) {
+        f.finished[i] = 1;
         ++finished_count;
         core.finish_cycle = now;
         res.cores[i].finish_cycle = now;
+      }
+    }
+
+    // --- 1b. batched power model + smoothing ---
+    const CoreActivityBatch batch{f.fetch_exact.data(), f.fetch_est.data(),
+                                  f.rob_occ.data(),     f.active.data(),
+                                  f.gated.data(),       f.vdd.data()};
+    core_cycle_power_batch(cfg_.power, batch, n, wire_overhead,
+                           f.act_power.data(),
+                           est_needed ? f.est_power.data() : nullptr);
+    double total_est = 0.0;
+    double total_act = 0.0;
+    for (CoreId i = 0; i < n; ++i) {
+      f.act_ema[i] += kEmaAlpha * (f.act_power[i] - f.act_ema[i]);
+      f.act_power[i] = f.act_ema[i];
+      total_act += f.act_power[i];
+    }
+    if (est_needed) {
+      for (CoreId i = 0; i < n; ++i) {
+        f.est_ema[i] += kEmaAlpha * (f.est_power[i] - f.est_ema[i]);
+        f.est_power[i] = f.est_ema[i];
+        total_est += f.est_power[i];
       }
     }
     // NoC activity energy (uncore).
@@ -261,7 +305,6 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       epoch_acc = 0.0;
       epoch_n = 0;
     }
-    const bool ptb_active = balancer_ != nullptr || clustered_ != nullptr;
     const bool global_over = ptb_active ? global_over_now : epoch_over;
 
     // --- 3. PTB balancing ---
@@ -269,31 +312,34 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       PtbPolicy policy = cfg_.ptb.policy;
       if (policy == PtbPolicy::kDynamic) {
         if (cfg_.ptb.dynamic_uses_ground_truth) {
-          for (CoreId i = 0; i < n; ++i) states[i] = trackers_[i].state();
-          policy = selector_->select(states);
+          for (CoreId i = 0; i < n; ++i) f.states[i] = trackers_[i].state();
+          policy = selector_->select(f.states);
         } else {
-          policy = selector_->select_heuristic(now, est_power);
+          policy = selector_->select_heuristic(now, f.est_power);
         }
       }
       if (clustered_) {
-        clustered_->cycle(now, est_power, budgets_.global_budget(), policy,
-                          eff_budget);
+        clustered_->cycle(now, f.est_power.data(), budgets_.global_budget(),
+                          policy, f.eff_budget.data());
       } else {
-        balancer_->cycle(now, est_power, global_over, policy, eff_budget);
+        balancer_->cycle(now, f.est_power.data(), global_over, policy,
+                         f.eff_budget.data());
       }
     }
 
     // --- 3. local enforcement ---
-    for (CoreId i = 0; i < n; ++i) {
-      enforcers_[i]->tick(now, est_power[i], eff_budget[i], global_over,
-                          cfg_.ptb.relax_threshold, *cores_[i]);
+    if (enforcers_active) {
+      for (CoreId i = 0; i < n; ++i) {
+        enforcers_[i]->tick(now, f.est_power[i], f.eff_budget[i], global_over,
+                            cfg_.ptb.relax_threshold, *cores_[i]);
+      }
     }
 
     // --- 3b. spinner gating (future-work extension) ---
     if (!gate_detectors_.empty()) {
       for (CoreId i = 0; i < n; ++i) {
-        const bool spinning = gate_detectors_[i].tick(est_power[i]);
-        if (spinning && !finished[i] &&
+        const bool spinning = gate_detectors_[i].tick(f.est_power[i]);
+        if (spinning && !f.finished[i] &&
             now % cfg_.ptb.spin_gate_period >= 2) {
           // Duty-cycled fetch gate: the spin loop still polls during the
           // 2-cycle window at the start of each period.
@@ -310,10 +356,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     // --- 4. accounting ---
     acct.record_cycle(total_act);
     for (CoreId i = 0; i < n; ++i) {
-      trackers_[i].attribute_cycle(act_power[i]);
-      thermal_acc[i] += act_power[i];
+      trackers_[i].attribute_cycle(f.act_power[i]);
+      f.thermal_acc[i] += f.act_power[i];
       if (opts.record_core_traces) {
-        res.core_power_traces[i].add(static_cast<double>(now), act_power[i]);
+        res.core_power_traces[i].add(static_cast<double>(now),
+                                     f.act_power[i]);
       }
     }
     if (opts.record_cmp_trace) {
@@ -321,14 +368,15 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     }
     if ((now + 1) % kThermalStep == 0) {
       for (CoreId i = 0; i < n; ++i) {
-        thermal_.step(i, thermal_acc[i] / static_cast<double>(kThermalStep),
+        thermal_.step(i,
+                      f.thermal_acc[i] / static_cast<double>(kThermalStep),
                       static_cast<double>(kThermalStep));
-        thermal_acc[i] = 0.0;
+        f.thermal_acc[i] = 0.0;
       }
     }
 
     // --- 5. invariant audit (off the results path; read-only) ---
-    if (auditor_) audit_cycle(now, acct, total_act, eff_budget);
+    if (auditor_) audit_cycle(now, acct, total_act, f.eff_budget.data());
   }
 
   if (auditor_) {
@@ -390,16 +438,14 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 }
 
 void CmpSimulator::audit_cycle(Cycle now, const EnergyAccounting& acct,
-                               double total_act,
-                               const std::vector<double>& eff_budget) {
+                               double total_act, const double* eff_budget) {
   InvariantAuditor& aud = *auditor_;
   if (balancer_) {
-    aud.check_balancer(now, *balancer_, eff_budget.data(), cfg_.num_cores);
+    aud.check_balancer(now, *balancer_, eff_budget, cfg_.num_cores);
   } else if (clustered_) {
     for (std::uint32_t k = 0; k < clustered_->num_clusters(); ++k) {
       const PtbLoadBalancer& b = clustered_->cluster(k);
-      aud.check_balancer(now, b,
-                         eff_budget.data() + clustered_->cluster_begin(k),
+      aud.check_balancer(now, b, eff_budget + clustered_->cluster_begin(k),
                          b.num_cores());
     }
   }

@@ -103,6 +103,33 @@ struct RunOptions {
   std::uint32_t trace_categories = 0;
 };
 
+/// Reusable per-cycle scratch for the simulator's hot loop, SoA-packed so
+/// the batched power model and the balancer walk dense arrays. Owned by the
+/// CmpSimulator and reset (not reallocated) at the start of each run, so the
+/// cycle loop itself performs no allocations.
+struct CycleFrame {
+  // Control state carried across cycles.
+  std::vector<double> freq_acc;     // fractional-frequency tick accumulator
+  std::vector<double> est_ema;      // smoothed control estimate
+  std::vector<double> act_ema;      // smoothed actual power
+  std::vector<double> eff_budget;   // local budget after PTB augmentation
+  std::vector<double> thermal_acc;  // power integrated over a thermal step
+  std::vector<std::uint8_t> finished;
+  std::vector<ExecState> states;  // scratch for the dynamic policy selector
+  // Per-cycle activity snapshot feeding core_cycle_power_batch.
+  std::vector<double> fetch_exact;
+  std::vector<double> fetch_est;
+  std::vector<std::uint32_t> rob_occ;
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint8_t> gated;
+  std::vector<double> vdd;
+  // Batched power-model outputs (overwritten in place by the EMA).
+  std::vector<double> est_power;
+  std::vector<double> act_power;
+
+  void reset(std::uint32_t n, double local_budget);
+};
+
 class CmpSimulator {
  public:
   CmpSimulator(const SimConfig& cfg, const WorkloadProfile& profile);
@@ -130,12 +157,15 @@ class CmpSimulator {
   /// One end-of-cycle audit pass (only called when auditor_ is non-null);
   /// aborts via PTB_ASSERTF on the first violated invariant.
   void audit_cycle(Cycle now, const EnergyAccounting& acct, double total_act,
-                   const std::vector<double>& eff_budget);
+                   const double* eff_budget);
   // Both are copied: a simulator must outlive any temporary it was
   // constructed from.
   SimConfig cfg_;
   WorkloadProfile profile_;
-  BaseEnergyModel energy_model_;
+  // Shared across simulators with the same power config + seed (the model
+  // is immutable and its k-means construction is expensive; see
+  // BaseEnergyModel::shared).
+  std::shared_ptr<const BaseEnergyModel> energy_model_;
   BudgetManager budgets_;
   std::unique_ptr<Mesh> mesh_;
   std::unique_ptr<MemorySystem> mem_;
@@ -152,6 +182,7 @@ class CmpSimulator {
   std::unique_ptr<MeetingPointsController> meeting_;
   ThermalModel thermal_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  CycleFrame frame_;
 };
 
 }  // namespace ptb

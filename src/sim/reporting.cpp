@@ -183,6 +183,12 @@ std::uint64_t config_fingerprint(const SimConfig& cfg) {
   fnv_mix_value(h, cfg.ptb.gate_spinners);
   fnv_mix_value(h, cfg.ptb.spin_gate_period);
   fnv_mix_value(h, cfg.ptb.cluster_size);
+  // Mixed only when set so every pre-existing config keeps its embedded
+  // fingerprint (results/*.json) while the non-default mode still gets a
+  // distinct one.
+  if (cfg.ptb.toall_redistribute) {
+    fnv_mix_value(h, cfg.ptb.toall_redistribute);
+  }
   fnv_mix_value(h, cfg.technique);
   fnv_mix_value(h, cfg.budget_fraction);
   fnv_mix_value(h, cfg.seed);

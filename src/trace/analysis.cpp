@@ -17,6 +17,14 @@ const std::vector<TraceEvent>& log_of(const EventTrace& t,
   return t.logs[static_cast<std::size_t>(c)].events;
 }
 
+// Builds "c<n>" without the `const char* + std::string&&` concatenation
+// that GCC 12's -Wrestrict mis-analyzes under -O3 (false positive).
+std::string core_label(std::uint32_t c) {
+  std::string s("c");
+  s += std::to_string(c);
+  return s;
+}
+
 const char* exec_state_label(std::uint64_t s) {
   switch (static_cast<ExecState>(s)) {
     case ExecState::kLockAcq: return "lock-acq";
@@ -256,11 +264,11 @@ std::string render_flows(const EventTrace& t) {
   std::ostringstream out;
   std::vector<std::string> head{"donor\\grantee"};
   for (std::uint32_t c = 0; c < m.num_cores; ++c)
-    head.push_back("c" + std::to_string(c));
+    head.push_back(core_label(c));
   head.push_back("evaporated");
   Table tab(head);
   for (std::uint32_t d = 0; d < m.num_cores; ++d) {
-    std::vector<std::string> row{"c" + std::to_string(d)};
+    std::vector<std::string> row{core_label(d)};
     for (std::uint32_t g = 0; g < m.num_cores; ++g)
       row.push_back(format_double(m.at(d, g), 1));
     row.push_back(format_double(m.evaporated_by_donor[d], 1));
@@ -280,7 +288,7 @@ std::string render_dvfs(const EventTrace& t) {
   Table tab({"core", "m0 100/100", "m1 95/95", "m2 90/90", "m3 90/75",
              "m4 90/65", "stall"});
   for (std::uint32_t c = 0; c < t.num_cores; ++c) {
-    std::vector<std::string> row{"c" + std::to_string(c)};
+    std::vector<std::string> row{core_label(c)};
     for (std::uint32_t m = 0; m < 5; ++m)
       row.push_back(std::to_string(r.mode_cycles[c][m]));
     row.push_back(std::to_string(r.stall_cycles[c]));

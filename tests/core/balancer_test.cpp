@@ -144,6 +144,100 @@ TEST(Balancer, ToAllSplitsEquallyCappedAtDeficit) {
   EXPECT_GT(b.tokens_evaporated, 20.0);
 }
 
+// Regression pin for the single-pass ToAll residual (the default, literal
+// reading of Section III.D's "equally distribute the extra tokens"): when a
+// core's deficit is smaller than its equal share, the unused remainder
+// evaporates even though another core in the same cycle still has deficit.
+// The exact evaporated amount is pinned so any change to the distribution
+// arithmetic is caught.
+TEST(Balancer, ToAllSinglePassResidualEvaporationPinned) {
+  PtbLoadBalancer b(ptb_cfg(1), 3, 100.0);
+  std::vector<double> power{10.0, 120.0, 180.0};
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, power, true, PtbPolicy::kToAll, eff);
+  // Core 0 donates 13 quanta of 100/15 = 86.67 tokens; the equal share is
+  // 43.33. Core 1 uses only its deficit of 20, and its residual share of
+  // 43.33 - 20 = 23.33 evaporates despite core 2's remaining deficit.
+  const double donated = 13.0 * (100.0 / 15.0);
+  // Core 0 donates in both cycles; only the first batch has arrived.
+  EXPECT_NEAR(b.tokens_donated, 2.0 * donated, 1e-9);
+  EXPECT_NEAR(b.tokens_granted, 20.0 + donated / 2.0, 1e-9);
+  EXPECT_NEAR(b.tokens_evaporated, donated / 2.0 - 20.0, 1e-9);
+}
+
+// With PtbConfig::toall_redistribute the same scenario re-splits that
+// residual among the still-needy cores before anything evaporates.
+TEST(Balancer, ToAllRedistributeForwardsResidualToStillNeedy) {
+  PtbConfig cfg = ptb_cfg(1);
+  cfg.toall_redistribute = true;
+  PtbLoadBalancer b(cfg, 3, 100.0);
+  std::vector<double> power{10.0, 120.0, 180.0};
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, power, true, PtbPolicy::kToAll, eff);
+  // Pass 0: core 1 takes 20, core 2 takes 43.33. Pass 1: the 23.33
+  // residual goes entirely to core 2 (deficit 36.67 still uncovered).
+  const double donated = 13.0 * (100.0 / 15.0);
+  EXPECT_NEAR(eff[1], 120.0, 1e-9);
+  EXPECT_NEAR(eff[2], 100.0 + donated - 20.0, 1e-9);
+  EXPECT_NEAR(b.tokens_granted, donated, 1e-9);
+  EXPECT_NEAR(b.tokens_evaporated, 0.0, 1e-9);
+}
+
+// Redistribution never banks or over-grants: once every deficit is covered
+// the remainder still evaporates within the cycle.
+TEST(Balancer, ToAllRedistributeStillEvaporatesBeyondTotalDeficit) {
+  PtbConfig cfg = ptb_cfg(1);
+  cfg.toall_redistribute = true;
+  PtbLoadBalancer b(cfg, 3, 100.0);
+  std::vector<double> power{10.0, 101.0, 102.0};  // total deficit 3
+  std::vector<double> eff;
+  b.cycle(0, power, true, PtbPolicy::kToAll, eff);
+  b.cycle(1, power, true, PtbPolicy::kToAll, eff);
+  const double donated = 13.0 * (100.0 / 15.0);
+  EXPECT_NEAR(eff[1], 101.0, 1e-9);
+  EXPECT_NEAR(eff[2], 102.0, 1e-9);
+  EXPECT_NEAR(b.tokens_granted, 3.0, 1e-9);
+  EXPECT_NEAR(b.tokens_evaporated, donated - 3.0, 1e-9);
+}
+
+TEST(Balancer, SetLocalBudgetRederivesQuantum) {
+  PtbLoadBalancer b(ptb_cfg(2), 2, 150.0);
+  EXPECT_DOUBLE_EQ(b.token_quantum(), 10.0);
+  b.set_local_budget(300.0);
+  EXPECT_DOUBLE_EQ(b.local_budget(), 300.0);
+  EXPECT_DOUBLE_EQ(b.token_quantum(), 20.0);  // budget / 15 counts
+  // Quiet cycle: every core now sees the new budget.
+  std::vector<double> quiet{0.0, 0.0};
+  std::vector<double> eff;
+  b.cycle(0, quiet, false, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(eff[0], 300.0);
+  EXPECT_DOUBLE_EQ(eff[1], 300.0);
+  // Donations are quantized against the new quantum and capped at the new
+  // wire maximum of 15 * 20 = 300 tokens.
+  std::vector<double> donate{0.0, 1000.0};
+  b.cycle(1, donate, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(b.tokens_donated, 300.0);
+}
+
+TEST(Balancer, SetLocalBudgetKeepsOutstandingDebits) {
+  const std::uint32_t L = 2;
+  PtbLoadBalancer b(ptb_cfg(L), 2, 150.0);
+  std::vector<double> donate{0.0, 1000.0};
+  std::vector<double> eff;
+  b.cycle(0, donate, true, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(b.tokens_donated, 150.0);  // full wire cap
+  // Budget is raised while the donation is still on the wires: the donor's
+  // debit carries over against the new budget until the grant lands.
+  b.set_local_budget(300.0);
+  std::vector<double> quiet{0.0, 0.0};
+  b.cycle(1, quiet, false, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(eff[0], 150.0);  // 300 - 150 outstanding
+  b.cycle(2, quiet, false, PtbPolicy::kToAll, eff);
+  EXPECT_DOUBLE_EQ(eff[0], 300.0);  // recovered on arrival
+}
+
 TEST(Balancer, ToAllEvaporatesBeyondTotalDeficit) {
   PtbLoadBalancer b(ptb_cfg(1), 3, 100.0);
   std::vector<double> power{10.0, 101.0, 102.0};  // tiny deficits

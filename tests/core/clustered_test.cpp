@@ -70,6 +70,44 @@ TEST(ClusteredBalancer, PerClusterOverBudgetGate) {
   EXPECT_GT(max_eff5, 100.0);         // cluster 1 balanced internally
 }
 
+// Section III.E.2's scalability claim: clustering per 16 cores pins the
+// arbitration wire latency at the 16-core figure (10 cycles) no matter how
+// large the CMP grows. A flat balancer would extrapolate past 10 (+4 per
+// doubling), so these pins catch any regression that routes the full core
+// count into latency_for_cores.
+TEST(ClusteredBalancer, LatencyCappedAtSixteenCoreFigure) {
+  for (std::uint32_t cores : {17u, 32u, 64u}) {
+    ClusteredBalancer b(pcfg(), cores, 16, 100.0);
+    EXPECT_EQ(b.wire_latency(), 10u) << cores << " cores";
+    for (std::uint32_t k = 0; k < b.num_clusters(); ++k) {
+      // Full 16-core clusters sit exactly at 10; a remainder cluster
+      // (e.g. the single 17th core) spans fewer wires and may be faster,
+      // but nothing is ever slower than the 16-core figure.
+      EXPECT_LE(b.cluster(k).wire_latency(), 10u)
+          << cores << " cores, cluster " << k;
+    }
+    EXPECT_EQ(b.cluster(0).wire_latency(), 10u) << cores << " cores";
+  }
+  // Cluster counts: ceil(cores / 16).
+  EXPECT_EQ(ClusteredBalancer(pcfg(), 17, 16, 100.0).num_clusters(), 2u);
+  EXPECT_EQ(ClusteredBalancer(pcfg(), 32, 16, 100.0).num_clusters(), 2u);
+  EXPECT_EQ(ClusteredBalancer(pcfg(), 64, 16, 100.0).num_clusters(), 4u);
+}
+
+TEST(ClusteredBalancer, SetLocalBudgetForwardsToEveryCluster) {
+  ClusteredBalancer b(pcfg(), 8, 4, 100.0);
+  b.set_local_budget(240.0);
+  for (std::uint32_t k = 0; k < b.num_clusters(); ++k) {
+    EXPECT_DOUBLE_EQ(b.cluster(k).local_budget(), 240.0) << "cluster " << k;
+    EXPECT_DOUBLE_EQ(b.cluster(k).token_quantum(), 16.0) << "cluster " << k;
+  }
+  // A quiet cycle hands every core the new budget.
+  std::vector<double> power(8, 240.0);
+  std::vector<double> eff;
+  b.cycle(0, power, 2000.0, PtbPolicy::kToAll, eff);
+  for (double e : eff) EXPECT_DOUBLE_EQ(e, 240.0);
+}
+
 TEST(ClusteredBalancer, TokenStatsAggregate) {
   ClusteredBalancer b(pcfg(), 8, 4, 100.0);
   std::vector<double> power{10.0, 150.0, 99.0, 99.0,

@@ -59,6 +59,45 @@ TEST(RunPool, WaitAllOnEmptyBatchReturnsEmpty) {
   EXPECT_TRUE(pool.wait_all().empty());
 }
 
+// submit() is documented thread-safe: a non-main thread may append to a
+// batch that is already in flight (workers mid-task, queue half-drained).
+// The batch must absorb the late tasks and wait_all() must still hand every
+// result back by submission index.
+TEST(RunPool, SubmitRacesInFlightBatchFromSecondThread) {
+  RunPool pool(2);
+  std::atomic<bool> release{false};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    pool.submit([&release, i] {
+      // Hold the workers mid-task until the racing submitter is done, so
+      // the late submits genuinely overlap an in-flight batch.
+      while (!release.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      RunResult r;
+      r.cycles = i;
+      return r;
+    });
+  }
+  std::vector<std::size_t> extra_index(4);
+  std::thread submitter([&pool, &extra_index, &release] {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      extra_index[i] = pool.submit([i] {
+        RunResult r;
+        r.cycles = 100 + i;
+        return r;
+      });
+    }
+    release.store(true, std::memory_order_release);
+  });
+  submitter.join();
+  const std::vector<RunResult> results = pool.wait_all();
+  ASSERT_EQ(results.size(), 8u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].cycles, i);
+    ASSERT_LT(extra_index[i], results.size());
+    EXPECT_EQ(results[extra_index[i]].cycles, 100 + i);
+  }
+}
+
 TEST(RunPool, DefaultJobsIsAtLeastOne) {
   EXPECT_GE(RunPool::default_jobs(), 1u);
   RunPool pool;  // jobs = 0 -> default

@@ -299,7 +299,9 @@ TEST(TraceEndToEnd, SpinTimelineIsWellFormed) {
         << iv.state;
     // Per-core intervals never overlap (a core is in one state at a time).
     auto it = last_end.find(iv.core);
-    if (it != last_end.end()) EXPECT_GE(iv.begin, it->second);
+    if (it != last_end.end()) {
+      EXPECT_GE(iv.begin, it->second);
+    }
     last_end[iv.core] = iv.end;
   }
 }
@@ -443,8 +445,9 @@ TEST(TraceExporters, CsvOneRowPerKeptEvent) {
     const std::size_t nl = csv.find('\n', pos);
     const std::string line = csv.substr(pos, nl - pos);
     if (rows == 0) first = line;
-    if (rows > 0)
+    if (rows > 0) {
       EXPECT_EQ(std::count(line.begin(), line.end(), ','), 5) << line;
+    }
     ++rows;
     pos = nl + 1;
   }
