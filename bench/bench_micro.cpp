@@ -146,6 +146,27 @@ void BM_SimulatorTracing(benchmark::State& state) {
 BENCHMARK(BM_SimulatorTracing)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SimulatorStats(benchmark::State& state) {
+  // Stats-registry overhead on the paper's headline configuration:
+  // arg 0 = stats off, 1 = registration on but no sampling (the
+  // acceptance budget: <= 2% over arg 0), 2 = sampling every 4096 cycles.
+  const auto& profile = benchmark_by_name("fft");
+  TechniqueSpec dyn{"dyn", TechniqueKind::kTwoLevel, true,
+                    PtbPolicy::kDynamic, 0.0};
+  RunOptions opts;
+  if (state.range(0) == 1) opts.stats = true;
+  if (state.range(0) == 2) opts.stats_sample_every = 4096;
+  std::uint64_t core_cycles = 0;
+  for (auto _ : state) {
+    const RunResult r = run_one(profile, make_sim_config(16, dyn), opts);
+    core_cycles += r.cycles * 16;
+    benchmark::DoNotOptimize(r.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(core_cycles));
+}
+BENCHMARK(BM_SimulatorStats)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Accept the shared bench CLI (--jobs / --json) so drivers can treat every

@@ -18,6 +18,7 @@
 #include "sim/experiment.hpp"
 #include "sim/reporting.hpp"
 #include "sim/run_pool.hpp"
+#include "stats/dump.hpp"
 #include "trace/trace.hpp"
 #include "workloads/suite.hpp"
 
@@ -34,6 +35,13 @@ struct BenchOptions {
   // benchmark) and write the binary trace to PATH for ptb-trace.
   std::string trace_path;
   std::uint32_t trace_categories = kTraceAll;
+  // --stats PATH[:EVERY]: capture one stats-instrumented reference run
+  // (same configuration as --trace) and write the registry dump to PATH
+  // for ptb-stats; EVERY > 0 adds time-series sampling every that many
+  // cycles. --stats-format picks the exposition.
+  std::string stats_path;
+  std::uint64_t stats_every = 0;
+  bool stats_prom = false;  // --stats-format json (default) | prom
 };
 
 /// Parses the shared flags; prints usage and exits on --help or on an
@@ -98,10 +106,46 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
         std::exit(2);
       }
       opts.trace_path = v;
+    } else if (arg == "--stats" || arg.rfind("--stats=", 0) == 0) {
+      // PATH[:EVERY] — the suffix after the last ':' is a sampling period
+      // only if it parses as a positive integer; otherwise it is part of
+      // the path.
+      std::string v = arg[7] == '=' ? arg.substr(8) : value("--stats");
+      const std::size_t colon = v.rfind(':');
+      if (colon != std::string::npos && colon + 1 < v.size()) {
+        char* end = nullptr;
+        const unsigned long long every =
+            std::strtoull(v.c_str() + colon + 1, &end, 10);
+        if (end != v.c_str() + colon + 1 && *end == '\0' && every > 0) {
+          opts.stats_every = every;
+          v.resize(colon);
+        }
+      }
+      if (v.empty()) {
+        std::fprintf(stderr, "%s: --stats requires a file path\n", argv[0]);
+        std::exit(2);
+      }
+      opts.stats_path = v;
+    } else if (arg == "--stats-format" ||
+               arg.rfind("--stats-format=", 0) == 0) {
+      const std::string v =
+          arg.size() > 14 && arg[14] == '='
+              ? arg.substr(15)
+              : std::string(value("--stats-format"));
+      if (v == "json") {
+        opts.stats_prom = false;
+      } else if (v == "prom") {
+        opts.stats_prom = true;
+      } else {
+        std::fprintf(stderr, "%s: --stats-format must be json or prom\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--jobs N] [--json PATH] [--audit LEVEL]\n"
           "          [--only NAME | --list] [--trace PATH[:CATS]]\n"
+          "          [--stats PATH[:EVERY]] [--stats-format json|prom]\n"
           "  --jobs N      worker threads for the run grid (default: all\n"
           "                hardware threads); results are identical for any N\n"
           "  --json PATH   also write the results as machine-readable JSON\n"
@@ -118,7 +162,17 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
           "                suite's first benchmark) and write the binary\n"
           "                trace to PATH (inspect with ptb-trace). CATS is\n"
           "                'all' (default) or a comma list of: token,\n"
-          "                policy, dvfs, spin, enforcer, sync, budget\n",
+          "                policy, dvfs, spin, enforcer, sync, budget\n"
+          "  --stats PATH[:EVERY]\n"
+          "                additionally capture one stats-instrumented\n"
+          "                reference run (same configuration as --trace) and\n"
+          "                write the registry dump to PATH (inspect with\n"
+          "                ptb-stats). EVERY > 0 also samples every scalar\n"
+          "                stat every EVERY cycles into the dump's time\n"
+          "                series\n"
+          "  --stats-format json|prom\n"
+          "                exposition for --stats: JSON (default; the\n"
+          "                ptb-stats interchange format) or Prometheus text\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -189,6 +243,7 @@ class BenchContext {
   int finish() {
     int rc = 0;
     if (!opts_.trace_path.empty() && !write_trace()) rc = 1;
+    if (!opts_.stats_path.empty() && !write_stats()) rc = 1;
     if (!opts_.json_path.empty() && !report_.write(opts_.json_path)) {
       std::fprintf(stderr, "error: cannot write JSON to %s\n",
                    opts_.json_path.c_str());
@@ -225,6 +280,43 @@ class BenchContext {
         static_cast<unsigned long long>(r.trace->total_events()),
         static_cast<unsigned long long>(r.trace->total_dropped()),
         trace_categories_string(r.trace->categories).c_str());
+    return true;
+  }
+
+  /// The --stats reference run: same configuration as --trace (PTB+2Level
+  /// under the dynamic policy selector, 16 cores, first benchmark of the
+  /// suite), run on the calling thread with the stats registry enabled.
+  bool write_stats() {
+    TechniqueSpec tech;
+    tech.label = "PTB+2Level(dyn)";
+    tech.kind = TechniqueKind::kTwoLevel;
+    tech.ptb = true;
+    tech.policy = PtbPolicy::kDynamic;
+    const SimConfig cfg = make_sim_config(16, tech);
+    RunOptions ropts;
+    ropts.stats = true;
+    ropts.stats_sample_every = opts_.stats_every;
+    const WorkloadProfile& prof = benchmark_suite().front();
+    const RunResult r = run_one(prof, cfg, ropts);
+    const std::string text =
+        opts_.stats_prom ? stats_prometheus(r) : stats_json(r);
+    bool ok = !text.empty();
+    if (ok) {
+      std::FILE* f = std::fopen(opts_.stats_path.c_str(), "wb");
+      ok = f != nullptr &&
+           std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      if (f != nullptr) ok = std::fclose(f) == 0 && ok;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write stats to %s\n",
+                   opts_.stats_path.c_str());
+      return false;
+    }
+    std::printf(
+        "\nstats: %s on PTB+2Level(dyn)/16 cores -> %s (%zu stats%s)\n",
+        prof.name.c_str(), opts_.stats_path.c_str(),
+        r.stats ? r.stats->scalars.size() : 0,
+        opts_.stats_every > 0 ? ", sampled" : "");
     return true;
   }
 

@@ -67,6 +67,16 @@ for b in "${benches[@]}"; do
       --json "$results_dir/$b.json" > "$results_dir/$b.txt"
 done
 
+# The ptb-stats regression golden: the Fig. 10 reference stats dump (fft,
+# PTB+2Level(dyn), 16 cores, sampled every 4096 cycles) with the volatile
+# wall-clock gauges stripped, so the golden is machine-independent. CI's
+# stats smoke step gates fresh dumps against it with ptb-stats regress.
+echo "== stats_fig10 (ptb-stats regression golden)"
+"$bench_dir/bench_fig10_toall" --only fft --jobs 2 \
+    --stats /tmp/ptb_stats_fig10.json:4096 > /dev/null
+"$build_dir/tools/ptb-stats" dump /tmp/ptb_stats_fig10.json --json \
+    --no-volatile > "$results_dir/stats_fig10.json"
+
 # bench_micro is a google-benchmark timing harness: its numbers are
 # machine-dependent, so only the .txt snapshot is kept (--json would write
 # google-benchmark's own JSON schema, including wall-clock timings that

@@ -27,6 +27,7 @@ void Histogram::add(double x) {
   }
   ++counts_[i];
   ++total_;
+  sum_ += x;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

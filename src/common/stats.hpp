@@ -50,6 +50,10 @@ class Histogram {
   std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
   std::size_t buckets() const { return counts_.size(); }
   std::uint64_t total() const { return total_; }
+  /// Sum of all recorded samples (pre-clamping), for mean/exposition.
+  double sum() const { return sum_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bucket_lo(std::size_t i) const;
   /// Value below which the given fraction of samples fall (bucket-granular).
   double percentile(double p) const;
@@ -60,6 +64,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 /// Decimating time-series recorder: keeps at most `max_points` samples by

@@ -5,13 +5,14 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/format.hpp"
 
 namespace ptb {
 
 std::string format_double(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  // Delegates to the locale-pinned path: a host that setlocale()s must not
+  // change summary/CSV bytes (they are diffed across machines).
+  return format_fixed(v, precision);
 }
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {

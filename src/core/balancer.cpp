@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
@@ -175,6 +176,28 @@ void PtbLoadBalancer::cycle(Cycle now, const double* est_power,
       eff_budget[i] -= amount;
     }
   }
+}
+
+void PtbLoadBalancer::register_stats(StatsRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.counter(prefix + ".tokens_donated",
+              "tokens offered by under-budget cores", &tokens_donated);
+  reg.counter(prefix + ".tokens_granted",
+              "tokens re-granted to over-budget cores", &tokens_granted);
+  reg.counter(prefix + ".tokens_evaporated",
+              "tokens that arrived with no needy core", &tokens_evaporated);
+  reg.counter(prefix + ".donation_events", "per-core donation messages",
+              &donation_events);
+  reg.counter(prefix + ".grant_events", "per-core grant messages",
+              &grant_events);
+  reg.gauge_fn(prefix + ".in_flight_tokens",
+               "tokens currently travelling on the wires",
+               [this] { return in_flight_tokens(); });
+  reg.gauge_fn(prefix + ".wire_latency",
+               "token round-trip wire latency (cycles)",
+               [this] { return static_cast<double>(latency_); }, 0);
+  reg.gauge_fn(prefix + ".token_quantum", "tokens per wire count",
+               [this] { return quantum_; }, 6);
 }
 
 }  // namespace ptb

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -24,6 +25,7 @@
 namespace ptb {
 
 class EventTracer;
+class StatsRegistry;
 
 class PtbLoadBalancer {
  public:
@@ -98,6 +100,10 @@ class PtbLoadBalancer {
   double tokens_evaporated = 0.0;  // arrived with no needy core
   std::uint64_t donation_events = 0;
   std::uint64_t grant_events = 0;
+
+  /// Registers the token counters, event counters and wire parameters under
+  /// `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::size_t slot(Cycle t) const { return t % ring_; }

@@ -1,2 +1,19 @@
-// BudgetManager is header-only; this TU anchors the library target.
 #include "core/budget.hpp"
+
+#include "stats/stats.hpp"
+
+namespace ptb {
+
+void BudgetManager::register_stats(StatsRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.gauge(prefix + ".global", "global power budget (tokens/cycle)",
+            &global_);
+  reg.gauge_fn(prefix + ".local", "naive equal per-core share",
+               [this] { return local_budget(); });
+  reg.gauge(prefix + ".peak_core", "analytic per-core peak power",
+            &peak_core_);
+  reg.gauge_fn(prefix + ".peak", "analytic CMP peak power",
+               [this] { return peak_power(); });
+}
+
+}  // namespace ptb

@@ -5,10 +5,14 @@
 // share (the "naive" split the paper shows failing for parallel workloads).
 #pragma once
 
+#include <string>
+
 #include "common/config.hpp"
 #include "power/power_model.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 class BudgetManager {
  public:
@@ -25,6 +29,9 @@ class BudgetManager {
   double global_budget() const { return global_; }
   /// Naive equal per-core share.
   double local_budget() const { return global_ / num_cores_; }
+
+  /// Registers the budget/peak gauges under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   double peak_core_;

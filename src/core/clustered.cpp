@@ -1,6 +1,7 @@
 #include "core/clustered.hpp"
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -60,6 +61,22 @@ double ClusteredBalancer::tokens_granted() const {
   double t = 0.0;
   for (const auto& c : clusters_) t += c->tokens_granted;
   return t;
+}
+
+void ClusteredBalancer::register_stats(StatsRegistry& reg,
+                                       const std::string& prefix) const {
+  reg.counter_fn(prefix + ".num_clusters", "cluster balancer instances",
+                 [this] { return static_cast<double>(num_clusters()); });
+  reg.formula(prefix + ".tokens_donated",
+              "tokens donated across all clusters",
+              [this] { return tokens_donated(); }, 1);
+  reg.formula(prefix + ".tokens_granted",
+              "tokens granted across all clusters",
+              [this] { return tokens_granted(); }, 1);
+  for (std::uint32_t k = 0; k < num_clusters(); ++k) {
+    clusters_[k]->register_stats(reg,
+                                 prefix + ".cluster." + std::to_string(k));
+  }
 }
 
 }  // namespace ptb

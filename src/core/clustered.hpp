@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -62,6 +63,10 @@ class ClusteredBalancer {
 
   double tokens_donated() const;
   double tokens_granted() const;
+
+  /// Registers CMP-wide token totals under `prefix` plus every cluster
+  /// balancer's stats under `prefix`.cluster.K (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
   /// Attach/detach the event tracer on every cluster balancer; cluster k
   /// emits token events with its global core ids and pool tag k.

@@ -42,4 +42,10 @@ bool PowerEnforcer::stalled(Cycle now) const {
 
 bool PowerEnforcer::active() const { return is_budget_enforcer(kind_); }
 
+void PowerEnforcer::register_stats(StatsRegistry& reg,
+                                   const std::string& prefix) const {
+  if (!active()) return;
+  ctrl_.register_stats(reg, prefix);
+}
+
 }  // namespace ptb

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -10,6 +11,7 @@
 namespace ptb {
 
 class Core;
+class StatsRegistry;
 
 class PowerEnforcer {
  public:
@@ -30,6 +32,10 @@ class PowerEnforcer {
 
   TechniqueKind kind() const { return kind_; }
   const TwoLevelController& controller() const { return ctrl_; }
+
+  /// Registers the bound controller's stats under `prefix` (src/stats);
+  /// no-op for techniques that never enforce (see active()).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
   /// Attach/detach the event tracer (src/trace); forwards to the 2-level
   /// controller (DVFS transitions + microarch throttle-level changes).

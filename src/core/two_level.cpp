@@ -1,6 +1,7 @@
 #include "core/two_level.hpp"
 
 #include "cpu/core.hpp"
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
@@ -45,6 +46,19 @@ void TwoLevelController::tick(Cycle now, double est_power, double budget,
     case 2: core.set_fetch_limit(1); break;
     default: core.set_fetch_limit(0); break;
   }
+}
+
+void TwoLevelController::register_stats(StatsRegistry& reg,
+                                        const std::string& prefix) const {
+  for (std::size_t l = 0; l < 4; ++l) {
+    reg.counter(prefix + ".level_cycles." + std::to_string(l),
+                "cycles spent at microarch throttle level " +
+                    std::to_string(l),
+                &level_cycles[l]);
+  }
+  reg.gauge_fn(prefix + ".level", "current microarch throttle level",
+               [this] { return static_cast<double>(level_); }, 0);
+  dvfs_.register_stats(reg, prefix + ".dvfs");
 }
 
 }  // namespace ptb

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -17,6 +18,7 @@
 namespace ptb {
 
 class Core;
+class StatsRegistry;
 
 class TwoLevelController {
  public:
@@ -51,6 +53,10 @@ class TwoLevelController {
 
   // Statistics.
   std::uint64_t level_cycles[4] = {0, 0, 0, 0};
+
+  /// Registers level residency, the current throttle level and the DVFS
+  /// controller's stats under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   const SimConfig& cfg_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -262,6 +263,30 @@ std::string Core::debug_string(Cycle now) const {
       head ? static_cast<unsigned long long>(head->complete_at) : 0,
       static_cast<unsigned long long>(now));
   return buf;
+}
+
+void Core::register_stats(StatsRegistry& reg,
+                          const std::string& prefix) const {
+  reg.counter(prefix + ".committed", "micro-ops committed", &committed);
+  reg.counter(prefix + ".fetched", "micro-ops fetched", &fetched);
+  reg.counter(prefix + ".flushes", "pipeline flushes (mispredicts)",
+              &flushes);
+  reg.counter(prefix + ".ticks", "core-clock cycles executed", &ticks);
+  reg.counter(prefix + ".stall.branch",
+              "fetch ticks lost to mispredict resolution", &stall_branch);
+  reg.counter(prefix + ".stall.front", "fetch ticks lost to I-miss/refill",
+              &stall_front);
+  reg.counter(prefix + ".stall.program", "fetch ticks lost to blocking ops",
+              &stall_program);
+  reg.counter(prefix + ".stall.rob", "fetch ticks lost to a full ROB",
+              &stall_rob);
+  reg.counter(prefix + ".stall.lsq", "fetch ticks lost to a full LSQ",
+              &stall_lsq);
+  reg.gauge_fn(prefix + ".rob.occupancy", "instructions resident in the ROB",
+               [this] { return static_cast<double>(rob_count_); }, 0);
+  reg.gauge_fn(prefix + ".lsq.occupancy", "memory ops resident in the ROB",
+               [this] { return static_cast<double>(lsq_count_); }, 0);
+  ptht_.register_stats(reg, prefix + ".ptht");
 }
 
 void Core::tick(Cycle now) {

@@ -32,6 +32,8 @@
 
 namespace ptb {
 
+class StatsRegistry;
+
 class Core {
  public:
   Core(CoreId id, const SimConfig& cfg, MemorySystem& mem, SyncState& sync,
@@ -95,6 +97,10 @@ class Core {
   std::uint64_t stall_rob = 0;      // ROB full
   std::uint64_t stall_lsq = 0;      // LSQ full
   Cycle finish_cycle = 0;  // set by the CMP when the program completes
+
+  /// Registers the pipeline counters, occupancy gauges and the PTHT's
+  /// counters under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   struct RobEntry {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "stats/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
@@ -50,6 +51,15 @@ void DvfsController::tick(Cycle now, double inst_power, double budget,
   } else if (avg < budget * cfg_.up_hysteresis && mode_ > 0) {
     change_mode(now, mode_ - 1);
   }
+}
+
+void DvfsController::register_stats(StatsRegistry& reg,
+                                    const std::string& prefix) const {
+  reg.counter(prefix + ".transitions", "DVFS mode transitions", &transitions);
+  reg.gauge_fn(prefix + ".mode", "current DVFS mode (0 = fastest)",
+               [this] { return static_cast<double>(mode_); }, 0);
+  reg.gauge_fn(prefix + ".freq_ratio", "current frequency / nominal",
+               [this] { return freq_ratio(); });
 }
 
 }  // namespace ptb

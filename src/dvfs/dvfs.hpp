@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -16,6 +17,7 @@
 namespace ptb {
 
 class EventTracer;
+class StatsRegistry;
 
 struct DvfsMode {
   double vdd_ratio;
@@ -62,6 +64,10 @@ class DvfsController {
 
   // Statistics.
   std::uint64_t transitions = 0;
+
+  /// Registers the transition counter and current-mode gauge under `prefix`
+  /// (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   double vdd_of(std::uint32_t m) const {

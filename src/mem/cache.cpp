@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -80,6 +81,13 @@ Cache::Line Cache::insert(Addr a, CoherenceState st) {
 
 void Cache::invalidate(Addr a) {
   if (Line* l = find(a)) l->state = CoherenceState::kInvalid;
+}
+
+void Cache::register_stats(StatsRegistry& reg,
+                           const std::string& prefix) const {
+  reg.counter(prefix + ".hits", "cache hits", &hits);
+  reg.counter(prefix + ".misses", "cache misses", &misses);
+  reg.counter(prefix + ".evictions", "valid lines evicted", &evictions);
 }
 
 }  // namespace ptb

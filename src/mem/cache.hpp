@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 enum class CoherenceState : std::uint8_t {
   kInvalid = 0,
@@ -75,6 +78,9 @@ class Cache {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+
+  /// Registers hit/miss/eviction counters under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::uint32_t set_of(Addr line) const {

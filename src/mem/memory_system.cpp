@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -132,6 +133,20 @@ void MemorySystem::check_swmr() const {
     PTB_ASSERT(me <= 1, "two cores hold the same line in M/E");
     PTB_ASSERT(me == 0 || valid == 1,
                "an M/E copy coexists with another valid copy");
+  }
+}
+
+void MemorySystem::register_stats(StatsRegistry& reg,
+                                  const std::string& prefix) const {
+  reg.counter(prefix + ".loads", "data loads issued", &loads);
+  reg.counter(prefix + ".stores", "data stores issued", &stores);
+  reg.counter(prefix + ".atomics", "atomic RMWs issued", &atomics);
+  reg.counter(prefix + ".ifetches", "instruction fetch accesses", &ifetches);
+  reg.counter(prefix + ".l1_misses", "accesses missing all L1s", &l1_misses);
+  for (std::size_t c = 0; c < l1i_.size(); ++c) {
+    const std::string n = std::to_string(c);
+    l1i_[c].register_stats(reg, prefix + ".l1i." + n);
+    l1d_[c].register_stats(reg, prefix + ".l1d." + n);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,10 @@ class MemorySystem {
   std::uint64_t atomics = 0;
   std::uint64_t ifetches = 0;
   std::uint64_t l1_misses = 0;
+
+  /// Registers aggregate access counters under `prefix` plus every L1's
+  /// hit/miss/eviction counters under `prefix`.l1i.N / .l1d.N (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   Cycle mshr_admit(CoreId c, Cycle start);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -91,6 +92,13 @@ std::uint64_t Mesh::drain_flit_hops() {
   const std::uint64_t delta = flit_hops_ - flit_hops_drained_;
   flit_hops_drained_ = flit_hops_;
   return delta;
+}
+
+void Mesh::register_stats(StatsRegistry& reg,
+                          const std::string& prefix) const {
+  reg.counter(prefix + ".messages", "messages routed", &messages_);
+  reg.counter(prefix + ".flit_hops", "flit-hops traversed (activity energy)",
+              &flit_hops_);
 }
 
 }  // namespace ptb

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 class Mesh {
  public:
@@ -40,6 +43,9 @@ class Mesh {
   std::uint64_t total_flit_hops() const { return flit_hops_; }
   /// Flit-hops injected since the last call (for activity-based NoC power).
   std::uint64_t drain_flit_hops();
+
+  /// Registers message/flit-hop counters under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::uint32_t flits_for(std::uint32_t bytes) const;

@@ -1,9 +1,11 @@
 #include "power/power_model.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <mutex>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -190,6 +192,26 @@ double analytic_peak_core_power(const PowerConfig& cfg,
                           cfg.residency_token;
   return cfg.leakage_per_core + cfg.uncore_per_core +
          (fetch_peak + rob_peak) * (1.0 + cfg.ptht_overhead_frac);
+}
+
+void BaseEnergyModel::register_stats(StatsRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.gauge(prefix + ".grouping_error",
+            "signed relative error of grouped vs exact accounting",
+            &grouping_error_, 6);
+  reg.gauge(prefix + ".grouping_abs_error",
+            "mean per-instruction |grouped - exact| / exact",
+            &grouping_abs_error_, 6);
+  reg.gauge_fn(prefix + ".groups", "k-means centroid count",
+               [this] { return static_cast<double>(centroids_.size()); }, 0);
+  for (std::uint32_t c = 0; c < kNumOpClasses; ++c) {
+    std::string slug = op_class_name(static_cast<OpClass>(c));
+    for (char& ch : slug)
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    reg.gauge(prefix + ".class_mean." + slug,
+              "mean base tokens of the instruction class",
+              &class_mean_[c], 4);
+  }
 }
 
 }  // namespace ptb

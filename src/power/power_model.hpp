@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -22,6 +23,8 @@
 #include "power/kmeans.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 class BaseEnergyModel {
  public:
@@ -63,6 +66,11 @@ class BaseEnergyModel {
   /// Mean per-instruction |grouped - exact| / exact — a stricter measure
   /// that actually discriminates group counts (see the ablation bench).
   double grouping_abs_error() const { return grouping_abs_error_; }
+
+  /// Registers the model's grouping-quality gauges and per-class means
+  /// under `prefix` (src/stats). The model is immutable, so these are
+  /// constants of the run.
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   double jitter_factor(Pc pc) const;

@@ -3,11 +3,22 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
 Ptht::Ptht(std::uint32_t entries) : table_(entries), mask_(entries - 1) {
   PTB_ASSERT(std::has_single_bit(entries), "PTHT size must be a power of 2");
+}
+
+void Ptht::register_stats(StatsRegistry& reg,
+                          const std::string& prefix) const {
+  reg.counter(prefix + ".lookups", "PTHT lookups (fetch-side estimates)",
+              &lookups);
+  reg.counter(prefix + ".cold_misses",
+              "lookups that missed a warm entry (cold/conflict)",
+              &cold_misses);
+  reg.counter(prefix + ".updates", "commit-side table updates", &updates);
 }
 
 }  // namespace ptb

@@ -14,11 +14,14 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 class Ptht {
  public:
@@ -76,6 +79,9 @@ class Ptht {
   std::uint32_t entries() const {
     return static_cast<std::uint32_t>(table_.size());
   }
+
+  /// Registers this table's counters under `prefix` (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
   // Statistics.
   mutable std::uint64_t lookups = 0;

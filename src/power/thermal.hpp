@@ -5,6 +5,7 @@
 // with minimal standard deviation (Sections I and V).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -12,6 +13,8 @@
 #include "common/types.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 class ThermalModel {
  public:
@@ -25,6 +28,10 @@ class ThermalModel {
   double temperature(CoreId c) const { return temp_[c]; }
   const RunningStat& history(CoreId c) const { return hist_[c]; }
   double max_temperature() const;
+
+  /// Registers per-core temperature gauges (current + run mean/stddev)
+  /// under `prefix`.N (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   ThermalConfig cfg_;

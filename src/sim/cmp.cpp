@@ -1,9 +1,13 @@
 #include "sim/cmp.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "common/assert.hpp"
 #include "sim/reporting.hpp"
+#include "stats/dump.hpp"
+#include "stats/stats.hpp"
 
 namespace ptb {
 
@@ -16,6 +20,21 @@ constexpr Cycle kThermalStep = 64;
 constexpr double kSpinThresholdFrac = 0.30;
 // Spinner-gating threshold (between the spin plateau and busy power).
 constexpr double kSpinGateThresholdFrac = 0.55;
+
+// Wall-clock self-profiling (stats runs only). Timing every cycle would
+// cost ~5 clock reads per cycle — far over the stats overhead budget —
+// so one cycle in kSelfProfilePeriod is timed and scaled up. The readings
+// feed only volatile stats (never a simulation decision, never a
+// deterministic dump).
+constexpr Cycle kSelfProfilePeriod = 64;
+
+struct SelfProfile {
+  double tick_s = 0.0;     // phase 1: core ticks
+  double power_s = 0.0;    // phases 1b-2: power model + global signal
+  double control_s = 0.0;  // phases 3-3b: balancing + enforcement + gating
+  double account_s = 0.0;  // phases 4-5: accounting, thermal, audit, sample
+  std::uint64_t timed_cycles = 0;
+};
 }  // namespace
 
 void CycleFrame::reset(std::uint32_t n, double local_budget) {
@@ -203,9 +222,98 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   for (CoreId i = 0; i < n; ++i) cores_[i]->set_estimate_fetch(est_needed);
 
   Cycle now = 0;
+
+  // Stats registry (src/stats): pull-based. Registration binds the
+  // components' existing counters (and a few locals of this frame: now,
+  // finished_count, acct) — the loop below does no extra bookkeeping for
+  // them. Local to the run so the bound sources always outlive it.
+  const bool stats_on = opts.stats || opts.stats_sample_every > 0;
+  std::unique_ptr<StatsRegistry> stats;
+  Histogram* power_hist = nullptr;
+  SelfProfile prof;
+  if (stats_on) {
+    stats = std::make_unique<StatsRegistry>();
+    StatsRegistry& reg = *stats;
+    reg.counter_fn("sim.cycles", "global cycles simulated",
+                   [&now] { return static_cast<double>(now); });
+    reg.counter_fn("sim.finished_cores", "cores whose program completed",
+                   [&finished_count] {
+                     return static_cast<double>(finished_count);
+                   });
+    reg.formula("sim.energy.total", "total CMP energy (tokens)",
+                [&acct] { return acct.energy(); }, 1);
+    reg.formula("sim.energy.aopb",
+                "energy above the global budget (tokens)",
+                [&acct] { return acct.aopb(); }, 1);
+    reg.formula("sim.energy.aopb_frac", "AoPB / total energy",
+                [&acct] {
+                  return acct.energy() > 0.0 ? acct.aopb() / acct.energy()
+                                             : 0.0;
+                },
+                6);
+    reg.formula("sim.power.mean", "mean per-cycle CMP power",
+                [&acct] { return acct.power_stat().mean(); });
+    reg.formula("sim.power.max", "peak observed per-cycle CMP power",
+                [&acct] { return acct.power_stat().max(); });
+    reg.formula("sim.power.stddev", "per-cycle CMP power stddev",
+                [&acct] { return acct.power_stat().stddev(); });
+    power_hist = &reg.distribution("sim.power.dist",
+                                   "per-cycle CMP power distribution",
+                                   0.0, budgets_.peak_power(), 64);
+    budgets_.register_stats(reg, "sim.budget");
+    energy_model_->register_stats(reg, "power.model");
+    mesh_->register_stats(reg, "noc");
+    mem_->register_stats(reg, "mem");
+    for (CoreId i = 0; i < n; ++i) {
+      const std::string p = "core." + std::to_string(i);
+      cores_[i]->register_stats(reg, p);
+      trackers_[i].register_stats(reg, p + ".spin");
+      enforcers_[i]->register_stats(reg, p + ".enforcer");
+    }
+    if (balancer_) balancer_->register_stats(reg, "ptb.balancer");
+    if (clustered_) clustered_->register_stats(reg, "ptb");
+    thermal_.register_stats(reg, "thermal");
+    // Wall-clock self-profiling: volatile (machine-dependent), so excluded
+    // from deterministic dumps and the sample buffer.
+    reg.gauge_fn("sim.self.tick_seconds",
+                 "wall-clock spent in core ticks (sampled, scaled)",
+                 [&prof] { return prof.tick_s; }, 6, /*is_volatile=*/true);
+    reg.gauge_fn("sim.self.power_seconds",
+                 "wall-clock spent in the power model (sampled, scaled)",
+                 [&prof] { return prof.power_s; }, 6, /*is_volatile=*/true);
+    reg.gauge_fn("sim.self.control_seconds",
+                 "wall-clock spent in balancing/enforcement (sampled, "
+                 "scaled)",
+                 [&prof] { return prof.control_s; }, 6, /*is_volatile=*/true);
+    reg.gauge_fn("sim.self.account_seconds",
+                 "wall-clock spent in accounting/audit (sampled, scaled)",
+                 [&prof] { return prof.account_s; }, 6, /*is_volatile=*/true);
+    reg.counter_fn("sim.self.timed_cycles",
+                   "cycles actually timed by the self-profiler",
+                   [&prof] { return static_cast<double>(prof.timed_cycles); });
+  }
+  std::unique_ptr<SampleBuffer> samples;
+  if (stats && opts.stats_sample_every > 0) {
+    samples = std::make_unique<SampleBuffer>(*stats);
+  }
+  using ProfClock = std::chrono::steady_clock;  // lint:allowed-wallclock
+  const auto prof_lap = [](ProfClock::time_point t0, double& acc) {
+    const auto t1 = ProfClock::now();
+    acc += std::chrono::duration<double>(t1 - t0).count() *
+           static_cast<double>(kSelfProfilePeriod);
+    return t1;
+  };
+
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
     // Stamp the cycle once; emit sites then need no cycle parameter.
     if (tracer) tracer->begin_cycle(now);
+
+    const bool prof_cycle = stats_on && now % kSelfProfilePeriod == 0;
+    ProfClock::time_point pt{};
+    if (prof_cycle) {
+      ++prof.timed_cycles;
+      pt = ProfClock::now();
+    }
 
     // --- 1. core ticks: fill the activity frame ---
     for (CoreId i = 0; i < n; ++i) {
@@ -265,6 +373,8 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       }
     }
 
+    if (prof_cycle) pt = prof_lap(pt, prof.tick_s);
+
     // --- 1b. batched power model + smoothing ---
     const CoreActivityBatch batch{f.fetch_exact.data(), f.fetch_est.data(),
                                   f.rob_occ.data(),     f.active.data(),
@@ -306,6 +416,8 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       epoch_n = 0;
     }
     const bool global_over = ptb_active ? global_over_now : epoch_over;
+
+    if (prof_cycle) pt = prof_lap(pt, prof.power_s);
 
     // --- 3. PTB balancing ---
     if (ptb_active) {
@@ -353,8 +465,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       }
     }
 
+    if (prof_cycle) pt = prof_lap(pt, prof.control_s);
+
     // --- 4. accounting ---
     acct.record_cycle(total_act);
+    if (power_hist) power_hist->add(total_act);
     for (CoreId i = 0; i < n; ++i) {
       trackers_[i].attribute_cycle(f.act_power[i]);
       f.thermal_acc[i] += f.act_power[i];
@@ -377,6 +492,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 
     // --- 5. invariant audit (off the results path; read-only) ---
     if (auditor_) audit_cycle(now, acct, total_act, f.eff_budget.data());
+
+    if (samples && (now + 1) % opts.stats_sample_every == 0) {
+      samples->sample(now);
+    }
+    if (prof_cycle) prof_lap(pt, prof.account_s);
   }
 
   if (auditor_) {
@@ -433,6 +553,15 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     res.trace = std::make_shared<EventTrace>(
         tracer->finish(n, now, wire_latency));
     wire_tracer(nullptr);
+  }
+  if (stats) {
+    StatsDump d = StatsDump::snapshot(*stats, samples.get(),
+                                      opts.stats_sample_every);
+    d.bench = profile_.name;
+    d.num_cores = n;
+    d.cycles = now;
+    d.config_fingerprint = config_fingerprint(cfg_);
+    res.stats = std::make_shared<const StatsDump>(std::move(d));
   }
   return res;
 }

@@ -41,6 +41,9 @@
 
 namespace ptb {
 
+class StatsRegistry;
+struct StatsDump;
+
 struct CoreResult {
   Cycle finish_cycle = 0;
   std::uint64_t committed = 0;
@@ -86,6 +89,10 @@ struct RunResult {
   // shared_ptr keeps RunResult cheap to move/copy through the RunPool.
   std::shared_ptr<const EventTrace> trace;
 
+  // Stats-registry snapshot (null unless RunOptions::stats / sampling; see
+  // src/stats). Same shared_ptr rationale as the trace.
+  std::shared_ptr<const StatsDump> stats;
+
   // Invariant-audit bookkeeping (0 when auditing was off for this run).
   std::uint64_t audit_checks = 0;
   // Fingerprint of the simulated-machine parameters (technique knobs
@@ -101,6 +108,16 @@ struct RunOptions {
   /// parse_trace_categories). 0 = tracing fully off: no tracer is
   /// allocated and every emit site stays a single null-pointer branch.
   std::uint32_t trace_categories = 0;
+  /// Stats registry (src/stats): when set, every component registers its
+  /// counters and RunResult::stats carries the end-of-run StatsDump. Off by
+  /// default: no registry is allocated and the cycle loop does no extra
+  /// work. Like tracing, stats never feed back into the simulation — a
+  /// stats-enabled run produces bit-identical RunResult metrics.
+  bool stats = false;
+  /// Time-series sample period in cycles (0 = no sampling): every period,
+  /// all deterministic scalar stats are appended to a columnar buffer
+  /// carried in the dump. Non-zero implies `stats`.
+  Cycle stats_sample_every = 0;
 };
 
 /// Reusable per-cycle scratch for the simulator's hot loop, SoA-packed so

@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "common/assert.hpp"
+#include "stats/dump.hpp"
 
 namespace ptb {
 
@@ -219,6 +220,14 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+std::string stats_json(const RunResult& r, bool include_volatile) {
+  return r.stats ? r.stats->to_json(include_volatile) : std::string();
+}
+
+std::string stats_prometheus(const RunResult& r) {
+  return r.stats ? r.stats->to_prometheus() : std::string();
 }
 
 std::string figure_grid_json(const FigureGrid& grid,

@@ -39,6 +39,17 @@ std::uint64_t machine_fingerprint(const SimConfig& cfg);
 /// JSON string literal escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);
 
+/// RunResult::stats as JSON (src/stats exposition). Empty string when the
+/// run carried no stats (RunOptions::stats was off). Deterministic dumps
+/// (include_volatile = false) exclude the wall-clock self-profiling gauges
+/// and are byte-identical across --jobs and across machines.
+std::string stats_json(const RunResult& r, bool include_volatile = true);
+
+/// RunResult::stats in Prometheus text exposition (always includes the
+/// volatile gauges; scrapes are per-machine by nature). Empty string when
+/// the run carried no stats.
+std::string stats_prometheus(const RunResult& r);
+
 /// One FigureGrid as a JSON object: row/technique labels plus the three
 /// normalized metric matrices (row-major, grid[row][col] order).
 std::string figure_grid_json(const FigureGrid& grid,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "stats/stats.hpp"
 
 #include "sync/spin_tracker.hpp"
 
@@ -39,39 +40,49 @@ std::string power_trace_csv(const RunResult& r) {
 }
 
 std::string run_summary_kv(const RunResult& r) {
-  std::ostringstream out;
-  out << "benchmark=" << r.benchmark << '\n'
-      << "num_cores=" << r.num_cores << '\n'
-      << "cycles=" << r.cycles << '\n'
-      << "hit_max_cycles=" << (r.hit_max_cycles ? 1 : 0) << '\n'
-      << "energy_tokens=" << format_double(r.energy, 1) << '\n'
-      << "aopb_tokens=" << format_double(r.aopb, 1) << '\n'
-      << "budget_tokens_per_cycle=" << format_double(r.budget, 3) << '\n'
-      << "peak_power=" << format_double(r.peak_power, 3) << '\n'
-      << "power_mean=" << format_double(r.power.mean(), 3) << '\n'
-      << "power_max=" << format_double(r.power.max(), 3) << '\n'
-      << "power_stddev=" << format_double(r.power.stddev(), 3) << '\n'
-      << "spin_energy=" << format_double(r.spin_energy, 1) << '\n'
-      << "total_committed=" << r.total_committed << '\n'
-      << "tokens_donated=" << format_double(r.tokens_donated, 1) << '\n'
-      << "tokens_granted=" << format_double(r.tokens_granted, 1) << '\n'
-      << "tokens_evaporated=" << format_double(r.tokens_evaporated, 1) << '\n'
-      << "dvfs_transitions=" << r.dvfs_transitions << '\n'
-      << "to_one_cycles=" << r.to_one_cycles << '\n'
-      << "to_all_cycles=" << r.to_all_cycles << '\n'
-      << "spin_gated_cycles=" << r.spin_gated_cycles << '\n'
-      << "barrier_sleep_cycles=" << r.barrier_sleep_cycles << '\n'
-      << "meeting_point_episodes=" << r.meeting_point_episodes << '\n'
-      << "audit_checks=" << r.audit_checks << '\n';
+  // The summary is generated from a stats registry over the RunResult
+  // (src/stats) so the flat key=value plane and the registry share one
+  // formatting path (pinned precisions, locale-independent decimal point).
+  // Registration order IS the pinned legacy key order — append-only.
+  StatsRegistry reg;
+  reg.counter("num_cores", "", &r.num_cores);
+  reg.counter("cycles", "", &r.cycles);
+  reg.counter_fn("hit_max_cycles", "",
+                 [&r] { return r.hit_max_cycles ? 1.0 : 0.0; });
+  reg.counter("energy_tokens", "", &r.energy, 1);
+  reg.counter("aopb_tokens", "", &r.aopb, 1);
+  reg.gauge("budget_tokens_per_cycle", "", &r.budget, 3);
+  reg.gauge("peak_power", "", &r.peak_power, 3);
+  reg.formula("power_mean", "", [&r] { return r.power.mean(); }, 3);
+  reg.formula("power_max", "", [&r] { return r.power.max(); }, 3);
+  reg.formula("power_stddev", "", [&r] { return r.power.stddev(); }, 3);
+  reg.counter("spin_energy", "", &r.spin_energy, 1);
+  reg.counter("total_committed", "", &r.total_committed);
+  reg.counter("tokens_donated", "", &r.tokens_donated, 1);
+  reg.counter("tokens_granted", "", &r.tokens_granted, 1);
+  reg.counter("tokens_evaporated", "", &r.tokens_evaporated, 1);
+  reg.counter("dvfs_transitions", "", &r.dvfs_transitions);
+  reg.counter("to_one_cycles", "", &r.to_one_cycles);
+  reg.counter("to_all_cycles", "", &r.to_all_cycles);
+  reg.counter("spin_gated_cycles", "", &r.spin_gated_cycles);
+  reg.counter("barrier_sleep_cycles", "", &r.barrier_sleep_cycles);
+  reg.counter("meeting_point_episodes", "", &r.meeting_point_episodes);
+  reg.counter("audit_checks", "", &r.audit_checks);
   Cycle state_totals[kNumExecStates] = {};
   for (const auto& c : r.cores)
     for (std::uint32_t s = 0; s < kNumExecStates; ++s)
       state_totals[s] += c.state_cycles[s];
-  out << "cycles_busy=" << state_totals[0] << '\n'
-      << "cycles_lock_acq=" << state_totals[1] << '\n'
-      << "cycles_lock_rel=" << state_totals[2] << '\n'
-      << "cycles_barrier=" << state_totals[3] << '\n';
-  return out.str();
+  reg.counter_fn("cycles_busy", "",
+                 [v = state_totals[0]] { return static_cast<double>(v); });
+  reg.counter_fn("cycles_lock_acq", "",
+                 [v = state_totals[1]] { return static_cast<double>(v); });
+  reg.counter_fn("cycles_lock_rel", "",
+                 [v = state_totals[2]] { return static_cast<double>(v); });
+  reg.counter_fn("cycles_barrier", "",
+                 [v = state_totals[3]] { return static_cast<double>(v); });
+  // The benchmark name is a string, which the (numeric) registry cannot
+  // carry; it keeps its historical first position.
+  return "benchmark=" + r.benchmark + "\n" + stats_kv(reg);
 }
 
 bool export_run(const RunResult& r, const std::string& dir) {

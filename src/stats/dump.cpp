@@ -1,0 +1,553 @@
+#include "stats/dump.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace ptb {
+
+namespace {
+
+// --- tiny JSON writer helpers ------------------------------------------
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --- tiny JSON reader ----------------------------------------------------
+// Recursive-descent parser for exactly the documents to_json emits (plus
+// whitespace tolerance). Numbers parse as doubles; objects keep insertion
+// order. Strict enough to reject truncated/corrupt dumps.
+
+struct Json {
+  enum class T : std::uint8_t { kNull, kBool, kNum, kStr, kArr, kObj };
+  T t = T::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* get(std::string_view key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  bool parse(Json& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Our writer only escapes control chars; anything in the BMP
+            // below 0x80 round-trips, the rest is preserved as UTF-8.
+            if (v < 0x80) {
+              out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              out += static_cast<char>(0xC0 | (v >> 6));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (v >> 12));
+              out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.t = Json::T::kObj;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        std::string key;
+        if (!string(key) || !eat(':')) return false;
+        Json v;
+        if (!value(v)) return false;
+        out.obj.emplace_back(std::move(key), std::move(v));
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.t = Json::T::kArr;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        Json v;
+        if (!value(v)) return false;
+        out.arr.push_back(std::move(v));
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.t = Json::T::kStr;
+      return string(out.str);
+    }
+    if (c == 't') { out.t = Json::T::kBool; out.b = true;
+                    return literal("true"); }
+    if (c == 'f') { out.t = Json::T::kBool; out.b = false;
+                    return literal("false"); }
+    if (c == 'n') { out.t = Json::T::kNull; return literal("null"); }
+    // number
+    const std::size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool digits = false;
+    bool dot = false;
+    bool exp = false;
+    while (pos_ < s_.size()) {
+      const char d = s_[pos_];
+      if (d >= '0' && d <= '9') { digits = true; ++pos_; }
+      else if (d == '.' && !dot && !exp) { dot = true; ++pos_; }
+      else if ((d == 'e' || d == 'E') && digits && !exp) {
+        exp = true;
+        ++pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return false;
+    out.t = Json::T::kNum;
+    out.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool get_num(const Json& obj, std::string_view key, double& out) {
+  const Json* v = obj.get(key);
+  if (v == nullptr || v->t != Json::T::kNum) return false;
+  out = v->num;
+  return true;
+}
+
+bool get_str(const Json& obj, std::string_view key, std::string& out) {
+  const Json* v = obj.get(key);
+  if (v == nullptr || v->t != Json::T::kStr) return false;
+  out = v->str;
+  return true;
+}
+
+/// Prometheus metric name: "ptb_" + name with every non-[a-zA-Z0-9_]
+/// character replaced by '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "ptb_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+}  // namespace
+
+StatsDump StatsDump::snapshot(const StatsRegistry& reg,
+                              const SampleBuffer* samples,
+                              Cycle sample_every) {
+  StatsDump d;
+  for (const Stat* s : reg.sorted()) {
+    if (s->kind() == StatKind::kDistribution) {
+      const Histogram& h = *s->histogram();
+      Dist dist;
+      dist.name = s->name();
+      dist.desc = s->desc();
+      dist.lo = h.lo();
+      dist.hi = h.hi();
+      dist.sum = h.sum();
+      dist.total = h.total();
+      dist.counts.resize(h.buckets());
+      for (std::size_t i = 0; i < h.buckets(); ++i)
+        dist.counts[i] = h.bucket_count(i);
+      d.dists.push_back(std::move(dist));
+    } else {
+      Scalar sc;
+      sc.name = s->name();
+      sc.desc = s->desc();
+      sc.kind = s->kind();
+      sc.is_volatile = s->is_volatile();
+      sc.integral = s->integral();
+      sc.value = s->value();
+      sc.u64 = s->integral() ? s->value_u64() : 0;
+      d.scalars.push_back(std::move(sc));
+    }
+  }
+  if (samples != nullptr) {
+    d.sample_every = sample_every;
+    d.sample_cycles = samples->cycles();
+    d.sample_columns = samples->columns();
+    d.sample_values.resize(samples->num_columns());
+    for (std::size_t i = 0; i < samples->num_columns(); ++i)
+      d.sample_values[i] = samples->column(i);
+  }
+  return d;
+}
+
+const StatsDump::Scalar* StatsDump::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      scalars.begin(), scalars.end(), name,
+      [](const Scalar& s, std::string_view n) { return s.name < n; });
+  return (it != scalars.end() && it->name == name) ? &*it : nullptr;
+}
+
+std::string StatsDump::to_json(bool include_volatile) const {
+  std::string out = "{";
+  out += "\"kind\":\"ptb-stats\",";
+  out += "\"schema_version\":" + std::to_string(kSchemaVersion) + ",";
+  out += "\"bench\":" + jstr(bench) + ",";
+  out += "\"num_cores\":" + std::to_string(num_cores) + ",";
+  out += "\"cycles\":" + std::to_string(cycles) + ",";
+  out += "\"config_fingerprint\":\"" + fingerprint_hex(config_fingerprint) +
+         "\",";
+  out += "\"stats\":[";
+  bool first = true;
+  for (const Scalar& s : scalars) {
+    if (s.is_volatile && !include_volatile) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + jstr(s.name);
+    out += ",\"kind\":\"";
+    out += stat_kind_name(s.kind);
+    out += "\"";
+    if (!s.desc.empty()) out += ",\"desc\":" + jstr(s.desc);
+    if (s.is_volatile) out += ",\"volatile\":true";
+    if (s.integral) out += ",\"integral\":true";
+    out += ",\"value\":";
+    out += s.integral ? std::to_string(s.u64) : format_g17(s.value);
+    out += "}";
+  }
+  out += "],\"distributions\":[";
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    const Dist& h = dists[i];
+    if (i) out += ",";
+    out += "{\"name\":" + jstr(h.name);
+    if (!h.desc.empty()) out += ",\"desc\":" + jstr(h.desc);
+    out += ",\"lo\":" + format_g17(h.lo);
+    out += ",\"hi\":" + format_g17(h.hi);
+    out += ",\"sum\":" + format_g17(h.sum);
+    out += ",\"total\":" + std::to_string(h.total);
+    out += ",\"counts\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j) out += ",";
+      out += std::to_string(h.counts[j]);
+    }
+    out += "]}";
+  }
+  out += "],\"samples\":{";
+  out += "\"every\":" + std::to_string(sample_every) + ",";
+  out += "\"cycles\":[";
+  for (std::size_t i = 0; i < sample_cycles.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(sample_cycles[i]);
+  }
+  out += "],\"columns\":[";
+  for (std::size_t i = 0; i < sample_columns.size(); ++i) {
+    if (i) out += ",";
+    out += jstr(sample_columns[i]);
+  }
+  out += "],\"values\":[";
+  for (std::size_t i = 0; i < sample_values.size(); ++i) {
+    if (i) out += ",";
+    out += "[";
+    for (std::size_t j = 0; j < sample_values[i].size(); ++j) {
+      if (j) out += ",";
+      out += format_g17(sample_values[i][j]);
+    }
+    out += "]";
+  }
+  out += "]}}\n";
+  return out;
+}
+
+std::string StatsDump::to_prometheus() const {
+  std::string out;
+  out += "# ptb-stats exposition: bench " + jstr(bench) + ", " +
+         std::to_string(num_cores) + " cores, " + std::to_string(cycles) +
+         " cycles\n";
+  out += "# TYPE ptb_run_info gauge\n";
+  out += "ptb_run_info{bench=" + jstr(bench) + ",config_fingerprint=\"" +
+         fingerprint_hex(config_fingerprint) + "\"} 1\n";
+  for (const Scalar& s : scalars) {
+    const std::string n = prom_name(s.name);
+    if (!s.desc.empty()) out += "# HELP " + n + " " + s.desc + "\n";
+    // Prometheus has no formula type; derived metrics expose as gauges.
+    out += "# TYPE " + n + " " +
+           (s.kind == StatKind::kCounter ? "counter" : "gauge") + "\n";
+    out += n + " " +
+           (s.integral ? std::to_string(s.u64) : format_g17(s.value)) + "\n";
+  }
+  for (const Dist& h : dists) {
+    const std::string n = prom_name(h.name);
+    if (!h.desc.empty()) out += "# HELP " + n + " " + h.desc + "\n";
+    out += "# TYPE " + n + " histogram\n";
+    const double width =
+        (h.hi - h.lo) / static_cast<double>(h.counts.empty()
+                                                ? 1
+                                                : h.counts.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      const double le = h.lo + width * static_cast<double>(i + 1);
+      out += n + "_bucket{le=\"" + format_g17(le) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.total) + "\n";
+    out += n + "_sum " + format_g17(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+bool StatsDump::parse_json(std::string_view text, StatsDump& out) {
+  Json root;
+  if (!JsonParser(text).parse(root) || root.t != Json::T::kObj) return false;
+  std::string kind;
+  if (!get_str(root, "kind", kind) || kind != "ptb-stats") return false;
+  double schema = 0.0;
+  if (!get_num(root, "schema_version", schema) ||
+      static_cast<std::uint32_t>(schema) != kSchemaVersion) {
+    return false;
+  }
+  StatsDump d;
+  if (!get_str(root, "bench", d.bench)) return false;
+  double num = 0.0;
+  if (!get_num(root, "num_cores", num)) return false;
+  d.num_cores = static_cast<std::uint32_t>(num);
+  if (!get_num(root, "cycles", num)) return false;
+  d.cycles = static_cast<std::uint64_t>(num);
+  std::string fp;
+  if (!get_str(root, "config_fingerprint", fp)) return false;
+  d.config_fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
+
+  const Json* stats = root.get("stats");
+  if (stats == nullptr || stats->t != Json::T::kArr) return false;
+  for (const Json& e : stats->arr) {
+    if (e.t != Json::T::kObj) return false;
+    Scalar s;
+    if (!get_str(e, "name", s.name)) return false;
+    std::string ks;
+    if (!get_str(e, "kind", ks) || !parse_stat_kind(ks, s.kind)) return false;
+    get_str(e, "desc", s.desc);
+    if (const Json* v = e.get("volatile"); v != nullptr)
+      s.is_volatile = v->t == Json::T::kBool && v->b;
+    if (const Json* v = e.get("integral"); v != nullptr)
+      s.integral = v->t == Json::T::kBool && v->b;
+    if (!get_num(e, "value", s.value)) return false;
+    if (s.integral) s.u64 = static_cast<std::uint64_t>(s.value);
+    d.scalars.push_back(std::move(s));
+  }
+  const Json* dists = root.get("distributions");
+  if (dists == nullptr || dists->t != Json::T::kArr) return false;
+  for (const Json& e : dists->arr) {
+    if (e.t != Json::T::kObj) return false;
+    Dist h;
+    if (!get_str(e, "name", h.name)) return false;
+    get_str(e, "desc", h.desc);
+    if (!get_num(e, "lo", h.lo) || !get_num(e, "hi", h.hi) ||
+        !get_num(e, "sum", h.sum)) {
+      return false;
+    }
+    if (!get_num(e, "total", num)) return false;
+    h.total = static_cast<std::uint64_t>(num);
+    const Json* counts = e.get("counts");
+    if (counts == nullptr || counts->t != Json::T::kArr) return false;
+    for (const Json& c : counts->arr) {
+      if (c.t != Json::T::kNum) return false;
+      h.counts.push_back(static_cast<std::uint64_t>(c.num));
+    }
+    d.dists.push_back(std::move(h));
+  }
+  const Json* samples = root.get("samples");
+  if (samples == nullptr || samples->t != Json::T::kObj) return false;
+  if (!get_num(*samples, "every", num)) return false;
+  d.sample_every = static_cast<Cycle>(num);
+  const Json* cycles = samples->get("cycles");
+  const Json* columns = samples->get("columns");
+  const Json* values = samples->get("values");
+  if (cycles == nullptr || cycles->t != Json::T::kArr || columns == nullptr ||
+      columns->t != Json::T::kArr || values == nullptr ||
+      values->t != Json::T::kArr) {
+    return false;
+  }
+  for (const Json& c : cycles->arr) {
+    if (c.t != Json::T::kNum) return false;
+    d.sample_cycles.push_back(static_cast<Cycle>(c.num));
+  }
+  for (const Json& c : columns->arr) {
+    if (c.t != Json::T::kStr) return false;
+    d.sample_columns.push_back(c.str);
+  }
+  for (const Json& col : values->arr) {
+    if (col.t != Json::T::kArr) return false;
+    std::vector<double> v;
+    for (const Json& c : col.arr) {
+      if (c.t != Json::T::kNum) return false;
+      v.push_back(c.num);
+    }
+    d.sample_values.push_back(std::move(v));
+  }
+  if (d.sample_values.size() != d.sample_columns.size()) return false;
+  out = std::move(d);
+  return true;
+}
+
+std::vector<StatsDiffEntry> diff_stats(const StatsDump& a, const StatsDump& b,
+                                       double rel_tolerance,
+                                       bool include_volatile) {
+  std::vector<StatsDiffEntry> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto skip = [&](const StatsDump::Scalar& s) {
+    return s.is_volatile && !include_volatile;
+  };
+  while (i < a.scalars.size() || j < b.scalars.size()) {
+    if (i < a.scalars.size() && skip(a.scalars[i])) { ++i; continue; }
+    if (j < b.scalars.size() && skip(b.scalars[j])) { ++j; continue; }
+    const bool have_a = i < a.scalars.size();
+    const bool have_b = j < b.scalars.size();
+    int cmp;
+    if (have_a && have_b) {
+      cmp = a.scalars[i].name.compare(b.scalars[j].name);
+    } else {
+      cmp = have_a ? -1 : 1;
+    }
+    StatsDiffEntry e;
+    if (cmp < 0) {
+      e.name = a.scalars[i].name;
+      e.only_in_a = true;
+      e.a = a.scalars[i].value;
+      out.push_back(std::move(e));
+      ++i;
+    } else if (cmp > 0) {
+      e.name = b.scalars[j].name;
+      e.only_in_b = true;
+      e.b = b.scalars[j].value;
+      out.push_back(std::move(e));
+      ++j;
+    } else {
+      const double va = a.scalars[i].value;
+      const double vb = b.scalars[j].value;
+      const double mag = std::max(std::fabs(va), std::fabs(vb));
+      const double rel = (va == vb) ? 0.0 : std::fabs(va - vb) / mag;
+      if (rel > rel_tolerance) {
+        e.name = a.scalars[i].name;
+        e.a = va;
+        e.b = vb;
+        e.rel = rel;
+        out.push_back(std::move(e));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace ptb

@@ -1,0 +1,159 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace ptb {
+
+const char* stat_kind_name(StatKind k) {
+  switch (k) {
+    case StatKind::kCounter: return "counter";
+    case StatKind::kGauge: return "gauge";
+    case StatKind::kDistribution: return "distribution";
+    case StatKind::kFormula: return "formula";
+  }
+  return "?";
+}
+
+bool parse_stat_kind(std::string_view s, StatKind& out) {
+  if (s == "counter") out = StatKind::kCounter;
+  else if (s == "gauge") out = StatKind::kGauge;
+  else if (s == "distribution") out = StatKind::kDistribution;
+  else if (s == "formula") out = StatKind::kFormula;
+  else return false;
+  return true;
+}
+
+double Stat::value() const {
+  if (u64_ != nullptr) return static_cast<double>(*u64_);
+  if (u32_ != nullptr) return static_cast<double>(*u32_);
+  if (f64_ != nullptr) return *f64_;
+  if (fn_) return fn_();
+  return 0.0;  // distribution stats have no scalar value
+}
+
+std::uint64_t Stat::value_u64() const {
+  if (u64_ != nullptr) return *u64_;
+  if (u32_ != nullptr) return *u32_;
+  return static_cast<std::uint64_t>(value());
+}
+
+std::string Stat::kv_string() const {
+  if (integral()) return name_ + "=" + std::to_string(value_u64());
+  return name_ + "=" + format_fixed(value(), kv_precision_);
+}
+
+Stat& StatsRegistry::add(std::string name, std::string desc, StatKind kind) {
+  PTB_ASSERT(!name.empty(), "stat name must be non-empty");
+  PTB_ASSERTF(name.find_first_of("= \n\t") == std::string::npos,
+              "stat name '%s' contains a reserved character", name.c_str());
+  const auto [it, inserted] = index_.emplace(name, stats_.size());
+  PTB_ASSERTF(inserted, "duplicate stat name '%s'", name.c_str());
+  (void)it;
+  stats_.push_back(std::unique_ptr<Stat>(new Stat()));
+  Stat& s = *stats_.back();
+  s.name_ = std::move(name);
+  s.desc_ = std::move(desc);
+  s.kind_ = kind;
+  return s;
+}
+
+void StatsRegistry::counter(std::string name, std::string desc,
+                            const std::uint64_t* src) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kCounter);
+  s.u64_ = src;
+}
+
+void StatsRegistry::counter(std::string name, std::string desc,
+                            const std::uint32_t* src) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kCounter);
+  s.u32_ = src;
+}
+
+void StatsRegistry::counter(std::string name, std::string desc,
+                            const double* src, int kv_precision) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kCounter);
+  s.f64_ = src;
+  s.kv_precision_ = kv_precision;
+}
+
+void StatsRegistry::counter_fn(std::string name, std::string desc,
+                               std::function<double()> fn) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kCounter);
+  s.fn_ = std::move(fn);
+  s.integral_fn_ = true;
+}
+
+void StatsRegistry::gauge(std::string name, std::string desc,
+                          const double* src, int kv_precision) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kGauge);
+  s.f64_ = src;
+  s.kv_precision_ = kv_precision;
+}
+
+void StatsRegistry::gauge_fn(std::string name, std::string desc,
+                             std::function<double()> fn, int kv_precision,
+                             bool is_volatile) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kGauge);
+  s.fn_ = std::move(fn);
+  s.kv_precision_ = kv_precision;
+  s.volatile_ = is_volatile;
+}
+
+Histogram& StatsRegistry::distribution(std::string name, std::string desc,
+                                       double lo, double hi,
+                                       std::size_t buckets) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kDistribution);
+  s.hist_ = std::make_unique<Histogram>(lo, hi, buckets);
+  return *s.hist_;
+}
+
+void StatsRegistry::formula(std::string name, std::string desc,
+                            std::function<double()> fn, int kv_precision) {
+  Stat& s = add(std::move(name), std::move(desc), StatKind::kFormula);
+  s.fn_ = std::move(fn);
+  s.kv_precision_ = kv_precision;
+}
+
+const Stat* StatsRegistry::find(std::string_view dotted_name) const {
+  const auto it = index_.find(dotted_name);
+  return it == index_.end() ? nullptr : stats_[it->second].get();
+}
+
+std::vector<const Stat*> StatsRegistry::sorted() const {
+  std::vector<const Stat*> out;
+  out.reserve(stats_.size());
+  for (const auto& [name, idx] : index_) out.push_back(stats_[idx].get());
+  return out;
+}
+
+SampleBuffer::SampleBuffer(const StatsRegistry& reg) {
+  for (const Stat* s : reg.sorted()) {
+    if (!s->scalar() || s->is_volatile()) continue;
+    stats_.push_back(s);
+    columns_.push_back(s->name());
+  }
+  data_.resize(stats_.size());
+}
+
+void SampleBuffer::sample(Cycle now) {
+  cycles_.push_back(now);
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    data_[i].push_back(stats_[i]->value());
+  }
+}
+
+std::string stats_kv(const StatsRegistry& reg) {
+  std::string out;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const Stat& s = reg.at(i);
+    if (!s.scalar()) continue;
+    out += s.kv_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ptb

@@ -1,5 +1,7 @@
 #include "sync/spin_tracker.hpp"
 
+#include "stats/stats.hpp"
+
 namespace ptb {
 
 const char* exec_state_name(ExecState s) {
@@ -11,6 +13,26 @@ const char* exec_state_name(ExecState s) {
     case ExecState::kCount: break;
   }
   return "?";
+}
+
+void SpinTracker::register_stats(StatsRegistry& reg,
+                                 const std::string& prefix) const {
+  // Dotted names stay lowercase/underscore like every other stat.
+  static constexpr const char* kSlug[kNumExecStates] = {
+      "busy", "lock_acq", "lock_rel", "barrier"};
+  for (std::uint32_t s = 0; s < kNumExecStates; ++s) {
+    reg.counter(prefix + ".cycles." + kSlug[s],
+                std::string("cycles attributed to ") +
+                    exec_state_name(static_cast<ExecState>(s)),
+                &cycles_[s]);
+    reg.counter(prefix + ".energy." + kSlug[s],
+                std::string("energy attributed to ") +
+                    exec_state_name(static_cast<ExecState>(s)),
+                &power_[s], 1);
+  }
+  reg.formula(prefix + ".spin_energy",
+              "energy spent in all spin states",
+              [this] { return spin_power(); }, 1);
 }
 
 }  // namespace ptb

@@ -9,11 +9,14 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 #include "trace/trace.hpp"
 
 namespace ptb {
+
+class StatsRegistry;
 
 enum class ExecState : std::uint8_t {
   kBusy = 0,
@@ -85,6 +88,10 @@ class SpinTracker {
   double spin_power() const {
     return total_power() - power_[static_cast<std::size_t>(ExecState::kBusy)];
   }
+
+  /// Registers per-state cycle counters and energy gauges under `prefix`
+  /// (src/stats).
+  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
 
  private:
   ExecState state_ = ExecState::kBusy;

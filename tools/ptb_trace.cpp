@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "tool_util.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -38,17 +39,6 @@ int usage(const char* argv0, int rc) {
       "'-' for stdout.\n",
       argv0);
   return rc;
-}
-
-bool write_text(const std::string& path, const std::string& text) {
-  if (path == "-") {
-    std::fwrite(text.data(), 1, text.size(), stdout);
-    return true;
-  }
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace
@@ -101,7 +91,7 @@ int main(int argc, char** argv) {
     const std::string text = cmd == "export-json"
                                  ? ptb::trace_chrome_json(trace)
                                  : ptb::trace_csv(trace);
-    if (!write_text(argv[3], text)) {
+    if (!ptb::tools::write_text(argv[3], text)) {
       std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], argv[3]);
       return 1;
     }
