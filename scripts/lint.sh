@@ -4,7 +4,10 @@
 #      use wall-clock time, hardware entropy, or iteration-order-dependent
 #      containers — every table/JSON byte must be reproducible at any
 #      worker count (see sim/run_pool.hpp and scripts/regen_results.sh);
-#   2. clang-tidy with the repo's .clang-tidy profile, when clang-tidy and
+#   2. doc drift (always run): every CLI flag the shared bench harness
+#      (bench/bench_util.hpp) advertises must be documented in
+#      EXPERIMENTS.md;
+#   3. clang-tidy with the repo's .clang-tidy profile, when clang-tidy and
 #      a compile database are available (skipped with a warning otherwise —
 #      the GCC-only container still gets the determinism checks).
 #
@@ -67,7 +70,28 @@ if [[ -n "$out" ]]; then
 (iteration order is unspecified; use std::map/std::set or sort first):" "$out"
 fi
 
-# --- 2. clang-tidy (optional) ----------------------------------------------
+# --- 2. doc drift: bench CLI flags must be documented -----------------------
+
+# Every flag the shared bench CLI (bench/bench_util.hpp) advertises in its
+# --help must appear in EXPERIMENTS.md, so the runbook can never silently
+# fall behind the binaries (PRs 2-5 grew --trace/--stats/--audit; this
+# check exists because the docs missed them). Flags are extracted from the
+# header's string literals only — prose comments don't count.
+bench_flags=$(grep -o '"[^"]*"' bench/bench_util.hpp \
+  | grep -o -- '--[a-z][a-z-]*' | sort -u)
+undocumented=""
+for flag in $bench_flags; do
+  if ! grep -q -- "$flag" EXPERIMENTS.md; then
+    undocumented+="$flag"$'\n'
+  fi
+done
+if [[ -n "$undocumented" ]]; then
+  finding "bench CLI flag(s) missing from EXPERIMENTS.md \
+(document them in the runbook or drop them from bench/bench_util.hpp):" \
+    "$undocumented"
+fi
+
+# --- 3. clang-tidy (optional) ----------------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -f "$build_dir/compile_commands.json" ]]; then

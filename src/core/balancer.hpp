@@ -27,6 +27,20 @@ namespace ptb {
 class EventTracer;
 class StatsRegistry;
 
+/// The canonical reduction order for per-core power/budget totals: a serial
+/// left-to-right sum over core order. FP addition is not associative, so
+/// every consumer of a CMP-wide total (the global over-budget signal, the
+/// balancer's aggregation, energy accounting) must use this one order — in
+/// particular the sharded cycle loop (sim/shard_pool.hpp) computes shard
+/// results in parallel but always reduces them through this helper on the
+/// main thread, which is what keeps results bit-identical across
+/// --sim-threads values.
+inline double deterministic_total(const double* v, std::uint32_t n) {
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
 class PtbLoadBalancer {
  public:
   PtbLoadBalancer(const PtbConfig& cfg, std::uint32_t num_cores,

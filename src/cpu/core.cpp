@@ -71,7 +71,10 @@ void Core::process_completions(Cycle now) {
     completions_.pop();
     RobEntry& e = entry(seq);
     e.completed = true;
-    if (e.op.blocks_generation) deliver_value(e.op);
+    if (e.op.blocks_generation) {
+      if (e.op.sync != SyncRole::kNone) --sync_inflight_;
+      deliver_value(e.op);
+    }
     if (waiting_branch_resolve_ && seq == mispredict_seq_) {
       // The front end refills after resolution (14-stage pipeline).
       waiting_branch_resolve_ = false;
@@ -131,15 +134,24 @@ void Core::do_issue(Cycle now) {
         case OpClass::kStore: type = MemAccessType::kStore; break;
         default: type = MemAccessType::kAtomicRmw; break;
       }
+      // Plain stores retire into the store buffer; the write itself
+      // proceeds in the background (its protocol work is already timed).
+      const bool plain_store =
+          (e.op.cls == OpClass::kStore && e.op.sync == SyncRole::kNone);
+      if (mem_defer_ != nullptr) {
+        // Parallel phase: park the access. The sequential memory point
+        // (resolve_deferred) replays the queue in this order and assigns
+        // complete_at; nothing reads complete_at before then (deps_ready
+        // and commit look at `completed`, set strictly later).
+        mem_defer_->push_back({e.op.addr, seq, type, plain_store});
+        e.issued = true;
+        e.complete_at = kNeverCycle;
+        ++issued;
+        continue;
+      }
       // +1 cycle of address generation before the cache access.
       const MemAccessResult r = mem_.access(id_, type, e.op.addr, now + 1);
-      if (e.op.cls == OpClass::kStore && e.op.sync == SyncRole::kNone) {
-        // Plain stores retire into the store buffer; the write itself
-        // proceeds in the background (its protocol work is already timed).
-        complete_at = now + 1;
-      } else {
-        complete_at = r.done;
-      }
+      complete_at = plain_store ? now + 1 : r.done;
     } else {
       complete_at = now + fus_.latency(e.op.cls);
     }
@@ -201,13 +213,26 @@ void Core::do_fetch(Cycle now) {
     // fill returns.
     if (!icache_checked) {
       icache_checked = true;
-      const MemAccessResult r =
-          mem_.access(id_, MemAccessType::kIFetch, op.pc, now);
-      if (!r.l1_hit) {
-        pending_op_ = op;
-        has_pending_op_ = true;
-        fetch_blocked_until_ = r.done;
-        break;
+      if (mem_defer_ != nullptr) {
+        // Parallel phase: probe only this core's own L1I (shard-safe); a
+        // miss is parked and timed at the sequential memory point, which
+        // also sets fetch_blocked_until_.
+        if (!mem_.probe_ifetch(id_, op.pc)) {
+          pending_op_ = op;
+          has_pending_op_ = true;
+          mem_defer_->push_back({op.pc, 0, MemAccessType::kIFetch, false});
+          break;
+        }
+        ++deferred_ifetch_hits_;
+      } else {
+        const MemAccessResult r =
+            mem_.access(id_, MemAccessType::kIFetch, op.pc, now);
+        if (!r.l1_hit) {
+          pending_op_ = op;
+          has_pending_op_ = true;
+          fetch_blocked_until_ = r.done;
+          break;
+        }
       }
     }
 
@@ -223,6 +248,10 @@ void Core::do_fetch(Cycle now) {
     if (op.is_memory()) ++lsq_count_;
     ++fetched;
     ++dispatched;
+    // A generation-blocking sync op's completion will touch shared
+    // SyncState; flag it so the sharded loop runs this core's commit phase
+    // at the sequential point until it delivers.
+    if (op.blocks_generation && op.sync != SyncRole::kNone) ++sync_inflight_;
 
     const BaseCost& bc = base_cost(op.cls, op.pc);
     fetch_exact_ += bc.exact;
@@ -289,19 +318,53 @@ void Core::register_stats(StatsRegistry& reg,
   ptht_.register_stats(reg, prefix + ".ptht");
 }
 
-void Core::tick(Cycle now) {
+void Core::tick_commit_phase(Cycle now) {
   ++ticks;
   fetch_exact_ = 0.0;
   fetch_est_ = 0.0;
   commit_exact_ = 0.0;
-  const std::uint32_t rob_before = rob_count_;
+  tick_rob_before_ = rob_count_;
 
   process_completions(now);
   do_commit(now);
+}
+
+void Core::tick_fetch_phase(Cycle now) {
   do_issue(now);
   do_fetch(now);
 
-  idle_ = (rob_before == 0 && rob_count_ == 0);
+  idle_ = (tick_rob_before_ == 0 && rob_count_ == 0);
+}
+
+void Core::tick(Cycle now) {
+  tick_commit_phase(now);
+  tick_fetch_phase(now);
+}
+
+void Core::resolve_deferred(Cycle now) {
+  if (mem_defer_ == nullptr) return;
+  if (deferred_ifetch_hits_ != 0) {
+    // Hits probed in the parallel phase skipped access(); fold them into
+    // the aggregate fetch counter it would have bumped.
+    mem_.ifetches += deferred_ifetch_hits_;
+    deferred_ifetch_hits_ = 0;
+  }
+  for (const DeferredMemReq& req : *mem_defer_) {
+    if (req.type == MemAccessType::kIFetch) {
+      // The probe missed this core's L1I and no other core can fill it, so
+      // the replay takes the same miss path the serial loop would have.
+      const MemAccessResult r =
+          mem_.access(id_, MemAccessType::kIFetch, req.addr, now);
+      fetch_blocked_until_ = r.done;
+    } else {
+      // +1 cycle of address generation, as in the immediate path.
+      const MemAccessResult r = mem_.access(id_, req.type, req.addr, now + 1);
+      const Cycle complete_at = req.plain_store ? now + 1 : r.done;
+      entry(req.seq).complete_at = complete_at;
+      completions_.emplace(complete_at, req.seq);
+    }
+  }
+  mem_defer_->clear();
 }
 
 }  // namespace ptb

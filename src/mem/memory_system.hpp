@@ -42,6 +42,22 @@ class MemorySystem {
   /// Performs one access for core `c` starting no earlier than `now`.
   MemAccessResult access(CoreId c, MemAccessType type, Addr addr, Cycle now);
 
+  /// Hit-probe of core `c`'s own L1I for the sharded cycle loop's parallel
+  /// fetch phase: touches only that L1I (hit counter + LRU, exactly what
+  /// the hit path of access() does) and no shared structure, so distinct
+  /// cores may probe concurrently. On a hit the caller counts the fetch
+  /// (the aggregate `ifetches` counter is merged at the sequential point);
+  /// on a miss the caller defers the access and replays it through
+  /// access() at the sequential point, which then takes the full miss path.
+  bool probe_ifetch(CoreId c, Addr pc) {
+    Cache& l1 = l1i_[c];
+    if (l1.find(pc) != nullptr) {
+      ++l1.hits;
+      return true;
+    }
+    return false;
+  }
+
   Cache& l1i(CoreId c) { return l1i_[c]; }
   Cache& l1d(CoreId c) { return l1d_[c]; }
   const Cache& l1i(CoreId c) const { return l1i_[c]; }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <string>
 
 #include "common/assert.hpp"
 #include "sim/reporting.hpp"
+#include "sim/shard_pool.hpp"
 #include "stats/dump.hpp"
 #include "stats/stats.hpp"
 
@@ -29,10 +31,11 @@ constexpr double kSpinGateThresholdFrac = 0.55;
 constexpr Cycle kSelfProfilePeriod = 64;
 
 struct SelfProfile {
-  double tick_s = 0.0;     // phase 1: core ticks
-  double power_s = 0.0;    // phases 1b-2: power model + global signal
+  double tick_s = 0.0;     // phase 1: pre-pass + parallel region
+                           // (tick phases, power model, smoothing)
+  double power_s = 0.0;    // phases 1b-2: sequential merge + global signal
   double control_s = 0.0;  // phases 3-3b: balancing + enforcement + gating
-  double account_s = 0.0;  // phases 4-5: accounting, thermal, audit, sample
+  double account_s = 0.0;  // phases 4-5: accounting, audit, sample
   std::uint64_t timed_cycles = 0;
 };
 }  // namespace
@@ -53,6 +56,10 @@ void CycleFrame::reset(std::uint32_t n, double local_budget) {
   vdd.assign(n, 1.0);
   est_power.assign(n, 0.0);
   act_power.assign(n, 0.0);
+  seq_gated.assign(n, 0);
+  // Keep each queue's capacity across runs; only the contents reset.
+  mem_defer.resize(n);
+  for (auto& q : mem_defer) q.clear();
 }
 
 CmpSimulator::CmpSimulator(const SimConfig& cfg,
@@ -276,10 +283,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     // Wall-clock self-profiling: volatile (machine-dependent), so excluded
     // from deterministic dumps and the sample buffer.
     reg.gauge_fn("sim.self.tick_seconds",
-                 "wall-clock spent in core ticks (sampled, scaled)",
+                 "wall-clock spent in core ticks + power model (sampled, "
+                 "scaled)",
                  [&prof] { return prof.tick_s; }, 6, /*is_volatile=*/true);
     reg.gauge_fn("sim.self.power_seconds",
-                 "wall-clock spent in the power model (sampled, scaled)",
+                 "wall-clock spent in the sequential merge (sampled, scaled)",
                  [&prof] { return prof.power_s; }, 6, /*is_volatile=*/true);
     reg.gauge_fn("sim.self.control_seconds",
                  "wall-clock spent in balancing/enforcement (sampled, "
@@ -304,9 +312,161 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     return t1;
   };
 
+  // --- sharded cycle loop setup (sim/shard_pool.hpp) ---
+  // Cores are split into `shards` contiguous ranges, one per host worker;
+  // per-core work (gate, tick phases, power model, smoothing, thermal and
+  // spin attribution) runs shard-parallel, and everything that touches
+  // shared or ordered state runs at a sequential point on this thread.
+  // sim_threads == 1 runs the very same phased code inline (no workers),
+  // which is what makes results structurally identical across thread
+  // counts: thread count never selects a different code path, only how the
+  // per-core loops are partitioned.
+  const std::uint32_t shards = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(1, cfg_.sim_threads), n);
+  ShardPool pool(shards, opts.shard_jitter_ns);
+  if (tracer) tracer->enable_staging(n);
+  for (CoreId i = 0; i < n; ++i) {
+    cores_[i]->set_mem_defer(&f.mem_defer[i]);
+  }
+  // The thrifty/meeting-point controllers gate cores off cross-core state
+  // that moves mid-pre-pass (thrifty reads the global barrier-episode count
+  // earlier cores' completion deliveries bump in the same cycle), so under
+  // those techniques every core's gate+commit runs in the sequential
+  // pre-pass, in core order — the serial interleaving. Otherwise only cores
+  // with a sync op in flight (whose completion touches shared SyncState)
+  // are pre-passed.
+  const bool seq_gate_all = thrifty_ != nullptr || meeting_ != nullptr;
+
+  // Gate + commit phase for core i: decides whether the core ticks this
+  // cycle (frequency scaling, DVFS stalls, sleep states) and, if so, runs
+  // completion delivery + retirement. Callable from the pre-pass (main
+  // thread) or, for cores with no shared-state hazard, from the shard that
+  // owns core i.
+  const auto gate_and_commit = [&](CoreId i) {
+    Core& core = *cores_[i];
+
+    // Baseline controllers (prior art; Section II.C).
+    bool asleep = false;
+    double freq_ratio = 1.0;
+    double vdd_ratio = 1.0;
+    bool stalled = false;
+    if (enforcers_active) {
+      const PowerEnforcer& enf = *enforcers_[i];
+      freq_ratio = enf.freq_ratio();
+      vdd_ratio = enf.vdd_ratio();
+      stalled = enf.stalled(now);
+    }
+    if (thrifty_ && !f.finished[i]) {
+      asleep = thrifty_->tick(i, now, trackers_[i].state(),
+                              sync_->barrier_episodes,
+                              core.rob_occupancy() == 0);
+    }
+    if (meeting_ && !f.finished[i]) {
+      meeting_->tick(i, now, trackers_[i].state());
+      const DvfsMode& m = kDvfsModes[meeting_->mode_for(i)];
+      freq_ratio = m.freq_ratio;
+      vdd_ratio = m.vdd_ratio;
+    }
+
+    bool active = false;
+    if (!f.finished[i] && !stalled && !asleep) {
+      f.freq_acc[i] += freq_ratio;
+      if (f.freq_acc[i] >= 1.0) {
+        f.freq_acc[i] -= 1.0;
+        active = true;
+      }
+    }
+    f.active[i] = active ? 1 : 0;
+    f.vdd[i] = vdd_ratio;
+    if (active) core.tick_commit_phase(now);
+  };
+
+  // The parallel region of one cycle, for shard s: remaining gate+commit
+  // phases, the fetch phases (memory accesses parked per core), the
+  // activity snapshot, the shard's slice of the batched power model, EMA
+  // smoothing, spin attribution and the thermal step. Everything touched
+  // here is either core-private or a disjoint slice of the CycleFrame;
+  // cross-shard visibility is established by the pool's epoch barriers.
+  const std::function<void(std::uint32_t)> shard_job =
+      [&](std::uint32_t s) {
+        const CoreId begin =
+            static_cast<CoreId>(static_cast<std::uint64_t>(s) * n / shards);
+        const CoreId end = static_cast<CoreId>(
+            (static_cast<std::uint64_t>(s) + 1) * n / shards);
+        for (CoreId i = begin; i < end; ++i) {
+          Core& core = *cores_[i];
+          if (!f.seq_gated[i]) gate_and_commit(i);
+          if (f.active[i] != 0) core.tick_fetch_phase(now);
+
+          f.gated[i] = (f.active[i] == 0 || core.idle()) ? 1 : 0;
+          // Actual power: exact base tokens of the instructions entering
+          // the pipeline this cycle plus the (small) ROB residency
+          // component. Front-end attribution makes the fetch-throttling
+          // techniques act on the power curve within a few cycles, as in
+          // the paper.
+          f.rob_occ[i] = core.rob_occupancy();
+          f.fetch_exact[i] =
+              f.active[i] != 0 ? core.fetch_tokens_exact() : 0.0;
+          // Control estimate: PTHT tokens of the instructions being
+          // fetched (residency folded into the stored values, III.B).
+          f.fetch_est[i] =
+              f.active[i] != 0 ? core.fetch_tokens_estimated() : 0.0;
+
+          if (!f.finished[i] && core.finished()) {
+            f.finished[i] = 1;
+            core.finish_cycle = now;
+            res.cores[i].finish_cycle = now;
+          }
+        }
+
+        // Shard slice of the batched power model + smoothing.
+        const std::uint32_t cnt = end - begin;
+        const CoreActivityBatch batch{
+            f.fetch_exact.data() + begin, f.fetch_est.data() + begin,
+            f.rob_occ.data() + begin,     f.active.data() + begin,
+            f.gated.data() + begin,       f.vdd.data() + begin};
+        core_cycle_power_batch(
+            cfg_.power, batch, cnt, wire_overhead, f.act_power.data() + begin,
+            est_needed ? f.est_power.data() + begin : nullptr);
+        for (CoreId i = begin; i < end; ++i) {
+          f.act_ema[i] += kEmaAlpha * (f.act_power[i] - f.act_ema[i]);
+          f.act_power[i] = f.act_ema[i];
+        }
+        if (est_needed) {
+          for (CoreId i = begin; i < end; ++i) {
+            f.est_ema[i] += kEmaAlpha * (f.est_power[i] - f.est_ema[i]);
+            f.est_power[i] = f.est_ema[i];
+          }
+        }
+        // Per-core accounting that only reads this core's smoothed power:
+        // value-identical to running it in the sequential phase 4, but it
+        // rides the parallel region for free.
+        for (CoreId i = begin; i < end; ++i) {
+          trackers_[i].attribute_cycle(f.act_power[i]);
+          f.thermal_acc[i] += f.act_power[i];
+          if (opts.record_core_traces) {
+            res.core_power_traces[i].add(static_cast<double>(now),
+                                         f.act_power[i]);
+          }
+        }
+        if ((now + 1) % kThermalStep == 0) {
+          for (CoreId i = begin; i < end; ++i) {
+            thermal_.step(
+                i, f.thermal_acc[i] / static_cast<double>(kThermalStep),
+                static_cast<double>(kThermalStep));
+            f.thermal_acc[i] = 0.0;
+          }
+        }
+      };
+
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
     // Stamp the cycle once; emit sites then need no cycle parameter.
-    if (tracer) tracer->begin_cycle(now);
+    // Per-core emits from here to stage_flush() land in per-core staging
+    // slots, reproducing the serial core-major emission order.
+    if (tracer) {
+      tracer->begin_cycle(now);
+      tracer->stage_begin();
+    }
 
     const bool prof_cycle = stats_on && now % kSelfProfilePeriod == 0;
     ProfClock::time_point pt{};
@@ -315,88 +475,39 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       pt = ProfClock::now();
     }
 
-    // --- 1. core ticks: fill the activity frame ---
-    for (CoreId i = 0; i < n; ++i) {
-      Core& core = *cores_[i];
-
-      // Baseline controllers (prior art; Section II.C).
-      bool asleep = false;
-      double freq_ratio = 1.0;
-      double vdd_ratio = 1.0;
-      bool stalled = false;
-      if (enforcers_active) {
-        const PowerEnforcer& enf = *enforcers_[i];
-        freq_ratio = enf.freq_ratio();
-        vdd_ratio = enf.vdd_ratio();
-        stalled = enf.stalled(now);
+    // --- 1. sequential pre-pass + parallel region: core tick phases,
+    //        activity frame, shard-sliced power model ---
+    if (seq_gate_all) {
+      for (CoreId i = 0; i < n; ++i) {
+        f.seq_gated[i] = 1;
+        gate_and_commit(i);
       }
-      if (thrifty_ && !f.finished[i]) {
-        asleep = thrifty_->tick(i, now, trackers_[i].state(),
-                                sync_->barrier_episodes,
-                                core.rob_occupancy() == 0);
-      }
-      if (meeting_ && !f.finished[i]) {
-        meeting_->tick(i, now, trackers_[i].state());
-        const DvfsMode& m = kDvfsModes[meeting_->mode_for(i)];
-        freq_ratio = m.freq_ratio;
-        vdd_ratio = m.vdd_ratio;
-      }
-
-      bool active = false;
-      if (!f.finished[i] && !stalled && !asleep) {
-        f.freq_acc[i] += freq_ratio;
-        if (f.freq_acc[i] >= 1.0) {
-          f.freq_acc[i] -= 1.0;
-          active = true;
-        }
-      }
-      if (active) core.tick(now);
-
-      f.active[i] = active ? 1 : 0;
-      f.gated[i] = (!active || core.idle()) ? 1 : 0;
-      f.vdd[i] = vdd_ratio;
-      // Actual power: exact base tokens of the instructions entering the
-      // pipeline this cycle plus the (small) ROB residency component.
-      // Front-end attribution makes the fetch-throttling techniques act on
-      // the power curve within a few cycles, as in the paper.
-      f.rob_occ[i] = core.rob_occupancy();
-      f.fetch_exact[i] = active ? core.fetch_tokens_exact() : 0.0;
-      // Control estimate: PTHT tokens of the instructions being fetched
-      // (residency folded into the stored values, Section III.B).
-      f.fetch_est[i] = active ? core.fetch_tokens_estimated() : 0.0;
-
-      if (!f.finished[i] && core.finished()) {
-        f.finished[i] = 1;
-        ++finished_count;
-        core.finish_cycle = now;
-        res.cores[i].finish_cycle = now;
+    } else {
+      for (CoreId i = 0; i < n; ++i) {
+        f.seq_gated[i] = cores_[i]->sync_pending() ? 1 : 0;
+        if (f.seq_gated[i] != 0) gate_and_commit(i);
       }
     }
+    pool.run(shard_job);
 
     if (prof_cycle) pt = prof_lap(pt, prof.tick_s);
 
-    // --- 1b. batched power model + smoothing ---
-    const CoreActivityBatch batch{f.fetch_exact.data(), f.fetch_est.data(),
-                                  f.rob_occ.data(),     f.active.data(),
-                                  f.gated.data(),       f.vdd.data()};
-    core_cycle_power_batch(cfg_.power, batch, n, wire_overhead,
-                           f.act_power.data(),
-                           est_needed ? f.est_power.data() : nullptr);
-    double total_est = 0.0;
-    double total_act = 0.0;
+    // --- 1b. sequential point: trace flush, memory replay, merges ---
+    if (tracer) tracer->stage_flush();
+    // Replay every parked memory access in (core, program) order — exactly
+    // the order the serial loop issues them — so cache/directory/NoC state
+    // evolves identically at any shard count.
+    for (CoreId i = 0; i < n; ++i) cores_[i]->resolve_deferred(now);
+    finished_count = 0;
     for (CoreId i = 0; i < n; ++i) {
-      f.act_ema[i] += kEmaAlpha * (f.act_power[i] - f.act_ema[i]);
-      f.act_power[i] = f.act_ema[i];
-      total_act += f.act_power[i];
+      finished_count += f.finished[i] != 0 ? 1u : 0u;
     }
-    if (est_needed) {
-      for (CoreId i = 0; i < n; ++i) {
-        f.est_ema[i] += kEmaAlpha * (f.est_power[i] - f.est_ema[i]);
-        f.est_power[i] = f.est_ema[i];
-        total_est += f.est_power[i];
-      }
-    }
-    // NoC activity energy (uncore).
+    // CMP-wide totals use the one canonical FP reduction order.
+    double total_act = deterministic_total(f.act_power.data(), n);
+    const double total_est =
+        est_needed ? deterministic_total(f.est_power.data(), n) : 0.0;
+    // NoC activity energy (uncore); the flit hops drained here are the ones
+    // this cycle's replayed accesses routed.
     total_act += static_cast<double>(mesh_->drain_flit_hops()) *
                  kNocTokensPerFlitHop;
 
@@ -467,37 +578,29 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 
     if (prof_cycle) pt = prof_lap(pt, prof.control_s);
 
-    // --- 4. accounting ---
+    // --- 4. accounting (the per-core spin/thermal attribution already ran
+    //        in the parallel region; only CMP-level totals remain) ---
     acct.record_cycle(total_act);
     if (power_hist) power_hist->add(total_act);
-    for (CoreId i = 0; i < n; ++i) {
-      trackers_[i].attribute_cycle(f.act_power[i]);
-      f.thermal_acc[i] += f.act_power[i];
-      if (opts.record_core_traces) {
-        res.core_power_traces[i].add(static_cast<double>(now),
-                                     f.act_power[i]);
-      }
-    }
     if (opts.record_cmp_trace) {
       res.cmp_power_trace.add(static_cast<double>(now), total_act);
     }
-    if ((now + 1) % kThermalStep == 0) {
-      for (CoreId i = 0; i < n; ++i) {
-        thermal_.step(i,
-                      f.thermal_acc[i] / static_cast<double>(kThermalStep),
-                      static_cast<double>(kThermalStep));
-        f.thermal_acc[i] = 0.0;
-      }
-    }
 
     // --- 5. invariant audit (off the results path; read-only) ---
-    if (auditor_) audit_cycle(now, acct, total_act, f.eff_budget.data());
+    if (auditor_) {
+      audit_cycle(now, acct, total_act, f.eff_budget.data(),
+                  f.finished.data(), finished_count);
+    }
 
     if (samples && (now + 1) % opts.stats_sample_every == 0) {
       samples->sample(now);
     }
     if (prof_cycle) prof_lap(pt, prof.account_s);
   }
+
+  // Detach the deferral queues: a direct Core::tick() on this simulator
+  // (tests, introspection) must take the classic immediate path again.
+  for (CoreId i = 0; i < n; ++i) cores_[i]->set_mem_defer(nullptr);
 
   if (auditor_) {
     // The periodic scan can miss the tail of the run; always close with a
@@ -567,7 +670,9 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 }
 
 void CmpSimulator::audit_cycle(Cycle now, const EnergyAccounting& acct,
-                               double total_act, const double* eff_budget) {
+                               double total_act, const double* eff_budget,
+                               const std::uint8_t* finished,
+                               std::uint32_t finished_count) {
   InvariantAuditor& aud = *auditor_;
   if (balancer_) {
     aud.check_balancer(now, *balancer_, eff_budget, cfg_.num_cores);
@@ -583,6 +688,7 @@ void CmpSimulator::audit_cycle(Cycle now, const EnergyAccounting& acct,
     aud.check_enforcer(now, i, *enforcers_[i], *cores_[i]);
   }
   aud.check_accounting(now, acct, total_act);
+  aud.check_shard_merge(now, finished, cfg_.num_cores, finished_count);
   if (aud.coherence_scan_due(now)) aud.check_coherence(now, *mem_);
   // Fail fast: a violated invariant poisons every later cycle, so abort at
   // the first dirty cycle with the full per-class digest.

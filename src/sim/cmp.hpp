@@ -11,6 +11,13 @@
 //   4. each core's local enforcer (DVFS / DFS / 2-level) reacts to its
 //      (possibly PTB-augmented) local budget;
 //   5. energy, AoPB, spin attribution and temperature are accounted.
+//
+// Steps 1-2 are per-core and run sharded across host worker threads when
+// SimConfig::sim_threads > 1 (sim/shard_pool.hpp); steps 3-5 plus memory-
+// access replay, trace flushing and the invariant audit run at a sequential
+// point on the main thread every cycle. Results are bit-identical at every
+// --sim-threads value; DESIGN.md ("Threading model & determinism contract")
+// documents why.
 #pragma once
 
 #include <cstdint>
@@ -118,6 +125,11 @@ struct RunOptions {
   /// all deterministic scalar stats are appended to a columnar buffer
   /// carried in the dump. Non-zero implies `stats`.
   Cycle stats_sample_every = 0;
+  /// Test-only: upper bound (ns) on a deterministic pseudo-random sleep
+  /// each shard worker takes before running its shard of a cycle
+  /// (sim/shard_pool.hpp). The TSan stress tests use it to shake epoch
+  /// timing; it perturbs wall-clock only — results stay bit-identical.
+  std::uint32_t shard_jitter_ns = 0;
 };
 
 /// Reusable per-cycle scratch for the simulator's hot loop, SoA-packed so
@@ -143,6 +155,11 @@ struct CycleFrame {
   // Batched power-model outputs (overwritten in place by the EMA).
   std::vector<double> est_power;
   std::vector<double> act_power;
+  // Sharded-loop state: which cores had gate+commit run in the sequential
+  // pre-pass, and the per-core queues of memory accesses parked by the
+  // parallel phases for replay at the sequential memory point.
+  std::vector<std::uint8_t> seq_gated;
+  std::vector<std::vector<DeferredMemReq>> mem_defer;
 
   void reset(std::uint32_t n, double local_budget);
 };
@@ -172,9 +189,12 @@ class CmpSimulator {
 
  private:
   /// One end-of-cycle audit pass (only called when auditor_ is non-null);
-  /// aborts via PTB_ASSERTF on the first violated invariant.
+  /// aborts via PTB_ASSERTF on the first violated invariant. Runs at the
+  /// cycle's sequential point, so it also cross-checks the shard merge
+  /// (finished-core recount, drained deferral queues).
   void audit_cycle(Cycle now, const EnergyAccounting& acct, double total_act,
-                   const double* eff_budget);
+                   const double* eff_budget, const std::uint8_t* finished,
+                   std::uint32_t finished_count);
   // Both are copied: a simulator must outlive any temporary it was
   // constructed from.
   SimConfig cfg_;

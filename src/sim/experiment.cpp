@@ -28,6 +28,7 @@ TechniqueSpec base_technique() {
 
 namespace {
 AuditLevel g_default_audit_level = AuditLevel::kOff;
+std::uint32_t g_default_sim_threads = 1;
 }  // namespace
 
 void set_default_audit_level(AuditLevel level) {
@@ -35,6 +36,12 @@ void set_default_audit_level(AuditLevel level) {
 }
 
 AuditLevel default_audit_level() { return g_default_audit_level; }
+
+void set_default_sim_threads(std::uint32_t threads) {
+  g_default_sim_threads = threads == 0 ? 1 : threads;
+}
+
+std::uint32_t default_sim_threads() { return g_default_sim_threads; }
 
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
                           std::uint64_t seed) {
@@ -46,6 +53,7 @@ SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
   cfg.ptb.policy = tech.policy;
   cfg.ptb.relax_threshold = tech.relax;
   cfg.audit_level = g_default_audit_level;
+  cfg.sim_threads = g_default_sim_threads;
   return cfg;
 }
 

@@ -46,7 +46,7 @@ std::vector<TechniqueSpec> naive_techniques();
 TechniqueSpec base_technique();
 
 /// Build a full simulator config for one run. Pure apart from the process-
-/// wide default audit level below.
+/// wide default audit level and sim-thread count below.
 SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
                           std::uint64_t seed = 1);
 
@@ -57,6 +57,15 @@ SimConfig make_sim_config(std::uint32_t cores, const TechniqueSpec& tech,
 /// thread-safe: set it before submitting work to a RunPool.
 void set_default_audit_level(AuditLevel level);
 AuditLevel default_audit_level();
+
+/// Process-wide intra-run thread count stamped into every config
+/// make_sim_config builds (default 1 = serial). The bench binaries set it
+/// from --sim-threads; results are byte-identical for every value (see
+/// sim/shard_pool.hpp), so — like the audit level — this is a wall-clock
+/// knob, not an experiment parameter. Not thread-safe: set it before
+/// submitting work to a RunPool. 0 is normalized to 1.
+void set_default_sim_threads(std::uint32_t threads);
+std::uint32_t default_sim_threads();
 
 /// Figure-style normalization vs the no-control base case.
 struct Normalized {

@@ -1,0 +1,114 @@
+#include "sim/shard_pool.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ptb {
+
+namespace {
+
+// Spin this many times on the barrier before starting to yield. The
+// parallel region of one cycle is a few microseconds, so a short spin
+// usually catches the next epoch without a context switch; past that the
+// host is oversubscribed (or the run ended) and yielding is the right call.
+constexpr int kSpinRounds = 4096;
+
+inline void relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+void pin_to_cpu(std::thread& t, std::uint32_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  // Best effort: affinity can be restricted by cgroups/containers, and a
+  // failed pin only costs locality, never correctness.
+  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+ShardPool::ShardPool(std::uint32_t threads, std::uint32_t jitter_ns)
+    : num_threads_(threads < 1 ? 1 : threads), jitter_ns_(jitter_ns) {
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  workers_.reserve(num_threads_ - 1);
+  for (std::uint32_t s = 1; s < num_threads_; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+    // Pin only when the host can give every shard (incl. shard 0 on the
+    // caller) its own CPU; pinning an oversubscribed host serializes it.
+    if (hw >= num_threads_) pin_to_cpu(workers_.back(), s);
+  }
+}
+
+ShardPool::~ShardPool() {
+  if (!workers_.empty()) {
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void ShardPool::worker_loop(std::uint32_t shard) {
+  // Deterministically seeded per-worker LCG for the test-only jitter
+  // (MINSTD constants). Timing-only: no simulation state ever sees it.
+  std::uint64_t jitter_state = 0x9e3779b9u + shard;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen_epoch) {
+      if (++spins < kSpinRounds) {
+        relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    ++seen_epoch;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (jitter_ns_ > 0) {
+      jitter_state = (jitter_state * 48271u) % 0x7fffffffu;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(jitter_state % jitter_ns_));
+    }
+    (*job_)(shard);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void ShardPool::run(const std::function<void(std::uint32_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  PTB_ASSERT(pending_.load(std::memory_order_relaxed) == 0,
+             "shard pool re-entered while an epoch is in flight");
+  job_ = &fn;
+  pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  fn(0);
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins < kSpinRounds) {
+      relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  job_ = nullptr;
+}
+
+}  // namespace ptb

@@ -1,0 +1,74 @@
+// Worker team for intra-run parallelism: one CmpSimulator shards its
+// modeled cores across these host threads, which advance in lockstep
+// epochs (one epoch = the parallel region of one simulated cycle).
+//
+// This is the second, orthogonal parallelism plane next to the RunPool
+// (sim/run_pool.hpp): the RunPool parallelizes *across* independent runs,
+// the ShardPool parallelizes *within* one run. See DESIGN.md "Threading
+// model & determinism contract" for the phase diagram and the byte-identity
+// argument; the short version is that workers only ever touch shard-private
+// state, so thread count and interleaving can change the wall clock but
+// never a result byte.
+//
+// Mechanics: the pool owns `threads - 1` persistent workers plus the
+// calling thread, which participates as shard 0 (so `threads == 1` costs
+// nothing and spawns nothing). run(fn) publishes fn, releases one epoch of
+// a sense-reversing-style barrier (a monotonically increasing epoch
+// counter), runs shard 0 inline, and waits for the workers' completion
+// count. Workers spin briefly and then yield while idle — the epoch is a
+// few microseconds of simulated work, but the pool must also behave on
+// hosts with fewer CPUs than shards (where pure spinning would invert the
+// speedup). Workers are pinned round-robin to host CPUs (best effort,
+// Linux only, and only when the host has at least as many CPUs as
+// threads); pinning keeps a shard's working set on one cache hierarchy.
+//
+// The optional per-epoch jitter makes workers sleep a small pseudo-random
+// time before each epoch's work. It exists purely for the TSan stress test
+// (tests/sim): shaking the interleaving around the barrier proves the
+// determinism contract is carried by synchronization, not by lucky timing.
+// Jitter never feeds the simulation — results stay byte-identical with it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ptb {
+
+class ShardPool {
+ public:
+  /// Spawns `threads - 1` workers (none for threads <= 1).
+  /// `jitter_ns > 0` adds a pseudo-random pre-epoch sleep of up to that
+  /// many nanoseconds per worker (test-only; see header comment).
+  explicit ShardPool(std::uint32_t threads, std::uint32_t jitter_ns = 0);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  std::uint32_t threads() const { return num_threads_; }
+  std::uint32_t jitter_ns() const { return jitter_ns_; }
+
+  /// Runs fn(shard) once for every shard in [0, threads()), shard 0 on the
+  /// calling thread, and returns after all shards completed (a full
+  /// barrier: every write made by fn happens-before the return).
+  void run(const std::function<void(std::uint32_t)>& fn);
+
+ private:
+  void worker_loop(std::uint32_t shard);
+
+  const std::uint32_t num_threads_;
+  const std::uint32_t jitter_ns_;
+  // Epoch barrier: the main thread bumps epoch_ (release) to start a round;
+  // workers observe the new value (acquire), run, and count themselves out
+  // on pending_ (release), which the main thread awaits (acquire).
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ptb

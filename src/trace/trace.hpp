@@ -12,10 +12,14 @@
 //   - read-only: tracing observes the run and never changes a result byte
 //     (asserted in tests/trace); TraceConfig is therefore excluded from the
 //     config fingerprint, exactly like SimConfig::audit_level;
-//   - deterministic: the simulator is a single-threaded cycle loop, so the
-//     emission order — and hence the serialized trace — is a pure function
-//     of (profile, config, seed) and byte-identical at any --jobs value
-//     (asserted by the hammer test, like the RunPool one).
+//   - deterministic: emission order — and hence the serialized trace — is a
+//     pure function of (profile, config, seed), byte-identical at any
+//     --jobs value and at any --sim-threads value (asserted by the hammer
+//     tests). The sharded cycle loop (sim/shard_pool.hpp) keeps that true
+//     with per-core staging buffers: emits from the parallel per-core
+//     phases land in the emitting core's slot and are flushed into the
+//     rings in core order at the cycle's sequential point, reproducing the
+//     serial core-major emission order exactly.
 //
 // The recorded EventTrace is carried out of the run by RunResult::trace,
 // serialized to a compact binary file, and consumed by the exporters
@@ -178,9 +182,13 @@ class TraceRing {
 /// The live recorder one CmpSimulator run drives. The CMP cycle loop calls
 /// begin_cycle(now) once per cycle; instrumented collaborators (balancer,
 /// selector, enforcers, spin trackers, sync state) hold a raw pointer and
-/// emit against the current cycle. Single-threaded by construction: one
-/// tracer belongs to one simulator, and a simulator never shares state
-/// across host threads (see sim/run_pool.hpp).
+/// emit against the current cycle. One tracer belongs to one simulator;
+/// under a sharded cycle loop (--sim-threads > 1, sim/shard_pool.hpp) the
+/// per-core phases emit concurrently, which the staging API below makes
+/// safe and order-deterministic: between stage_begin() and stage_flush(),
+/// an emit for core c appends to a c-private slot (each core is touched by
+/// exactly one shard), and stage_flush() — called at the cycle's sequential
+/// point — replays the slots into the rings in core order.
 class EventTracer {
  public:
   /// `category_mask` selects what is recorded (bits of TraceCategory);
@@ -195,17 +203,39 @@ class EventTracer {
   }
 
   /// Records one event at the current cycle (no-op for masked categories).
+  /// While staging is active (stage_begin .. stage_flush) an event whose
+  /// `core` is a valid staged core lands in that core's slot instead of the
+  /// ring; kNoCore events always go to the ring directly (they are only
+  /// emitted from sequential phases).
   void emit(TraceEventType t, std::uint32_t core, std::uint64_t arg,
             double value);
+
+  /// One-time setup for the sharded cycle loop: allocates one staging slot
+  /// per core. Without this call the tracer behaves exactly as before.
+  void enable_staging(std::uint32_t num_cores);
+
+  /// Starts routing per-core emits into the staging slots. Must be called
+  /// before the parallel region of a cycle starts (the region's barrier
+  /// publishes the flag to the workers).
+  void stage_begin() { staging_active_ = !stage_.empty(); }
+
+  /// Replays every staged event into the rings in core order (preserving
+  /// per-core emission order) and turns direct emission back on. Called at
+  /// the cycle's sequential point, after the region's end barrier.
+  void stage_flush();
 
   /// Detaches the recorded trace, stamping the run metadata.
   EventTrace finish(std::uint32_t num_cores, Cycle end_cycle,
                     std::uint32_t wire_latency);
 
  private:
+  void push(const TraceEvent& e);
+
   std::uint32_t mask_;
   Cycle now_ = 0;
+  bool staging_active_ = false;
   std::vector<TraceRing> rings_;  // one per category
+  std::vector<std::vector<TraceEvent>> stage_;  // one slot per core
 };
 
 }  // namespace ptb

@@ -1,0 +1,270 @@
+// Byte-identity hammers for the intra-run sharded cycle loop
+// (SimConfig::sim_threads, sim/shard_pool.hpp): the determinism contract
+// (DESIGN.md "Threading model & determinism contract") promises that every
+// result byte — RunResult metrics, serialized event traces, stats dumps —
+// is a pure function of (profile, config, seed) and independent of how many
+// host threads the cycle loop is sharded across. These tests pin that
+// promise across the technique space (the controllers differ in how much
+// of the cycle must run sequentially) and stress the epoch barriers with
+// randomized worker jitter, which is what the TSan preset chews on.
+#include "sim/shard_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cmp.hpp"
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "trace/trace.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+// Lock- and barrier-heavy so the sequential pre-pass (sync completions,
+// thrifty/meeting gating) is genuinely exercised, not just the fast path.
+WorkloadProfile sync_heavy_profile() {
+  WorkloadProfile p;
+  p.name = "shards";
+  p.iterations = 3;
+  p.ops_per_iteration = 4000;
+  p.imbalance = 0.25;
+  p.num_locks = 2;
+  p.cs_per_1k_ops = 4.0;
+  p.cs_len_ops = 12;
+  p.hot_lock_frac = 0.5;
+  return p;
+}
+
+// One technique per controller family: each family moves a different set of
+// per-cycle work between the parallel region and the sequential point.
+std::vector<TechniqueSpec> sweep_techniques() {
+  return {
+      {"base", TechniqueKind::kNone, false, PtbPolicy::kToAll, 0.0},
+      {"dvfs", TechniqueKind::kDvfs, false, PtbPolicy::kToAll, 0.0},
+      {"ptb+2l(dyn)", TechniqueKind::kTwoLevel, true, PtbPolicy::kDynamic,
+       0.0},
+      {"thrifty", TechniqueKind::kThriftyBarrier, false, PtbPolicy::kToAll,
+       0.0},
+      {"meeting", TechniqueKind::kMeetingPoints, false, PtbPolicy::kToAll,
+       0.0},
+  };
+}
+
+RunResult run_sharded(const WorkloadProfile& p, SimConfig cfg,
+                      std::uint32_t threads, const RunOptions& opts = {}) {
+  cfg.sim_threads = threads;
+  return CmpSimulator(cfg, p).run(opts);
+}
+
+// Exact (bitwise, EXPECT_EQ on doubles) comparison of every deterministic
+// RunResult field, including the per-core breakdowns the figures consume.
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.num_cores, b.num_cores);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.hit_max_cycles, b.hit_max_cycles);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.aopb, b.aopb);
+  EXPECT_EQ(a.budget, b.budget);
+  EXPECT_EQ(a.peak_power, b.peak_power);
+  EXPECT_EQ(a.power.count(), b.power.count());
+  EXPECT_EQ(a.power.mean(), b.power.mean());
+  EXPECT_EQ(a.power.max(), b.power.max());
+  EXPECT_EQ(a.power.variance(), b.power.variance());
+  EXPECT_EQ(a.spin_energy, b.spin_energy);
+  EXPECT_EQ(a.total_committed, b.total_committed);
+  EXPECT_EQ(a.tokens_donated, b.tokens_donated);
+  EXPECT_EQ(a.tokens_granted, b.tokens_granted);
+  EXPECT_EQ(a.tokens_evaporated, b.tokens_evaporated);
+  EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+  EXPECT_EQ(a.to_one_cycles, b.to_one_cycles);
+  EXPECT_EQ(a.to_all_cycles, b.to_all_cycles);
+  EXPECT_EQ(a.spin_gated_cycles, b.spin_gated_cycles);
+  EXPECT_EQ(a.barrier_sleep_cycles, b.barrier_sleep_cycles);
+  EXPECT_EQ(a.meeting_point_episodes, b.meeting_point_episodes);
+  EXPECT_EQ(a.machine_fingerprint, b.machine_fingerprint);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    SCOPED_TRACE(i);
+    const CoreResult& x = a.cores[i];
+    const CoreResult& y = b.cores[i];
+    EXPECT_EQ(x.finish_cycle, y.finish_cycle);
+    EXPECT_EQ(x.committed, y.committed);
+    EXPECT_EQ(x.flushes, y.flushes);
+    for (std::uint32_t s = 0; s < kNumExecStates; ++s) {
+      EXPECT_EQ(x.state_cycles[s], y.state_cycles[s]);
+    }
+    EXPECT_EQ(x.spin_energy, y.spin_energy);
+    EXPECT_EQ(x.energy, y.energy);
+    EXPECT_EQ(x.temp_mean, y.temp_mean);
+    EXPECT_EQ(x.temp_std, y.temp_std);
+  }
+}
+
+// --- the pool itself --------------------------------------------------------
+
+TEST(ShardPool, SerialFastPathRunsInline) {
+  ShardPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  int calls = 0;
+  pool.run([&](std::uint32_t s) {
+    EXPECT_EQ(s, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ShardPool, EveryShardRunsOncePerEpoch) {
+  constexpr std::uint32_t kThreads = 4;
+  ShardPool pool(kThreads);
+  std::vector<std::atomic<std::uint32_t>> hits(kThreads);
+  for (auto& h : hits) h.store(0);
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    pool.run([&](std::uint32_t s) { ++hits[s]; });
+  }
+  for (std::uint32_t s = 0; s < kThreads; ++s) {
+    EXPECT_EQ(hits[s].load(), 100u) << "shard " << s;
+  }
+}
+
+TEST(ShardPool, EpochBarrierPublishesShardWrites) {
+  // Main must observe every worker's write after run() returns, and
+  // workers must observe main's writes from before run() — the visibility
+  // contract the cycle loop leans on for the CycleFrame.
+  ShardPool pool(4);
+  std::vector<std::uint64_t> slot(4, 0);
+  std::uint64_t input = 0;
+  for (std::uint64_t round = 1; round <= 200; ++round) {
+    input = round * 3;
+    pool.run([&](std::uint32_t s) { slot[s] = input + s; });
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      ASSERT_EQ(slot[s], round * 3 + s);
+    }
+  }
+}
+
+// --- RunResult identity -----------------------------------------------------
+
+// The headline guarantee: --sim-threads 1 and --sim-threads 4 produce
+// bit-identical results for every technique family.
+TEST(SimThreads, OneVsFourBitIdenticalAcrossTechniques) {
+  const WorkloadProfile p = sync_heavy_profile();
+  for (const TechniqueSpec& t : sweep_techniques()) {
+    SCOPED_TRACE(t.label);
+    const SimConfig cfg = make_sim_config(8, t);
+    const RunResult serial = run_sharded(p, cfg, 1);
+    const RunResult sharded = run_sharded(p, cfg, 4);
+    expect_bit_identical(serial, sharded);
+  }
+}
+
+// Ragged shard boundaries (cores not divisible by threads) and a thread
+// count above the core count (clamped) must not change a byte either.
+TEST(SimThreads, RaggedAndOversizedShardCounts) {
+  const WorkloadProfile p = sync_heavy_profile();
+  const SimConfig cfg =
+      make_sim_config(4, sweep_techniques()[2]);  // PTB+2Level(dyn)
+  const RunResult one = run_sharded(p, cfg, 1);
+  for (const std::uint32_t threads : {2u, 3u, 7u}) {
+    SCOPED_TRACE(threads);
+    expect_bit_identical(one, run_sharded(p, cfg, threads));
+  }
+}
+
+// The clustered balancer variant aggregates per-cluster at the sequential
+// point; shard boundaries deliberately straddle cluster boundaries here.
+TEST(SimThreads, ClusteredBalancerBitIdentical) {
+  const WorkloadProfile p = sync_heavy_profile();
+  SimConfig cfg = make_sim_config(8, sweep_techniques()[2]);
+  cfg.ptb.cluster_size = 4;
+  expect_bit_identical(run_sharded(p, cfg, 1), run_sharded(p, cfg, 3));
+}
+
+// sim_threads is a wall-clock knob, not an experiment parameter: it must
+// not contribute to either fingerprint (a sharded run normalizes against a
+// serial base run).
+TEST(SimThreads, ExcludedFromFingerprints) {
+  SimConfig a = make_sim_config(8, sweep_techniques()[2]);
+  SimConfig b = a;
+  a.sim_threads = 1;
+  b.sim_threads = 4;
+  EXPECT_EQ(machine_fingerprint(a), machine_fingerprint(b));
+  EXPECT_EQ(config_fingerprint(a), config_fingerprint(b));
+}
+
+// Full-level auditing at 4 shards: the per-cycle audit point also verifies
+// the shard merges (finished recount, drained deferral queues), so a clean
+// audited run is direct evidence the merge invariants held every cycle.
+TEST(SimThreads, AuditedShardedRunIsClean) {
+  const WorkloadProfile p = sync_heavy_profile();
+  SimConfig cfg = make_sim_config(8, sweep_techniques()[2]);
+  cfg.audit_level = AuditLevel::kFull;
+  const RunResult r = run_sharded(p, cfg, 4);
+  EXPECT_FALSE(r.hit_max_cycles);
+#if PTB_AUDIT_ENABLED
+  EXPECT_GT(r.audit_checks, 0u);
+#endif
+}
+
+// --- trace / stats identity -------------------------------------------------
+
+// The serialized event trace — emission order included — must be
+// byte-identical across shard counts (per-core staging, flushed in core
+// order at the sequential point).
+TEST(SimThreads, TraceBytesIdenticalAcrossShardCounts) {
+  const WorkloadProfile p = sync_heavy_profile();
+  const SimConfig cfg = make_sim_config(8, sweep_techniques()[2]);
+  RunOptions opts;
+  opts.trace_categories = kTraceAll;
+  const RunResult one = run_sharded(p, cfg, 1, opts);
+  const RunResult four = run_sharded(p, cfg, 4, opts);
+  ASSERT_NE(one.trace, nullptr);
+  ASSERT_NE(four.trace, nullptr);
+  EXPECT_EQ(one.trace->serialize(), four.trace->serialize());
+}
+
+// The deterministic stats dump (counters, distributions, sampled series)
+// must match byte for byte as well.
+TEST(SimThreads, StatsDumpBytesIdenticalAcrossShardCounts) {
+  const WorkloadProfile p = sync_heavy_profile();
+  const SimConfig cfg = make_sim_config(8, sweep_techniques()[2]);
+  RunOptions opts;
+  opts.stats = true;
+  opts.stats_sample_every = 512;
+  const RunResult one = run_sharded(p, cfg, 1, opts);
+  const RunResult four = run_sharded(p, cfg, 4, opts);
+  ASSERT_NE(one.stats, nullptr);
+  ASSERT_NE(four.stats, nullptr);
+  EXPECT_EQ(stats_json(one, /*include_volatile=*/false),
+            stats_json(four, /*include_volatile=*/false));
+}
+
+// --- scheduling stress (the TSan workhorse) ---------------------------------
+
+// Randomized per-epoch worker jitter shuffles which shard reaches each
+// phase first without changing any simulated value; repeated runs must
+// still match the unjittered serial run bit for bit. Under the tsan preset
+// this doubles as a data-race hunt over the whole phased loop.
+TEST(SimThreads, JitteredWorkersStayBitIdentical) {
+  const WorkloadProfile p = sync_heavy_profile();
+  const SimConfig cfg = make_sim_config(8, sweep_techniques()[2]);
+  RunOptions opts;
+  opts.trace_categories = kTraceAll;
+  const RunResult base = run_sharded(p, cfg, 1, opts);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(round);
+    RunOptions jittered = opts;
+    jittered.shard_jitter_ns = 2000;
+    const RunResult r = run_sharded(p, cfg, 4, jittered);
+    expect_bit_identical(base, r);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_EQ(base.trace->serialize(), r.trace->serialize());
+  }
+}
+
+}  // namespace
+}  // namespace ptb

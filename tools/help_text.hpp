@@ -1,0 +1,63 @@
+// Canonical --help text for the ptb-* tools, shared between the tools and
+// the help-output golden test (tests/tools/help_text_test.cpp). Keeping the
+// text in one header means the binaries cannot drift from what the golden
+// pins: edit here, and the test forces the edit to be deliberate.
+//
+// Formatting contract (the golden enforces it): lines fit in 80 columns,
+// spaces only, every subcommand the tool dispatches is listed, and the
+// validation behavior a user would otherwise discover by surprise — the
+// trace format-version check and the stats config-fingerprint check — is
+// spelled out.
+#pragma once
+
+namespace ptb::tools {
+
+// %s is the program name (argv[0]); printed via fprintf.
+inline constexpr char kTraceUsage[] =
+    "usage: %s COMMAND TRACE [ARGS]\n"
+    "  summary TRACE            event counts, token totals, policy "
+    "residency\n"
+    "  flows TRACE              per-core-pair token-flow matrix\n"
+    "  dvfs TRACE               DVFS mode residency and stall windows\n"
+    "  spin TRACE [--core N]    spin-phase timeline (lock vs barrier)\n"
+    "  deficit TRACE            budget-deficit histogram\n"
+    "  export-json TRACE OUT    Chrome trace-event / Perfetto JSON\n"
+    "  export-csv TRACE OUT     flat CSV (cycle,category,event,core,arg,"
+    "value)\n"
+    "TRACE is a file written by a bench binary's --trace flag; OUT may be "
+    "'-'\n"
+    "for stdout. Traces carry a format version; a trace written by a "
+    "different\n"
+    "(older or newer) build is rejected as unparseable rather than "
+    "misread —\n"
+    "re-record it with this build's bench binaries.\n"
+    "exit status: 0 ok, 1 unreadable/corrupt/version-mismatched trace, "
+    "2 usage.\n";
+
+// %s is the program name (argv[0]); printed via fprintf.
+inline constexpr char kStatsUsage[] =
+    "usage: %s COMMAND ARGS\n"
+    "  dump FILE [--json] [--no-volatile]   validate + print one dump\n"
+    "  diff A B [--tol FRAC] [--all]        compare two dumps (exit 1 on "
+    "any\n"
+    "                                       difference beyond FRAC, default "
+    "0)\n"
+    "  regress NEW GOLDEN [--tol FRAC]      CI gate: NEW vs golden, "
+    "default\n"
+    "                                       --tol 0.02\n"
+    "FILE/A/B/NEW/GOLDEN are JSON dumps from a bench binary's --stats "
+    "flag.\n"
+    "Every dump embeds the config fingerprint of the run that produced it:\n"
+    "`diff` prints a note when the fingerprints differ (you are comparing "
+    "two\n"
+    "different configurations) and diffs anyway; `regress` treats a "
+    "fingerprint\n"
+    "mismatch as a failure — regenerate the golden when a configuration "
+    "change\n"
+    "is intentional. Stats present only in NEW warn (new instrumentation "
+    "is\n"
+    "not a regression); stats missing from NEW fail.\n"
+    "exit status: 0 ok, 1 difference/regression or unreadable input, 2 "
+    "usage.\n";
+
+}  // namespace ptb::tools

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "help_text.hpp"
 #include "stats/dump.hpp"
 #include "stats/stats.hpp"
 #include "tool_util.hpp"
@@ -30,17 +31,7 @@
 namespace {
 
 int usage(const char* argv0, int rc) {
-  std::fprintf(
-      rc == 0 ? stdout : stderr,
-      "usage: %s COMMAND ARGS\n"
-      "  dump FILE [--json] [--no-volatile]   validate + print one dump\n"
-      "  diff A B [--tol FRAC] [--all]        compare two dumps (exit 1 on "
-      "any difference)\n"
-      "  regress NEW GOLDEN [--tol FRAC]      CI gate: NEW vs golden, "
-      "default --tol 0.02\n"
-      "FILE/A/B/NEW/GOLDEN are JSON dumps from a bench binary's --stats "
-      "flag.\n",
-      argv0);
+  std::fprintf(rc == 0 ? stdout : stderr, ptb::tools::kStatsUsage, argv0);
   return rc;
 }
 

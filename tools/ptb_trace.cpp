@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "help_text.hpp"
 #include "tool_util.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
@@ -23,21 +24,7 @@
 namespace {
 
 int usage(const char* argv0, int rc) {
-  std::fprintf(
-      rc == 0 ? stdout : stderr,
-      "usage: %s COMMAND TRACE [ARGS]\n"
-      "  summary TRACE            event counts, token totals, policy "
-      "residency\n"
-      "  flows TRACE              per-core-pair token-flow matrix\n"
-      "  dvfs TRACE               DVFS mode residency and stall windows\n"
-      "  spin TRACE [--core N]    spin-phase timeline (lock vs barrier)\n"
-      "  deficit TRACE            budget-deficit histogram\n"
-      "  export-json TRACE OUT    Chrome trace-event / Perfetto JSON\n"
-      "  export-csv TRACE OUT     flat CSV (cycle,category,event,core,arg,"
-      "value)\n"
-      "TRACE is a file written by a bench binary's --trace flag; OUT may be "
-      "'-' for stdout.\n",
-      argv0);
+  std::fprintf(rc == 0 ? stdout : stderr, ptb::tools::kTraceUsage, argv0);
   return rc;
 }
 
@@ -54,7 +41,10 @@ int main(int argc, char** argv) {
 
   ptb::EventTrace trace;
   if (!ptb::EventTrace::load(path, trace)) {
-    std::fprintf(stderr, "%s: cannot parse '%s' as a PTB event trace\n",
+    std::fprintf(stderr,
+                 "%s: cannot parse '%s' as a PTB event trace (corrupt, or "
+                 "written by a build with a different trace format "
+                 "version)\n",
                  argv[0], path.c_str());
     return 1;
   }
@@ -73,9 +63,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "spin") {
     std::uint32_t only_core = ptb::kNoCore;
-    if (argc >= 5 && std::strcmp(argv[3], "--core") == 0) {
-      only_core = static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr,
-                                                          10));
+    if (argc == 5 && std::strcmp(argv[3], "--core") == 0) {
+      if (!ptb::tools::parse_u32_arg(argv[4], only_core)) {
+        std::fprintf(stderr, "%s: bad --core value '%s'\n", argv[0],
+                     argv[4]);
+        return 2;
+      }
     } else if (argc > 3) {
       return usage(argv[0], 2);
     }
