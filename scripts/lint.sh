@@ -9,16 +9,24 @@
 #      EXPERIMENTS.md;
 #   3. clang-tidy with the repo's .clang-tidy profile, when clang-tidy and
 #      a compile database are available (skipped with a warning otherwise —
-#      the GCC-only container still gets the determinism checks).
+#      the GCC-only container still gets the determinism checks);
+#   4. ptb-lint (tools/ptb_lint.cpp), the token-level contract checkers the
+#      greps above cannot express (transitive phase purity, fingerprint
+#      coverage, cycle-loop FP reductions); runs from the build tree and
+#      is skipped with a warning when the binary has not been built.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir  build tree with compile_commands.json (default: build)
+# Environment:
+#   PTB_LINT_ROOT  tree to lint instead of this repo (used by the lint.sh
+#                  self-tests to run the rules against seeded violations)
+#   PTB_LINT_BIN   ptb-lint binary (default: <build-dir>/tools/ptb-lint)
 # Exit code: 0 clean, 1 findings, 2 usage error.
 set -uo pipefail
 
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+repo_root="${PTB_LINT_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}"
 build_dir="${1:-$repo_root/build}"
-cd "$repo_root"
+cd "$repo_root" || exit 2
 
 # Sources whose output feeds results/ (simulation + reporting); tests and
 # tools may use whatever they like.
@@ -41,10 +49,21 @@ out=$(grep -rn --include='*.cpp' --include='*.hpp' \
   -e '\bsrand(' -e '\brand()' \
   -e '\btime(nullptr)' -e '\btime(NULL)' -e '\btime(0)' \
   -e 'std::chrono::system_clock' \
+  -e 'high_resolution_clock' \
   "${result_paths[@]}" || true)
 if [[ -n "$out" ]]; then
   finding "non-deterministic source in a result path (entropy/wall clock):" \
     "$out"
+fi
+
+# Environment reads are a hidden config channel: a run's result must be a
+# pure function of (config, seed), never of the invoking shell.
+out=$(grep -rn --include='*.cpp' --include='*.hpp' \
+  -e '\bgetenv *(' -e 'std::getenv' \
+  "${result_paths[@]}" || true)
+if [[ -n "$out" ]]; then
+  finding "environment read in a result path (results must be a pure \
+function of config and seed; plumb it through SimConfig/CLI instead):" "$out"
 fi
 
 # steady_clock is fine for profiling prints but must never steer a run;
@@ -108,6 +127,28 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   note "warning: clang-tidy not installed; skipping static analysis" \
        "(determinism checks still ran)"
+fi
+
+# --- 4. ptb-lint: the token-level contract checkers --------------------------
+
+# The checks grep cannot express: transitive phase purity against the
+# DESIGN.md phase diagram, SimConfig fingerprint coverage, cycle-loop FP
+# reductions, token-exact wall-clock/unordered-iteration findings. The
+# binary is dependency-free (tools/lint/), so "not built yet" is the only
+# skip reason — CI builds it and treats findings as errors.
+ptb_lint="${PTB_LINT_BIN:-$build_dir/tools/ptb-lint}"
+if [[ -x "$ptb_lint" ]]; then
+  note "running ptb-lint ..."
+  out=$("$ptb_lint" --root "$repo_root" 2>&1)
+  status=$?
+  if [[ $status -eq 1 ]]; then
+    finding "ptb-lint contract findings:" "$out"
+  elif [[ $status -ne 0 ]]; then
+    finding "ptb-lint failed to run (exit $status):" "$out"
+  fi
+else
+  note "warning: $ptb_lint not built; skipping ptb-lint contract checks" \
+       "(build the ptb-lint target first)"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

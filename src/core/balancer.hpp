@@ -20,6 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -117,7 +118,8 @@ class PtbLoadBalancer {
 
   /// Registers the token counters, event counters and wire parameters under
   /// `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   std::size_t slot(Cycle t) const { return t % ring_; }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "power/power_model.hpp"
 
 namespace ptb {
@@ -31,7 +32,8 @@ class BudgetManager {
   double local_budget() const { return global_ / num_cores_; }
 
   /// Registers the budget/peak gauges under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   double peak_core_;

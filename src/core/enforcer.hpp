@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "core/two_level.hpp"
 
@@ -35,7 +36,8 @@ class PowerEnforcer {
 
   /// Registers the bound controller's stats under `prefix` (src/stats);
   /// no-op for techniques that never enforce (see active()).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
   /// Attach/detach the event tracer (src/trace); forwards to the 2-level
   /// controller (DVFS transitions + microarch throttle-level changes).

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "dvfs/dvfs.hpp"
 
@@ -56,7 +57,8 @@ class TwoLevelController {
 
   /// Registers level residency, the current throttle level and the DVFS
   /// controller's stats under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   const SimConfig& cfg_;

@@ -43,6 +43,11 @@ bool Core::deps_ready(std::uint64_t seq, const MicroOp& op) const {
 
 void Core::deliver_value(const MicroOp& op) {
   std::uint64_t value = 0;
+  // Guarded: SyncState is shared, but a core with a sync op in flight is
+  // always gated in the sequential pre-pass (sync_pending() check in
+  // CmpSimulator::run), so the sync arms below never execute on a shard
+  // worker; the kNone arm is the only parallel-phase path through here.
+  // ptb-lint: allow-begin(phase-purity)
   switch (op.sync) {
     case SyncRole::kLockTestLoad:
       value = sync_.read_lock(op.sync_id);
@@ -62,6 +67,7 @@ void Core::deliver_value(const MicroOp& op) {
     case SyncRole::kNone:
       break;  // plain blocking load: value is irrelevant to the generator
   }
+  // ptb-lint: allow-end
   program_.on_value(op, value);
 }
 
@@ -149,7 +155,11 @@ void Core::do_issue(Cycle now) {
         ++issued;
         continue;
       }
-      // +1 cycle of address generation before the cache access.
+      // +1 cycle of address generation before the cache access. Guarded:
+      // in the sharded cycle loop mem_defer_ is always set (the branch
+      // above parks the access), so this immediate path only runs from the
+      // serial Core::tick API — never on a shard worker.
+      // ptb-lint: allow(phase-purity)
       const MemAccessResult r = mem_.access(id_, type, e.op.addr, now + 1);
       complete_at = plain_store ? now + 1 : r.done;
     } else {
@@ -214,9 +224,11 @@ void Core::do_fetch(Cycle now) {
     if (!icache_checked) {
       icache_checked = true;
       if (mem_defer_ != nullptr) {
-        // Parallel phase: probe only this core's own L1I (shard-safe); a
-        // miss is parked and timed at the sequential memory point, which
-        // also sets fetch_blocked_until_.
+        // Parallel phase: probe only this core's own L1I (shard-safe —
+        // no other core writes it mid-phase); a miss is parked and timed
+        // at the sequential memory point, which also sets
+        // fetch_blocked_until_.
+        // ptb-lint: allow(phase-purity)
         if (!mem_.probe_ifetch(id_, op.pc)) {
           pending_op_ = op;
           has_pending_op_ = true;
@@ -225,8 +237,12 @@ void Core::do_fetch(Cycle now) {
         }
         ++deferred_ifetch_hits_;
       } else {
+        // Guarded like the do_issue immediate path: mem_defer_ is null
+        // only under the serial Core::tick API.
+        // ptb-lint: allow-begin(phase-purity)
         const MemAccessResult r =
             mem_.access(id_, MemAccessType::kIFetch, op.pc, now);
+        // ptb-lint: allow-end
         if (!r.l1_hit) {
           pending_op_ = op;
           has_pending_op_ = true;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "cpu/branch_predictor.hpp"
 #include "cpu/functional_units.hpp"
@@ -81,7 +82,7 @@ class Core {
   /// the memory system in queue order, assigning completion times and
   /// front-end stall windows, and folds the parallel phase's L1I hit count
   /// into the aggregate fetch counter. Clears the queue.
-  void resolve_deferred(Cycle now);
+  void resolve_deferred(Cycle now) PTB_REQUIRES(g_sequential_point);
 
   /// True while a generation-blocking sync micro-op (lock/barrier) is in
   /// flight: its completion will touch shared SyncState, so this core's
@@ -151,7 +152,8 @@ class Core {
 
   /// Registers the pipeline counters, occupancy gauges and the PTHT's
   /// counters under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   struct RobEntry {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -67,7 +68,8 @@ class DvfsController {
 
   /// Registers the transition counter and current-mode gauge under `prefix`
   /// (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   double vdd_of(std::uint32_t m) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -80,7 +81,8 @@ class Cache {
   std::uint64_t evictions = 0;
 
   /// Registers hit/miss/eviction counters under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   std::uint32_t set_of(Addr line) const {

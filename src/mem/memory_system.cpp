@@ -128,6 +128,9 @@ void MemorySystem::check_swmr() const {
   };
   for (const auto& c : l1i_) scan(c);
   for (const auto& c : l1d_) scan(c);
+  // Audit-only scan: iteration order decides nothing a run reports — every
+  // order checks the same per-line invariants, and a violation aborts.
+  // ptb-lint: allow(unordered-iter)
   for (const auto& [line, counts] : seen) {
     const auto& [me, valid] = counts;
     PTB_ASSERT(me <= 1, "two cores hold the same line in M/E");

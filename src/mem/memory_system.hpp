@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 #include "mem/directory.hpp"
@@ -85,7 +86,8 @@ class MemorySystem {
 
   /// Registers aggregate access counters under `prefix` plus every L1's
   /// hit/miss/eviction counters under `prefix`.l1i.N / .l1d.N (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   Cycle mshr_admit(CoreId c, Cycle start);

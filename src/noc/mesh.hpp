@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -45,7 +46,8 @@ class Mesh {
   std::uint64_t drain_flit_hops();
 
   /// Registers message/flit-hop counters under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   std::uint32_t flits_for(std::uint32_t bytes) const;

@@ -2,9 +2,9 @@
 
 #include <cctype>
 #include <cmath>
-#include <mutex>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 #include "stats/stats.hpp"
 
 namespace ptb {
@@ -55,10 +55,16 @@ std::shared_ptr<const BaseEnergyModel> BaseEnergyModel::shared(
     std::uint64_t seed;
     std::shared_ptr<const BaseEnergyModel> model;
   };
-  static std::mutex mu;
-  static std::vector<CacheEntry>* cache = new std::vector<CacheEntry>();
-  std::lock_guard<std::mutex> lock(mu);
-  for (const CacheEntry& e : *cache) {
+  // Entries carry their guard so -Wthread-safety can prove the lock
+  // discipline (a bare function-local `static std::mutex` has no
+  // capability identity the analysis can name).
+  struct SharedCache {
+    Mutex mu;
+    std::vector<CacheEntry> entries PTB_GUARDED_BY(mu);
+  };
+  static SharedCache* cache = new SharedCache();
+  MutexLock lock(cache->mu);
+  for (const CacheEntry& e : cache->entries) {
     if (e.seed == seed && same_power_config(e.cfg, cfg)) return e.model;
   }
   // Construct under the lock: racing threads duplicating the k-means would
@@ -66,9 +72,11 @@ std::shared_ptr<const BaseEnergyModel> BaseEnergyModel::shared(
   // sweeps over power constants cannot grow it without limit (FIFO evict;
   // live simulators keep their shared_ptr alive regardless).
   constexpr std::size_t kMaxEntries = 64;
-  if (cache->size() >= kMaxEntries) cache->erase(cache->begin());
+  if (cache->entries.size() >= kMaxEntries) {
+    cache->entries.erase(cache->entries.begin());
+  }
   auto model = std::make_shared<const BaseEnergyModel>(cfg, seed);
-  cache->push_back(CacheEntry{cfg, seed, model});
+  cache->entries.push_back(CacheEntry{cfg, seed, model});
   return model;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -81,7 +82,8 @@ class Ptht {
   }
 
   /// Registers this table's counters under `prefix` (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
   // Statistics.
   mutable std::uint64_t lookups = 0;

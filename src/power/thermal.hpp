@@ -10,6 +10,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -31,7 +32,8 @@ class ThermalModel {
 
   /// Registers per-core temperature gauges (current + run mean/stddev)
   /// under `prefix`.N (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   ThermalConfig cfg_;

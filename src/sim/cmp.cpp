@@ -1,3 +1,5 @@
+// ptb-lint: cycle-loop-file — FP reductions here must use
+// deterministic_total() (see the fp-accum checker, tools/lint/checks.cpp).
 #include "sim/cmp.hpp"
 
 #include <algorithm>
@@ -6,6 +8,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/reporting.hpp"
 #include "sim/shard_pool.hpp"
 #include "stats/dump.hpp"
@@ -153,6 +156,15 @@ void CmpSimulator::warm_caches() {
 
 RunResult CmpSimulator::run(const RunOptions& opts) {
   const std::uint32_t n = cfg_.num_cores;
+
+  // This thread orchestrates the phase-split cycle loop: it *is* the
+  // sequential point whenever control is outside ShardPool::run. Holding
+  // the role lets it call the sequential-point-only API (stats
+  // registration, trace staging, deferred-memory replay); the shard_job /
+  // gate_and_commit lambdas below are analyzed as separate functions by
+  // clang -Wthread-safety and do NOT inherit it, so parallel-region code
+  // calling that API is a compile error, not a TSan roll of the dice.
+  ScopedThreadRole seq_point(g_sequential_point);
 
   // Event tracing (src/trace): allocated only for traced runs; every
   // collaborator holds a raw pointer (null = one-branch no-op per emit
@@ -341,7 +353,9 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   // cycle (frequency scaling, DVFS stalls, sleep states) and, if so, runs
   // completion delivery + retirement. Callable from the pre-pass (main
   // thread) or, for cores with no shared-state hazard, from the shard that
-  // owns core i.
+  // owns core i — so it is held to the parallel-region contract
+  // (phase-purity checker); the justified exceptions are marked inline.
+  // ptb-lint: parallel-region-begin(gate_and_commit)
   const auto gate_and_commit = [&](CoreId i) {
     Core& core = *cores_[i];
 
@@ -356,6 +370,11 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       vdd_ratio = enf.vdd_ratio();
       stalled = enf.stalled(now);
     }
+    // Guarded: when thrifty_/meeting_ exist, seq_gate_all pre-passes every
+    // core on the main thread (see above), so these arms never run on a
+    // shard worker — the barrier-synchronized controllers and the global
+    // sync_ counters are only read at the serial interleaving.
+    // ptb-lint: allow-begin(phase-purity)
     if (thrifty_ && !f.finished[i]) {
       asleep = thrifty_->tick(i, now, trackers_[i].state(),
                               sync_->barrier_episodes,
@@ -367,6 +386,7 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       freq_ratio = m.freq_ratio;
       vdd_ratio = m.vdd_ratio;
     }
+    // ptb-lint: allow-end
 
     bool active = false;
     if (!f.finished[i] && !stalled && !asleep) {
@@ -380,6 +400,7 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     f.vdd[i] = vdd_ratio;
     if (active) core.tick_commit_phase(now);
   };
+  // ptb-lint: parallel-region-end(gate_and_commit)
 
   // The parallel region of one cycle, for shard s: remaining gate+commit
   // phases, the fetch phases (memory accesses parked per core), the
@@ -387,6 +408,7 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   // smoothing, spin attribution and the thermal step. Everything touched
   // here is either core-private or a disjoint slice of the CycleFrame;
   // cross-shard visibility is established by the pool's epoch barriers.
+  // ptb-lint: parallel-region-begin(shard_job)
   const std::function<void(std::uint32_t)> shard_job =
       [&](std::uint32_t s) {
         const CoreId begin =
@@ -458,6 +480,7 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
           }
         }
       };
+  // ptb-lint: parallel-region-end(shard_job)
 
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
     // Stamp the cycle once; emit sites then need no cycle parameter.

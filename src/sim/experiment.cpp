@@ -119,7 +119,7 @@ const RunResult& BaseRunCache::get(const WorkloadProfile& profile,
                                    std::uint32_t cores, std::uint64_t seed) {
   Entry* entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // std::map nodes are never relocated, so the pointer stays valid after
     // the lock is dropped and across later insertions.
     entry = &cache_[Key{profile.name, cores, seed}];

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/cmp.hpp"
 #include "sim/run_pool.hpp"
 #include "workloads/phases.hpp"
@@ -130,8 +131,13 @@ class BaseRunCache {
   };
   using Key = std::tuple<std::string, std::uint32_t, std::uint64_t>;
 
-  std::mutex mu_;  // guards cache_ lookup/insert only, never the runs
-  std::map<Key, Entry> cache_;
+  // mu_ guards cache_ lookup/insert only, never the runs: get() drops the
+  // lock before the per-entry call_once (std::map node stability keeps the
+  // Entry pointer valid). Entry::result is *not* GUARDED_BY(mu_) — its
+  // happens-before edge is the once_flag, which -Wthread-safety cannot
+  // model; TSan covers that edge (tests/sim/run_pool_test.cpp hammers it).
+  Mutex mu_;
+  std::map<Key, Entry> cache_ PTB_GUARDED_BY(mu_);
   std::atomic<std::size_t> computed_{0};
 };
 

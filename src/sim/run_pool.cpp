@@ -21,8 +21,11 @@ RunPool::RunPool(unsigned jobs) {
 
 RunPool::~RunPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
+    MutexLock lock(mu_);
+    // Explicit wait loops instead of the predicate overload throughout
+    // this file: a predicate lambda is analyzed as its own function by
+    // -Wthread-safety and would not be known to hold mu_.
+    while (completed_ != tasks_.size()) done_cv_.wait(lock);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -32,7 +35,7 @@ RunPool::~RunPool() {
 std::size_t RunPool::submit(Task task) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     index = tasks_.size();
     tasks_.push_back(std::move(task));
     results_.resize(tasks_.size());
@@ -47,8 +50,8 @@ std::size_t RunPool::submit(const WorkloadProfile& profile,
 }
 
 std::vector<RunResult> RunPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
+  MutexLock lock(mu_);
+  while (completed_ != tasks_.size()) done_cv_.wait(lock);
   std::vector<RunResult> out = std::move(results_);
   tasks_.clear();
   results_.clear();
@@ -58,9 +61,9 @@ std::vector<RunResult> RunPool::wait_all() {
 }
 
 void RunPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || next_task_ < tasks_.size(); });
+    while (!(stop_ || next_task_ < tasks_.size())) work_cv_.wait(lock);
     if (next_task_ >= tasks_.size()) {
       PTB_ASSERT(stop_, "worker woke with no work and no stop");
       return;

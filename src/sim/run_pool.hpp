@@ -17,10 +17,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/cmp.hpp"
 #include "workloads/phases.hpp"
 
@@ -68,14 +68,23 @@ class RunPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: task ready / stop
-  std::condition_variable done_cv_;  // signals wait_all: batch complete
-  std::vector<Task> tasks_;          // current batch, by submission index
-  std::size_t next_task_ = 0;        // first not-yet-claimed task
-  std::size_t completed_ = 0;        // finished tasks in this batch
-  std::vector<RunResult> results_;   // slot per task, by submission index
-  bool stop_ = false;
+  // Lock discipline is proven at compile time by clang -Wthread-safety
+  // (see common/thread_annotations.hpp): every member below is only
+  // touched while mu_ is held; tasks run with the lock dropped.
+  Mutex mu_;
+  // condition_variable_any: waits on the annotated MutexLock (BasicLockable)
+  // so the capability accounting survives the wait.
+  std::condition_variable_any work_cv_;  // signals workers: task ready / stop
+  std::condition_variable_any done_cv_;  // signals wait_all: batch complete
+  // Current batch, by submission index.
+  std::vector<Task> tasks_ PTB_GUARDED_BY(mu_);
+  // First not-yet-claimed task.
+  std::size_t next_task_ PTB_GUARDED_BY(mu_) = 0;
+  // Finished tasks in this batch.
+  std::size_t completed_ PTB_GUARDED_BY(mu_) = 0;
+  // Slot per task, by submission index.
+  std::vector<RunResult> results_ PTB_GUARDED_BY(mu_);
+  bool stop_ PTB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace ptb {
 
 class ShardPool {
@@ -54,7 +56,13 @@ class ShardPool {
   /// Runs fn(shard) once for every shard in [0, threads()), shard 0 on the
   /// calling thread, and returns after all shards completed (a full
   /// barrier: every write made by fn happens-before the return).
-  void run(const std::function<void(std::uint32_t)>& fn);
+  /// Only the orchestrating thread of the owning cycle loop may launch
+  /// epochs (the sequential-point role; DESIGN.md phase diagram). `fn`
+  /// itself runs *without* the role: a lambda is analyzed as its own
+  /// function under clang -Wthread-safety, so shard code cannot call
+  /// sequential-point-only functions without a compile error.
+  void run(const std::function<void(std::uint32_t)>& fn)
+      PTB_REQUIRES(g_sequential_point);
 
  private:
   void worker_loop(std::uint32_t shard);
@@ -64,6 +72,11 @@ class ShardPool {
   // Epoch barrier: the main thread bumps epoch_ (release) to start a round;
   // workers observe the new value (acquire), run, and count themselves out
   // on pending_ (release), which the main thread awaits (acquire).
+  // Not PTB_GUARDED_BY anything: the barrier protocol is carried by the
+  // acquire/release pairs on these atomics, which -Wthread-safety cannot
+  // model — TSan (tests/sim/sim_threads_test.cpp jitter stress) and the
+  // ptb-lint phase-purity checker cover this class instead (see DESIGN.md
+  // "Static analysis" for the tool matrix).
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint32_t> pending_{0};
   std::atomic<bool> stop_{false};

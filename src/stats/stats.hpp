@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -94,27 +95,35 @@ class StatsRegistry {
   // --- registration -----------------------------------------------------
   // Bound sources must outlive the registry (they are read at sample /
   // dump time). Duplicate or empty names abort via PTB_ASSERT.
-  void counter(std::string name, std::string desc, const std::uint64_t* src);
-  void counter(std::string name, std::string desc, const std::uint32_t* src);
+  // Registration binds raw member pointers, so it may only run at a
+  // sequential point of the cycle loop (never from the parallel shard
+  // region) — enforced at compile time by the g_sequential_point role
+  // (common/thread_annotations.hpp) under clang -Wthread-safety.
+  void counter(std::string name, std::string desc, const std::uint64_t* src)
+      PTB_REQUIRES(g_sequential_point);
+  void counter(std::string name, std::string desc, const std::uint32_t* src)
+      PTB_REQUIRES(g_sequential_point);
   /// Token totals accumulate as doubles; kv_precision pins their flat
   /// key=value rendering (run_summary_kv compatibility).
   void counter(std::string name, std::string desc, const double* src,
-               int kv_precision = 1);
+               int kv_precision = 1) PTB_REQUIRES(g_sequential_point);
   /// Pull-callback counter rendered as an integer (derived event counts).
   void counter_fn(std::string name, std::string desc,
-                  std::function<double()> fn);
+                  std::function<double()> fn) PTB_REQUIRES(g_sequential_point);
   void gauge(std::string name, std::string desc, const double* src,
-             int kv_precision = 3);
+             int kv_precision = 3) PTB_REQUIRES(g_sequential_point);
   void gauge_fn(std::string name, std::string desc,
                 std::function<double()> fn, int kv_precision = 3,
-                bool is_volatile = false);
+                bool is_volatile = false) PTB_REQUIRES(g_sequential_point);
   /// Registry-owned histogram; the returned reference stays valid for the
   /// registry's lifetime (push samples behind your own stats guard).
   Histogram& distribution(std::string name, std::string desc, double lo,
-                          double hi, std::size_t buckets);
+                          double hi, std::size_t buckets)
+      PTB_REQUIRES(g_sequential_point);
   /// Derived metric; evaluate other stats / captured state lazily.
   void formula(std::string name, std::string desc,
-               std::function<double()> fn, int kv_precision = 3);
+               std::function<double()> fn, int kv_precision = 3)
+      PTB_REQUIRES(g_sequential_point);
 
   // --- lookup / iteration ----------------------------------------------
   /// Dotted-path lookup; null when absent.
@@ -126,7 +135,8 @@ class StatsRegistry {
   std::vector<const Stat*> sorted() const;
 
  private:
-  Stat& add(std::string name, std::string desc, StatKind kind);
+  Stat& add(std::string name, std::string desc, StatKind kind)
+      PTB_REQUIRES(g_sequential_point);
 
   std::vector<std::unique_ptr<Stat>> stats_;           // registration order
   std::map<std::string, std::size_t, std::less<>> index_;  // name-sorted
@@ -137,10 +147,11 @@ class StatsRegistry {
 /// Drives RunOptions::stats_sample_every.
 class SampleBuffer {
  public:
-  explicit SampleBuffer(const StatsRegistry& reg);
+  explicit SampleBuffer(const StatsRegistry& reg)
+      PTB_REQUIRES(g_sequential_point);
 
   /// Appends one row: every column's current value at cycle `now`.
-  void sample(Cycle now);
+  void sample(Cycle now) PTB_REQUIRES(g_sequential_point);
 
   std::size_t num_columns() const { return stats_.size(); }
   std::size_t num_samples() const { return cycles_.size(); }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "trace/trace.hpp"
 
@@ -91,7 +92,8 @@ class SpinTracker {
 
   /// Registers per-state cycle counters and energy gauges under `prefix`
   /// (src/stats).
-  void register_stats(StatsRegistry& reg, const std::string& prefix) const;
+  void register_stats(StatsRegistry& reg, const std::string& prefix)
+      const PTB_REQUIRES(g_sequential_point);
 
  private:
   ExecState state_ = ExecState::kBusy;

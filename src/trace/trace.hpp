@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -212,17 +213,20 @@ class EventTracer {
 
   /// One-time setup for the sharded cycle loop: allocates one staging slot
   /// per core. Without this call the tracer behaves exactly as before.
-  void enable_staging(std::uint32_t num_cores);
+  void enable_staging(std::uint32_t num_cores)
+      PTB_REQUIRES(g_sequential_point);
 
   /// Starts routing per-core emits into the staging slots. Must be called
   /// before the parallel region of a cycle starts (the region's barrier
   /// publishes the flag to the workers).
-  void stage_begin() { staging_active_ = !stage_.empty(); }
+  void stage_begin() PTB_REQUIRES(g_sequential_point) {
+    staging_active_ = !stage_.empty();
+  }
 
   /// Replays every staged event into the rings in core order (preserving
   /// per-core emission order) and turns direct emission back on. Called at
   /// the cycle's sequential point, after the region's end barrier.
-  void stage_flush();
+  void stage_flush() PTB_REQUIRES(g_sequential_point);
 
   /// Detaches the recorded trace, stamping the run metadata.
   EventTrace finish(std::uint32_t num_cores, Cycle end_cycle,

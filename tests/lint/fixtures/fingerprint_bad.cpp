@@ -1,0 +1,26 @@
+// Fault-injection fixture for the fingerprint checker: every SimConfig
+// leaf must be hashed or explicitly excluded, and the exclusion list must
+// carry no stale entries. This file's SimConfig shadows the real one only
+// within the fixture corpus. Never compiled — lint input only.
+
+struct FixtureNested {
+  int hashed_sub = 0;
+  int missing_sub = 0;  // FINDING: nested leaf neither hashed nor excluded
+};
+
+struct SimConfig {
+  int hashed_field = 1;
+  int missing_field = 2;  // FINDING: neither hashed nor excluded
+  int observer_knob = 3;  // excluded below: must NOT fire
+  FixtureNested nested{};
+};
+
+// The stale entry (ghost_field) names a field that does not exist, so the
+// checker fires on the marker line itself.
+// ptb-lint: fingerprint-exclude(observer_knob, ghost_field)  // FINDING: stale entry
+unsigned long machine_fingerprint(const SimConfig& cfg) {
+  unsigned long h = 1469598103934665603ul;
+  h ^= static_cast<unsigned long>(cfg.hashed_field);
+  h ^= static_cast<unsigned long>(cfg.nested.hashed_sub);
+  return h;
+}

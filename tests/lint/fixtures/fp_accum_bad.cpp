@@ -1,0 +1,36 @@
+// Fault-injection fixture for the fp-accum checker: a scalar FP reduction
+// over indexed elements inside a loop, in a file marked as cycle-loop
+// code, must fire; element-wise updates and integer sums must not.
+// Never compiled — lint input only.
+// ptb-lint: cycle-loop-file
+
+double fixture_fp_reduce(const double* vals, double* acc, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += vals[i];  // FINDING: use deterministic_total()
+  }
+
+  // Element-wise update (per-core state): must NOT fire.
+  for (int i = 0; i < n; ++i) {
+    acc[i] += vals[i];
+  }
+
+  // Integer reduction: must NOT fire (only FP order is association-bound).
+  long hits = 0;
+  for (int i = 0; i < n; ++i) {
+    hits += static_cast<long>(vals[i] > 0.0);
+  }
+
+  // Scalar-accumulate without element indexing (EMA-style): must NOT fire.
+  double ema = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ema += 0.1 * (total - ema);
+  }
+
+  // Justified exemption: must NOT fire.
+  double checked = 0.0;
+  for (int i = 0; i < n; ++i) {
+    checked += vals[i];  // ptb-lint: allow(fp-accum)
+  }
+  return total + ema + checked + static_cast<double>(hits);
+}

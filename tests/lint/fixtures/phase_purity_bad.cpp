@@ -1,0 +1,44 @@
+// Fault-injection fixture for the phase-purity checker: code inside a
+// marked parallel shard region — and functions lexically reachable from
+// it — must not call sequential-point API or touch barrier-synchronized
+// members. Never compiled — lint input only.
+
+struct FixtureMem {
+  int access(int a) { return a; }
+};
+struct FixtureSync {
+  int arrive(int id) { return id; }
+  int lock_addr(int id) const { return id * 64; }
+};
+
+FixtureMem mem_;
+FixtureSync sync_;
+
+void stage_flush();
+void register_stats();
+
+// Transitive hop: reachable from the region below, so its mem_ touch must
+// be reported even though the function itself carries no marker.
+int fixture_phase_helper(int a) {
+  return mem_.access(a);  // FINDING (reachable from region)
+}
+
+int fixture_phase_region() {
+  int total = 0;
+  // ptb-lint: parallel-region-begin(fixture_shard)
+  auto shard_job = [&](int s) {
+    stage_flush();                        // FINDING: sequential-point API
+    total += sync_.arrive(s);             // FINDING: barrier-synced state
+    total += fixture_phase_helper(s);     // (finding lands in the helper)
+    total += sync_.lock_addr(s);          // immutable layout: must NOT fire
+    // Justified exemption: must NOT fire.
+    // ptb-lint: allow(phase-purity)
+    total += sync_.arrive(s + 1);
+  };
+  shard_job(0);
+  // ptb-lint: parallel-region-end(fixture_shard)
+
+  // Outside the region: must NOT fire.
+  register_stats();
+  return total + mem_.access(1);
+}

@@ -1,0 +1,27 @@
+// Fault-injection fixture for the unordered-iter checker: iteration over
+// hash-ordered containers must fire; keyed lookups and marker-allowed
+// lines must not. Never compiled — lint input only.
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_unordered_sum() {
+  std::unordered_map<int, int> histogram;
+  std::unordered_set<int> visited;
+  histogram[1] = 2;
+
+  int sum = 0;
+  for (const auto& [key, count] : histogram) {  // FINDING: range-for
+    sum += key * count;
+  }
+  for (auto it = visited.begin(); it != visited.end(); ++it) {  // FINDING
+    sum += *it;
+  }
+
+  // Keyed lookup: must NOT fire.
+  if (histogram.find(3) != histogram.end()) sum += histogram.count(3);
+
+  // Justified exemption: must NOT fire.
+  // ptb-lint: allow(unordered-iter)
+  for (const auto& v : visited) sum += v;
+  return sum;
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Self-test for scripts/lint.sh: each determinism/doc-drift rule must fire
+# on a seeded violation, and a clean scaffold tree must pass. Uses the
+# PTB_LINT_ROOT / PTB_LINT_BIN overrides lint.sh exposes for exactly this.
+#
+# Usage: lint_sh_test.sh <repo-root> <ptb-lint-binary>
+#   repo-root        checkout containing scripts/lint.sh
+#   ptb-lint-binary  built ptb-lint (for the section-4 wiring case)
+# Exit: 0 all cases behave, 1 otherwise.
+set -u
+
+repo_root="${1:?usage: lint_sh_test.sh <repo-root> <ptb-lint-binary>}"
+ptb_lint_bin="${2:?usage: lint_sh_test.sh <repo-root> <ptb-lint-binary>}"
+lint_sh="$repo_root/scripts/lint.sh"
+[[ -f "$lint_sh" ]] || { echo "FAIL: $lint_sh not found"; exit 1; }
+# lint.sh cd's into the linted root, so the binary path must be absolute.
+if [[ -e "$ptb_lint_bin" ]]; then
+  ptb_lint_bin="$(cd "$(dirname "$ptb_lint_bin")" && pwd)/$(basename "$ptb_lint_bin")"
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+# Minimal tree satisfying every rule: one clean source file, a bench CLI
+# header whose only flag is documented in EXPERIMENTS.md.
+make_tree() {
+  local t="$1"
+  rm -rf "$t"
+  mkdir -p "$t/src" "$t/bench" "$t/examples"
+  cat > "$t/src/clean.cpp" <<'EOF'
+int shard_sum(const int* v, int n) {
+  int s = 0;
+  for (int i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+EOF
+  cat > "$t/bench/bench_util.hpp" <<'EOF'
+inline const char* kUsage = "usage: bench --help";
+EOF
+  cat > "$t/EXPERIMENTS.md" <<'EOF'
+The shared bench CLI supports --help.
+EOF
+}
+
+# run_case <name> <expected-exit> <required-output-regex> <ptb-lint-bin>
+run_case() {
+  local name="$1" want_exit="$2" want_re="$3" bin="$4"
+  local out status
+  out=$(PTB_LINT_ROOT="$tmp/tree" PTB_LINT_BIN="$bin" \
+        bash "$lint_sh" "$tmp/no-such-build-dir" 2>&1)
+  status=$?
+  if [[ $status -ne $want_exit ]]; then
+    echo "FAIL [$name]: exit $status, wanted $want_exit"
+    echo "$out" | sed 's/^/    /'
+    fail=1
+  elif [[ -n "$want_re" ]] && ! grep -q -e "$want_re" <<< "$out"; then
+    echo "FAIL [$name]: output missing /$want_re/"
+    echo "$out" | sed 's/^/    /'
+    fail=1
+  else
+    echo "ok   [$name]"
+  fi
+}
+
+# --- clean scaffold passes (sections 3 and 4 skip with warnings) ------------
+make_tree "$tmp/tree"
+run_case "clean-tree" 0 "lint: OK" "/nonexistent-ptb-lint"
+
+# --- section 1: entropy / wall clock ----------------------------------------
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <random>
+int seed_from_hw() { std::random_device rd; return static_cast<int>(rd()); }
+EOF
+run_case "entropy" 1 "non-deterministic source" "/nonexistent-ptb-lint"
+
+# --- section 1: environment read --------------------------------------------
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <cstdlib>
+const char* hidden_knob() { return std::getenv("PTB_KNOB"); }
+EOF
+run_case "getenv" 1 "environment read in a result path" "/nonexistent-ptb-lint"
+
+# --- section 1: steady_clock outside the allow list -------------------------
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <chrono>
+long stamp() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+EOF
+run_case "steady-clock" 1 "steady_clock outside" "/nonexistent-ptb-lint"
+
+# --- section 1: the lint:allowed-wallclock escape hatch still works ---------
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <chrono>
+long stamp() { return std::chrono::steady_clock::now().time_since_epoch().count(); }  // lint:allowed-wallclock
+EOF
+run_case "steady-clock-allowed" 0 "lint: OK" "/nonexistent-ptb-lint"
+
+# --- section 1: range-for over an unordered container -----------------------
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <unordered_map>
+int walk(const std::unordered_map<int, int>& unordered_hist) {
+  int s = 0;
+  for (const auto& [k, v] : unordered_hist) s += v;
+  return s;
+}
+EOF
+run_case "unordered-range-for" 1 "range-for over an unordered container" \
+  "/nonexistent-ptb-lint"
+
+# --- section 2: undocumented bench flag -------------------------------------
+make_tree "$tmp/tree"
+cat > "$tmp/tree/bench/bench_util.hpp" <<'EOF'
+inline const char* kUsage = "usage: bench --help --frobnicate";
+EOF
+run_case "doc-drift" 1 "missing from EXPERIMENTS.md" "/nonexistent-ptb-lint"
+
+# --- section 4: ptb-lint catches what the greps cannot ----------------------
+# `time (nullptr)` defeats the \btime(nullptr) grep but not the token-level
+# checker, so this case passes only if lint.sh really runs the binary.
+make_tree "$tmp/tree"
+cat >> "$tmp/tree/src/clean.cpp" <<'EOF'
+#include <ctime>
+long wall() { return static_cast<long>(time (nullptr)); }
+EOF
+if [[ -x "$ptb_lint_bin" ]]; then
+  run_case "ptb-lint-wiring" 1 "ptb-lint contract findings" "$ptb_lint_bin"
+else
+  echo "skip [ptb-lint-wiring]: $ptb_lint_bin not built"
+fi
+
+# --- section 4: missing binary degrades to a warning, not a failure ---------
+make_tree "$tmp/tree"
+run_case "ptb-lint-skip" 0 "skipping ptb-lint" "/nonexistent-ptb-lint"
+
+if [[ $fail -ne 0 ]]; then
+  echo "lint_sh_test: FAILED"
+  exit 1
+fi
+echo "lint_sh_test: OK"

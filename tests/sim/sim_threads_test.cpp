@@ -108,6 +108,7 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
 // --- the pool itself --------------------------------------------------------
 
 TEST(ShardPool, SerialFastPathRunsInline) {
+  ScopedThreadRole seq(g_sequential_point);  // we orchestrate
   ShardPool pool(1);
   EXPECT_EQ(pool.threads(), 1u);
   int calls = 0;
@@ -120,6 +121,7 @@ TEST(ShardPool, SerialFastPathRunsInline) {
 
 TEST(ShardPool, EveryShardRunsOncePerEpoch) {
   constexpr std::uint32_t kThreads = 4;
+  ScopedThreadRole seq(g_sequential_point);  // we orchestrate
   ShardPool pool(kThreads);
   std::vector<std::atomic<std::uint32_t>> hits(kThreads);
   for (auto& h : hits) h.store(0);
@@ -135,6 +137,7 @@ TEST(ShardPool, EpochBarrierPublishesShardWrites) {
   // Main must observe every worker's write after run() returns, and
   // workers must observe main's writes from before run() — the visibility
   // contract the cycle loop leans on for the CycleFrame.
+  ScopedThreadRole seq(g_sequential_point);  // we orchestrate
   ShardPool pool(4);
   std::vector<std::uint64_t> slot(4, 0);
   std::uint64_t input = 0;
