@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Load/soak harness for ptb-serve: fans concurrent clients (bash /dev/tcp,
+# no curl needed) across several tenants against a fresh daemon, watching
+# the admission gauge the whole time, then checks the /metrics ledger:
+#   - every request got an HTTP 200 back;
+#   - the in-flight gauge never exceeded --host-tokens (the TokenAdmission
+#     budget — the host-side twin of the paper's token policies);
+#   - the cache ledger is coherent: hits + misses == requests answered,
+#     and nothing was rejected as corrupt.
+# Each client cycles a small set of distinct configs (seed = slot), so the
+# first wave simulates and the rest is served from cache — a realistic
+# mix of cold and hot traffic.
+#
+# Usage: scripts/load_serve.sh [clients] [requests-per-client] [build-dir]
+#   clients              concurrent client loops (default 4)
+#   requests-per-client  blocking /v1/run?wait=1 posts each (default 8)
+#   build-dir            build tree with tools/ptb-serve (default build)
+# Exit: 0 all checks pass, 1 otherwise.
+set -u
+
+clients="${1:-4}"
+reqs="${2:-8}"
+build_dir="${3:-build}"
+serve_bin="$build_dir/tools/ptb-serve"
+host_tokens=2
+[[ -x "$serve_bin" ]] || { echo "FAIL: $serve_bin not built"; exit 1; }
+
+tmp="$(mktemp -d)"
+serve_pid=""
+watch_pid=""
+cleanup() {
+  [[ -n "$watch_pid" ]] && kill "$watch_pid" 2>/dev/null
+  [[ -n "$serve_pid" ]] && kill -KILL "$serve_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+fail=0
+
+check() {
+  local desc="$1"; shift
+  if "$@"; then
+    echo "ok   [$desc]"
+  else
+    echo "FAIL [$desc]"
+    fail=1
+  fi
+}
+
+# http METHOD TARGET BODY TENANT OUTFILE
+http() {
+  local method="$1" target="$2" body="$3" tenant="$4" out="$5"
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf '%s %s HTTP/1.1\r\nHost: load\r\nX-Ptb-Tenant: %s\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "$method" "$target" "$tenant" "${#body}" "$body" >&3
+  cat <&3 > "$out"
+  exec 3<&- 3>&-
+}
+
+metric() { # metric NAME FILE -> value ("" when absent)
+  sed -n "s/^$1 //p" "$2"
+}
+
+"$serve_bin" --port 0 --cache-dir "$tmp/cache" --jobs 4 \
+  --host-tokens "$host_tokens" --policy to_all > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^ptb-serve: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+         "$tmp/serve.log")
+  [[ -n "$port" ]] && break
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "FAIL: daemon did not come up"; cat "$tmp/serve.log"; exit 1; }
+echo "daemon up on port $port ($clients clients x $reqs requests," \
+     "host tokens $host_tokens)"
+
+# Admission watcher: sample the in-flight gauge for the whole run. A
+# sample can only under-count a violation, never invent one.
+( while :; do
+    http GET /metrics '' watcher "$tmp/m.watch" 2>/dev/null || continue
+    v=$(metric ptb_serve_jobs_in_flight "$tmp/m.watch")
+    [[ -n "$v" && "${v%%.*}" -gt "$host_tokens" ]] && echo "$v" >> "$tmp/over"
+    sleep 0.05
+  done ) &
+watch_pid=$!
+
+client() { # client INDEX
+  local idx="$1" bad=0
+  local tenant="tenant-$((idx % 3))"
+  for r in $(seq 1 "$reqs"); do
+    # 4 distinct configs shared by all clients: cold on first touch, hot
+    # after — exercises concurrent simulate-vs-cache for the same key too.
+    local seed=$(( (idx + r) % 4 + 1 ))
+    local body='{"benchmark":"fft","config":{"num_cores":2,"max_cycles":20000,"seed":'"$seed"'}}'
+    http POST '/v1/run?wait=1' "$body" "$tenant" "$tmp/c$idx.r$r" || bad=1
+    grep -q '^HTTP/1.1 200' "$tmp/c$idx.r$r" || bad=1
+  done
+  echo "$bad" > "$tmp/c$idx.status"
+}
+
+client_pids=()
+for i in $(seq 1 "$clients"); do
+  client "$i" &
+  client_pids+=($!)
+done
+wait "${client_pids[@]}"
+# (the daemon and the watcher are still running; only the clients joined)
+
+bad_clients=0
+for i in $(seq 1 "$clients"); do
+  [[ "$(cat "$tmp/c$i.status" 2>/dev/null)" == "0" ]] || bad_clients=$((bad_clients + 1))
+done
+check "every client got 200s everywhere" test "$bad_clients" -eq 0
+
+kill "$watch_pid" 2>/dev/null; wait "$watch_pid" 2>/dev/null; watch_pid=""
+check "in-flight never exceeded the token budget" test ! -s "$tmp/over"
+
+http GET /metrics '' ledger "$tmp/m.final"
+sed '1,/^\r*$/d' "$tmp/m.final" > "$tmp/m.body"
+requests=$(metric ptb_serve_http_requests "$tmp/m.body")
+hits=$(metric ptb_serve_cache_hits "$tmp/m.body")
+misses=$(metric ptb_serve_cache_misses "$tmp/m.body")
+corrupt=$(metric ptb_serve_cache_corrupt "$tmp/m.body")
+units=$(metric ptb_serve_units_completed "$tmp/m.body")
+total=$((clients * reqs))
+echo "ledger: requests=$requests hits=$hits misses=$misses" \
+     "corrupt=$corrupt units=$units (clients sent $total runs)"
+
+check "request counter covers the load" \
+  test "${requests%%.*}" -ge "$total"
+check "cache ledger coherent (hits + misses = units answered)" \
+  test "$(( ${hits%%.*} + ${misses%%.*} ))" -eq "${units%%.*}"
+check "no corrupt entries" test "${corrupt%%.*}" -eq 0
+# 4 distinct configs: everything past each key's first-touch window must
+# hit. Concurrent clients may benignly double-simulate a key while its
+# first store is still in flight, so allow a small race allowance.
+check "cache absorbed the hot traffic (misses <= configs + races)" \
+  test "${misses%%.*}" -le "$((4 + clients * 2))"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+rc=$?
+serve_pid=""
+check "graceful shutdown under load (exit 0)" test "$rc" -eq 0
+
+if [[ $fail -ne 0 ]]; then
+  echo "load_serve: FAILED"
+  exit 1
+fi
+echo "load_serve: OK"

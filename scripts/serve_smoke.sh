@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# End-to-end smoke + short soak for the ptb-serve daemon (CI runs this on
+# every push; see also tests/serve/ for the in-process coverage):
+#   1. start the daemon on an ephemeral port with a fresh cache dir;
+#   2. POST /v1/run?wait=1 twice: the first must miss, the second must hit
+#      and the two bodies must be byte-identical (cmp);
+#   3. POST /v1/sweep?wait=1 twice: the second may contain no "miss";
+#   4. scrape /metrics and check the request/cache/queue series;
+#   5. SIGTERM -> graceful drain, clean exit;
+#   6. restart on the same cache dir: the very first request must be a hit
+#      with the same bytes — the cache, not the process, owns the results.
+#
+# Dependency-free: HTTP via bash /dev/tcp (the daemon closes after each
+# response, so reading to EOF is a complete exchange).
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+# Exit: 0 all checks pass, 1 otherwise.
+set -u
+
+build_dir="${1:-build}"
+serve_bin="$build_dir/tools/ptb-serve"
+[[ -x "$serve_bin" ]] || { echo "FAIL: $serve_bin not built"; exit 1; }
+
+tmp="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill -KILL "$serve_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+fail=0
+
+run_body='{"benchmark":"fft","config":{"num_cores":2,"max_cycles":20000}}'
+sweep_body='{"requests":[{"benchmark":"fft","config":{"num_cores":2,"max_cycles":20000}},{"benchmark":"radix","config":{"num_cores":2,"max_cycles":20000}}]}'
+
+# http METHOD TARGET BODY OUTFILE — one exchange, full response to OUTFILE.
+http() {
+  local method="$1" target="$2" body="$3" out="$4"
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf '%s %s HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "$method" "$target" "${#body}" "$body" >&3
+  cat <&3 > "$out"
+  exec 3<&- 3>&-
+}
+
+# body_of RESPONSE OUTFILE — strips the head (up to the first blank line).
+body_of() {
+  sed '1,/^\r*$/d' "$1" > "$2"
+}
+
+check() { # check DESC CONDITION...
+  local desc="$1"; shift
+  if "$@"; then
+    echo "ok   [$desc]"
+  else
+    echo "FAIL [$desc]"
+    fail=1
+  fi
+}
+
+start_daemon() { # start_daemon LOGFILE
+  local log="$1"
+  "$serve_bin" --port 0 --cache-dir "$tmp/cache" --jobs 2 > "$log" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^ptb-serve: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+           "$log")
+    [[ -n "$port" ]] && return 0
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "FAIL: daemon did not come up"; cat "$log"; exit 1
+}
+
+stop_daemon() { # stop_daemon LOGFILE
+  local log="$1"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  local rc=$?
+  serve_pid=""
+  check "clean shutdown (exit 0)" test "$rc" -eq 0
+  check "drain logged" grep -q "shutdown complete" "$log"
+}
+
+# --- first daemon: miss -> hit, sweep, metrics, drain -----------------------
+start_daemon "$tmp/serve1.log"
+echo "daemon up on port $port (cache $tmp/cache)"
+
+http POST '/v1/run?wait=1' "$run_body" "$tmp/r1"
+check "first run is 200" grep -q '^HTTP/1.1 200' "$tmp/r1"
+check "first run is a miss" grep -qi '^x-ptb-cache: miss' "$tmp/r1"
+
+http POST '/v1/run?wait=1' "$run_body" "$tmp/r2"
+check "second run is a hit" grep -qi '^x-ptb-cache: hit' "$tmp/r2"
+body_of "$tmp/r1" "$tmp/r1.body"
+body_of "$tmp/r2" "$tmp/r2.body"
+check "hit is byte-identical to the miss" cmp -s "$tmp/r1.body" "$tmp/r2.body"
+
+http POST '/v1/sweep?wait=1' "$sweep_body" "$tmp/s1"
+check "first sweep is 200" grep -q '^HTTP/1.1 200' "$tmp/s1"
+http POST '/v1/sweep?wait=1' "$sweep_body" "$tmp/s2"
+body_of "$tmp/s2" "$tmp/s2.body"
+check "second sweep is all hits" bash -c \
+  '! grep -q "\"cache\":\"miss\"" "$1"' -- "$tmp/s2.body"
+
+# Short soak: hammer the cached answer, then make sure the counters moved.
+for _ in $(seq 1 10); do
+  http POST '/v1/run?wait=1' "$run_body" "$tmp/rs"
+  grep -qi '^x-ptb-cache: hit' "$tmp/rs" || { echo "FAIL [soak hit]"; fail=1; }
+done
+
+http GET '/metrics' '' "$tmp/m"
+body_of "$tmp/m" "$tmp/m.body"
+for series in ptb_serve_http_requests ptb_serve_cache_hits \
+              ptb_serve_cache_misses ptb_serve_queue_depth \
+              ptb_serve_jobs_in_flight ptb_serve_http_request_ms; do
+  check "metrics expose $series" grep -q "$series" "$tmp/m.body"
+done
+check "no corrupt entries seen" grep -q '^ptb_serve_cache_corrupt 0' \
+  "$tmp/m.body"
+
+stop_daemon "$tmp/serve1.log"
+
+# --- second daemon, same cache dir: restart keeps the bytes -----------------
+start_daemon "$tmp/serve2.log"
+http POST '/v1/run?wait=1' "$run_body" "$tmp/r3"
+check "post-restart run is a hit" grep -qi '^x-ptb-cache: hit' "$tmp/r3"
+body_of "$tmp/r3" "$tmp/r3.body"
+check "post-restart bytes identical" cmp -s "$tmp/r1.body" "$tmp/r3.body"
+stop_daemon "$tmp/serve2.log"
+
+if [[ $fail -ne 0 ]]; then
+  echo "serve_smoke: FAILED"
+  exit 1
+fi
+echo "serve_smoke: OK"

@@ -1,0 +1,92 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ptb::serve {
+
+TokenAdmission::TokenAdmission(std::uint32_t host_tokens, PtbPolicy policy)
+    : host_tokens_(host_tokens), policy_(policy) {
+  PTB_ASSERT(host_tokens_ >= 1, "host token budget must be positive");
+  PTB_ASSERT(policy_ == PtbPolicy::kToAll || policy_ == PtbPolicy::kToOne,
+             "host admission supports to_all / to_one only");
+}
+
+std::map<std::string, std::uint32_t> TokenAdmission::plan(
+    const std::map<std::string, std::uint32_t>& demand) const {
+  std::map<std::string, std::uint32_t> grant;
+  std::uint32_t active = 0;
+  std::uint64_t total_demand = 0;
+  for (const auto& [tenant, d] : demand) {
+    grant[tenant] = 0;
+    if (d > 0) {
+      ++active;
+      total_demand += d;
+    }
+  }
+  if (active == 0) return grant;
+
+  // Everybody fits: no balancing to do.
+  if (total_demand <= host_tokens_) {
+    for (const auto& [tenant, d] : demand) grant[tenant] = d;
+    return grant;
+  }
+
+  // Fair-share pass: each active tenant gets min(demand, floor share).
+  const std::uint32_t fair = std::max(1u, host_tokens_ / active);
+  std::uint32_t used = 0;
+  for (const auto& [tenant, d] : demand) {
+    if (d == 0) continue;
+    const std::uint32_t g =
+        std::min({d, fair, host_tokens_ - used});  // never exceed the budget
+    grant[tenant] = g;
+    used += g;
+    if (used == host_tokens_) break;
+  }
+
+  // Spare redistribution (same shape as core/balancer.cpp's ToAll/ToOne
+  // over per-core deficits, with tenants in the cores' role).
+  std::uint32_t spare = host_tokens_ - used;
+  if (spare == 0) return grant;
+
+  if (policy_ == PtbPolicy::kToOne) {
+    // All spare tokens to the neediest tenant (largest residual demand;
+    // map order breaks ties deterministically).
+    std::string neediest;
+    std::uint32_t best_residual = 0;
+    for (const auto& [tenant, d] : demand) {
+      const std::uint32_t residual = d - grant[tenant];
+      if (residual > best_residual) {
+        best_residual = residual;
+        neediest = tenant;
+      }
+    }
+    if (best_residual > 0) {
+      grant[neediest] += std::min(spare, best_residual);
+    }
+    return grant;
+  }
+
+  // kToAll: equal re-split among still-needy tenants, bounded rounds (a
+  // round either consumes all spare or shrinks the needy set).
+  for (std::uint32_t round = 0; round < host_tokens_ && spare > 0; ++round) {
+    std::uint32_t needy = 0;
+    for (const auto& [tenant, d] : demand) {
+      if (d > grant[tenant]) ++needy;
+    }
+    if (needy == 0) break;
+    const std::uint32_t share = std::max(1u, spare / needy);
+    for (const auto& [tenant, d] : demand) {
+      if (spare == 0) break;
+      const std::uint32_t residual = d - grant[tenant];
+      if (residual == 0) continue;
+      const std::uint32_t give = std::min({share, residual, spare});
+      grant[tenant] += give;
+      spare -= give;
+    }
+  }
+  return grant;
+}
+
+}  // namespace ptb::serve

@@ -1,0 +1,52 @@
+// TokenAdmission: the daemon's host-side twin of the paper's power-token
+// balancer. The host budget (`--host-tokens`, default = worker count) is a
+// fixed number of concurrent-simulation tokens; tenants (clients, keyed by
+// the X-Ptb-Tenant header, "default" when absent) each get the floor fair
+// share of their demand, and the spare tokens left over are redistributed
+// with the in-tree balancer policies:
+//
+//   to_all — split the spare equally among the still-needy tenants, in
+//            bounded re-split rounds (the PtbConfig::toall_redistribute
+//            refinement), so a tenant whose residual demand is below its
+//            share does not strand tokens while others still queue;
+//   to_one — hand the whole spare to the single neediest tenant (largest
+//            residual demand; ties break to the lexicographically first
+//            tenant name, which std::map ordering makes deterministic).
+//
+// plan() is a pure function of its inputs — the scheduler calls it under
+// the service lock every time the queue or the in-flight set changes, and
+// identical states always yield identical grants (no wall-clock, no RNG),
+// which is what makes the admission tests exact rather than statistical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace ptb::serve {
+
+class TokenAdmission {
+ public:
+  /// `host_tokens` >= 1 (the ptb-serve flag layer enforces this);
+  /// `policy` kToAll or kToOne (kDynamic is a simulation-side selector
+  /// with no host analogue and is rejected by the flag layer).
+  TokenAdmission(std::uint32_t host_tokens, PtbPolicy policy);
+
+  std::uint32_t host_tokens() const { return host_tokens_; }
+  PtbPolicy policy() const { return policy_; }
+
+  /// Per-tenant demand (queued + running jobs) -> per-tenant token grant.
+  /// Invariants (asserted by the tests): sum(grant) <= host_tokens;
+  /// grant[t] <= demand[t]; when total demand <= host_tokens every tenant
+  /// is granted its full demand; a tenant with zero demand gets zero.
+  std::map<std::string, std::uint32_t> plan(
+      const std::map<std::string, std::uint32_t>& demand) const;
+
+ private:
+  std::uint32_t host_tokens_;
+  PtbPolicy policy_;
+};
+
+}  // namespace ptb::serve

@@ -1,0 +1,340 @@
+#include "serve/service.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+#include "stats/dump.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb::serve {
+
+namespace {
+
+// Finished jobs retained for polling before the oldest are pruned.
+constexpr std::size_t kMaxRetainedJobs = 1024;
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex16(const std::string& s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_dir),
+      admission_(opts_.host_tokens, opts_.admission_policy) {
+  register_metrics();
+  const unsigned workers = opts_.sim_workers == 0 ? 1 : opts_.sim_workers;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { stop(); }
+
+void Service::register_metrics() {
+  // Registration binds pull lambdas; the StatsRegistry contract requires
+  // the sequential-point role (this constructor is the daemon's sequential
+  // point — no worker exists yet).
+  ScopedThreadRole role(g_sequential_point);
+  registry_.counter_fn("serve.http.requests",
+                       "HTTP requests completed (all statuses)",
+                       [this] { return double(http_requests_.load()); });
+  registry_.counter_fn("serve.jobs.submitted", "jobs accepted by submit()",
+                       [this] { return double(jobs_submitted_.load()); });
+  registry_.counter_fn("serve.units.completed",
+                       "simulation units finished successfully",
+                       [this] { return double(units_completed_.load()); });
+  registry_.counter_fn("serve.units.failed",
+                       "simulation units failed (shutdown drain)",
+                       [this] { return double(units_failed_.load()); });
+  registry_.counter_fn("serve.cache.hits", "disk cache hits",
+                       [this] { return double(cache_.hits()); });
+  registry_.counter_fn("serve.cache.misses", "disk cache misses",
+                       [this] { return double(cache_.misses()); });
+  registry_.counter_fn("serve.cache.corrupt",
+                       "disk cache entries rejected as corrupt",
+                       [this] { return double(cache_.corrupt()); });
+  registry_.counter_fn("serve.cache.stores", "disk cache entries written",
+                       [this] { return double(cache_.stores()); });
+  registry_.gauge_fn("serve.queue.depth", "units queued, not yet running",
+                     [this] { return double(queue_depth_.load()); }, 0);
+  registry_.gauge_fn("serve.jobs.in_flight", "simulations running now",
+                     [this] { return double(units_running_.load()); }, 0);
+  registry_.gauge_fn("serve.admission.host_tokens",
+                     "configured host token budget",
+                     [this] { return double(admission_.host_tokens()); }, 0);
+  {
+    MutexLock lock(metrics_mu_);
+    latency_hist_ = &registry_.distribution(
+        "serve.http.request_ms", "HTTP request latency (milliseconds)", 0.0,
+        1000.0, 20);
+  }
+}
+
+bool Service::submit(const std::string& tenant,
+                     std::vector<RunRequest> requests, Submitted& out,
+                     std::string& err) {
+  PTB_ASSERT(!requests.empty(), "submit requires at least one request");
+  Submitted result;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      err = "service shutting down";
+      return false;
+    }
+    if (queue_depth_.load() + requests.size() > opts_.queue_max) {
+      err = "queue full";
+      return false;
+    }
+
+    // Prune oldest finished jobs (ids are zero-padded, so map order is
+    // submission order). Nothing queued can reference a finished job.
+    while (jobs_.size() >= kMaxRetainedJobs) {
+      bool pruned = false;
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (it->second->finished()) {
+          jobs_.erase(it);
+          pruned = true;
+          break;
+        }
+      }
+      if (!pruned) break;  // everything live; let the table grow
+    }
+
+    char idbuf[24];
+    std::snprintf(idbuf, sizeof(idbuf), "j%08llu",
+                  static_cast<unsigned long long>(next_job_id_++));
+    auto job = std::make_unique<Job>();
+    job->id = idbuf;
+    job->tenant = tenant.empty() ? "default" : tenant;
+    job->units.reserve(requests.size());
+    for (RunRequest& req : requests) {
+      Unit u;
+      u.key = DiskRunCache::run_key(req.benchmark, req.config);
+      u.req = std::move(req);
+      result.unit_keys.push_back(hex16(u.key));
+      job->units.push_back(std::move(u));
+    }
+    result.job_id = job->id;
+
+    Job* jp = job.get();
+    jobs_[jp->id] = std::move(job);
+    std::deque<QueueRef>& q = queues_[jp->tenant];
+    for (std::size_t i = 0; i < jp->units.size(); ++i) {
+      q.push_back(QueueRef{jp, i});
+      queue_depth_.fetch_add(1);
+    }
+    jobs_submitted_.fetch_add(1);
+  }
+  work_cv_.notify_all();
+  out = std::move(result);
+  return true;
+}
+
+Service::QueueRef Service::pick_unit_locked() {
+  std::map<std::string, std::uint32_t> demand;
+  for (const auto& [tenant, q] : queues_) {
+    demand[tenant] = static_cast<std::uint32_t>(q.size());
+  }
+  for (const auto& [tenant, running] : running_per_tenant_) {
+    demand[tenant] += running;
+  }
+  const std::map<std::string, std::uint32_t> grant = admission_.plan(demand);
+  for (auto& [tenant, q] : queues_) {
+    if (q.empty()) continue;
+    const auto g = grant.find(tenant);
+    const auto r = running_per_tenant_.find(tenant);
+    const std::uint32_t running =
+        r == running_per_tenant_.end() ? 0 : r->second;
+    if (g != grant.end() && running < g->second) {
+      const QueueRef ref = q.front();
+      q.pop_front();
+      return ref;
+    }
+  }
+  return QueueRef{nullptr, 0};
+}
+
+void Service::worker_loop() {
+  MutexLock lock(mu_);
+  for (;;) {
+    QueueRef ref{nullptr, 0};
+    // Explicit wait loop (RunPool idiom): a predicate lambda would not be
+    // known to hold mu_ under -Wthread-safety.
+    while (!stopping_ && (ref = pick_unit_locked()).job == nullptr) {
+      work_cv_.wait(lock);
+    }
+    if (ref.job == nullptr) return;  // stopping; queued units fail in stop()
+
+    Unit& u = ref.job->units[ref.unit_index];
+    u.state = Unit::State::kRunning;
+    ++running_per_tenant_[ref.job->tenant];
+    queue_depth_.fetch_sub(1);
+    units_running_.fetch_add(1);
+    const RunRequest req = u.req;  // simulate without the lock
+    lock.unlock();
+
+    bool hit = false;
+    std::string payload = cached_run_payload(
+        cache_, benchmark_by_name(req.benchmark), req.config, hit);
+
+    lock.lock();
+    u.state = Unit::State::kDone;
+    u.cache_hit = hit;
+    u.payload = std::move(payload);
+    --running_per_tenant_[ref.job->tenant];
+    units_running_.fetch_sub(1);
+    units_completed_.fetch_add(1);
+    ++ref.job->completed;
+    if (ref.job->finished()) done_cv_.notify_all();
+    // Admission headroom changed: another tenant's unit may now start.
+    work_cv_.notify_all();
+  }
+}
+
+bool Service::wait(const std::string& job_id) {
+  MutexLock lock(mu_);
+  for (;;) {
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return false;
+    if (it->second->finished()) return true;
+    done_cv_.wait(lock);
+  }
+}
+
+std::string Service::job_status_json(const std::string& job_id) {
+  MutexLock lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return "";
+  const Job& job = *it->second;
+
+  bool any_failed = false;
+  bool any_running = false;
+  for (const Unit& u : job.units) {
+    if (u.state == Unit::State::kFailed) any_failed = true;
+    if (u.state == Unit::State::kRunning) any_running = true;
+  }
+  const char* state = job.finished() ? (any_failed ? "failed" : "done")
+                                     : (any_running ? "running" : "queued");
+
+  std::string out = "{";
+  out += "\"id\":\"" + job.id + "\",";
+  out += "\"tenant\":\"" + json::escape(job.tenant) + "\",";
+  out += "\"state\":\"";
+  out += state;
+  out += "\",";
+  out += "\"total\":" + std::to_string(job.units.size()) + ",";
+  out += "\"completed\":" + std::to_string(job.completed) + ",";
+  out += "\"units\":[";
+  for (std::size_t i = 0; i < job.units.size(); ++i) {
+    const Unit& u = job.units[i];
+    if (i) out += ",";
+    out += "{\"benchmark\":\"" + json::escape(u.req.benchmark) + "\",";
+    out += "\"key\":\"" + hex16(u.key) + "\",";
+    out += "\"state\":\"";
+    switch (u.state) {
+      case Unit::State::kPending: out += "pending"; break;
+      case Unit::State::kRunning: out += "running"; break;
+      case Unit::State::kDone: out += "done"; break;
+      case Unit::State::kFailed: out += "failed"; break;
+    }
+    out += "\"";
+    if (u.state == Unit::State::kDone) {
+      out += ",\"cache\":\"";
+      out += u.cache_hit ? "hit" : "miss";
+      out += "\"";
+    }
+    if (u.state == Unit::State::kFailed) {
+      out += ",\"error\":\"" + json::escape(u.error) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Service::unit_result(const std::string& job_id, std::size_t index,
+                          std::string& payload, bool& cache_hit) {
+  MutexLock lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || index >= it->second->units.size()) return false;
+  const Unit& u = it->second->units[index];
+  if (u.state != Unit::State::kDone) return false;
+  payload = u.payload;
+  cache_hit = u.cache_hit;
+  return true;
+}
+
+bool Service::result_payload(const std::string& key_hex,
+                             std::string& payload) {
+  std::uint64_t key = 0;
+  if (!parse_hex16(key_hex, key)) return false;
+  return cache_.load(key, payload);
+}
+
+std::string Service::metrics_text() {
+  // metrics_mu_ orders the snapshot against concurrent latency pushes;
+  // every other source is an atomic read.
+  MutexLock lock(metrics_mu_);
+  StatsDump dump = StatsDump::snapshot(registry_, nullptr, 0);
+  dump.bench = "ptb-serve";
+  return dump.to_prometheus();
+}
+
+void Service::record_http_request(double ms) {
+  http_requests_.fetch_add(1);
+  MutexLock lock(metrics_mu_);
+  latency_hist_->add(ms);
+}
+
+void Service::stop() {
+  if (stopped_.exchange(true)) return;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  {
+    MutexLock lock(mu_);
+    // Fail everything still queued so blocked waiters return.
+    for (auto& [tenant, q] : queues_) {
+      for (const QueueRef& ref : q) {
+        Unit& u = ref.job->units[ref.unit_index];
+        if (u.state == Unit::State::kPending) {
+          u.state = Unit::State::kFailed;
+          u.error = "service shutting down";
+          units_failed_.fetch_add(1);
+          queue_depth_.fetch_sub(1);
+          ++ref.job->completed;
+        }
+      }
+      q.clear();
+    }
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace ptb::serve

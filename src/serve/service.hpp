@@ -1,0 +1,162 @@
+// Service: the simulation-as-a-service core behind ptb-serve's HTTP
+// routes. Owns the persistent DiskRunCache, a job table, a fixed pool of
+// simulation workers, the TokenAdmission plan and the daemon's own
+// StatsRegistry (exposed at /metrics via the Prometheus exposition).
+//
+// Execution model: submit() enqueues one job (one or more RunRequests)
+// onto its tenant's FIFO and returns immediately with a job id and the
+// content-address (run key) of every unit. Worker threads pick the next
+// admissible unit — tenants in deterministic map order, FIFO within a
+// tenant, never exceeding the tenant's TokenAdmission grant — and answer
+// it through the disk cache (cached_run_payload: load on hit, simulate +
+// atomic store on miss). Clients either poll GET /v1/jobs/{id} or block
+// with ?wait=1 (wait()).
+//
+// Concurrent identical requests may both simulate (benign: the artifact
+// is a pure function of the request, stores are atomic and byte-identical,
+// last rename wins); the second request through the cache after the first
+// completes is a hit.
+//
+// stop() drains gracefully: running units finish and are recorded; units
+// still queued are failed with "service shutting down" so a blocked
+// wait() always returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "serve/admission.hpp"
+#include "serve/config_json.hpp"
+#include "sim/experiment.hpp"
+#include "stats/stats.hpp"
+
+namespace ptb::serve {
+
+struct ServiceOptions {
+  std::string cache_dir = ".ptb-cache";
+  unsigned sim_workers = 2;       // --jobs: concurrent simulations
+  std::uint32_t host_tokens = 2;  // --host-tokens: admission budget
+  PtbPolicy admission_policy = PtbPolicy::kToAll;
+  std::size_t queue_max = 256;  // queued (not yet running) units
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Outcome of a submit: the job id plus each unit's run key (hex16) —
+  /// the address a client can later GET /v1/results/{key} with.
+  struct Submitted {
+    std::string job_id;
+    std::vector<std::string> unit_keys;
+  };
+
+  /// Enqueues one job for `tenant`. False (with `err`) when the queue is
+  /// full or the service is stopping — the caller answers 429/503.
+  bool submit(const std::string& tenant, std::vector<RunRequest> requests,
+              Submitted& out, std::string& err);
+
+  /// Blocks until the job has finished (done or failed). False when the
+  /// id is unknown.
+  bool wait(const std::string& job_id);
+
+  /// Job status document for GET /v1/jobs/{id} ("" when unknown).
+  std::string job_status_json(const std::string& job_id);
+
+  /// Unit payload + cache disposition for the synchronous (?wait=1)
+  /// response path; valid after wait(). False when the id/index is
+  /// unknown or the unit failed.
+  bool unit_result(const std::string& job_id, std::size_t index,
+                   std::string& payload, bool& cache_hit);
+
+  /// GET /v1/results/{key}: straight read-through of the persistent
+  /// cache (key is hex16). False on bad key, miss, or corrupt entry.
+  bool result_payload(const std::string& key_hex, std::string& payload);
+
+  /// Prometheus text exposition of the daemon's registry (/metrics).
+  std::string metrics_text();
+
+  /// Hook for the HTTP transport: request completed in `ms`.
+  void record_http_request(double ms);
+
+  const DiskRunCache& cache() const { return cache_; }
+  const TokenAdmission& admission() const { return admission_; }
+
+  /// Graceful drain (see class comment). Idempotent.
+  void stop();
+
+ private:
+  struct Unit {
+    RunRequest req;
+    std::uint64_t key = 0;
+    // pending -> running -> done | failed
+    enum class State : std::uint8_t { kPending, kRunning, kDone, kFailed };
+    State state = State::kPending;
+    bool cache_hit = false;
+    std::string payload;  // artifact bytes (done units)
+    std::string error;    // failed units
+  };
+
+  struct Job {
+    std::string id;
+    std::string tenant;
+    std::vector<Unit> units;
+    std::size_t completed = 0;  // done + failed
+    bool finished() const { return completed == units.size(); }
+  };
+
+  struct QueueRef {
+    Job* job;
+    std::size_t unit_index;
+  };
+
+  void worker_loop();
+  /// Next admissible (tenant-fair, FIFO) unit, or {nullptr, 0}.
+  QueueRef pick_unit_locked() PTB_REQUIRES(mu_);
+  void register_metrics();
+
+  const ServiceOptions opts_;
+  DiskRunCache cache_;
+  TokenAdmission admission_;
+
+  Mutex mu_;
+  std::condition_variable_any work_cv_;  // workers: new unit / stopping
+  std::condition_variable_any done_cv_;  // waiters: a job finished
+  std::map<std::string, std::unique_ptr<Job>> jobs_ PTB_GUARDED_BY(mu_);
+  std::map<std::string, std::deque<QueueRef>> queues_ PTB_GUARDED_BY(mu_);
+  std::map<std::string, std::uint32_t> running_per_tenant_
+      PTB_GUARDED_BY(mu_);
+  std::uint64_t next_job_id_ PTB_GUARDED_BY(mu_) = 1;
+  bool stopping_ PTB_GUARDED_BY(mu_) = false;
+
+  // Metrics sources (atomics: readable from the registry's pull lambdas
+  // without touching mu_, so /metrics never contends with the scheduler).
+  std::atomic<std::uint64_t> http_requests_{0};
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> units_completed_{0};
+  std::atomic<std::uint64_t> units_failed_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};    // pending units
+  std::atomic<std::uint64_t> units_running_{0};  // in-flight simulations
+
+  Mutex metrics_mu_;  // guards latency_hist_ pushes vs /metrics snapshots
+  StatsRegistry registry_;
+  Histogram* latency_hist_ PTB_PT_GUARDED_BY(metrics_mu_) =
+      nullptr;  // registry-owned
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace ptb::serve

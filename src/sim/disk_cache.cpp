@@ -1,0 +1,315 @@
+// DiskRunCache + RunArtifact (declared in sim/experiment.hpp beside
+// BaseRunCache): the persistent, content-addressed run cache behind the
+// ptb-serve daemon.
+//
+// On-disk format, in the trace subsystem's explicit-little-endian,
+// corrupt-rejecting idiom (src/trace/trace.cpp): a 24-byte frame header
+// [magic "PTBR" | u32 format version | u64 payload length | u64 run key]
+// followed by the RunArtifact JSON payload bytes. Every field is checked on
+// read — wrong magic, foreign version, short/long payload or a key that
+// does not match the requested address all reject the entry (it is counted,
+// unlinked, and reads as a miss), so a truncated write or a bit-flip can
+// never serve wrong bytes; the caller re-simulates and the overwrite heals
+// the slot. Writes go to a unique temp file in the same directory and
+// rename() into place, so readers only ever see complete entries.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/json.hpp"
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "sim/trace_export.hpp"
+#include "stats/dump.hpp"
+
+namespace ptb {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'B', 'R'};
+constexpr std::uint32_t kFrameVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex16(const std::string& s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = v;
+  return true;
+}
+
+void fnv_mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunArtifact
+// ---------------------------------------------------------------------------
+
+RunArtifact RunArtifact::from_result(const std::string& benchmark,
+                                     const SimConfig& cfg,
+                                     const RunResult& r) {
+  RunArtifact a;
+  a.benchmark = benchmark;
+  a.num_cores = r.num_cores;
+  a.key = DiskRunCache::run_key(benchmark, cfg);
+  // Qualified: the unqualified names would resolve to the data members.
+  a.config_fingerprint = ptb::config_fingerprint(cfg);
+  a.machine_fingerprint = ptb::machine_fingerprint(cfg);
+  a.cycles = r.cycles;
+  a.hit_max_cycles = r.hit_max_cycles;
+  a.energy = r.energy;
+  a.aopb = r.aopb;
+  a.budget = r.budget;
+  a.peak_power = r.peak_power;
+  a.spin_energy = r.spin_energy;
+  a.total_committed = r.total_committed;
+  a.summary_kv = run_summary_kv(r);
+  a.stats_json = r.stats ? r.stats->to_json(/*include_volatile=*/false)
+                         : std::string();
+  return a;
+}
+
+std::string RunArtifact::to_payload() const {
+  std::string out = "{";
+  out += "\"schema_version\":" + std::to_string(kSchemaVersion) + ",";
+  out += "\"benchmark\":\"" + json::escape(benchmark) + "\",";
+  out += "\"num_cores\":" + std::to_string(num_cores) + ",";
+  out += "\"key\":\"" + hex16(key) + "\",";
+  out += "\"config_fingerprint\":\"" + hex16(config_fingerprint) + "\",";
+  out += "\"machine_fingerprint\":\"" + hex16(machine_fingerprint) + "\",";
+  out += "\"cycles\":" + std::to_string(cycles) + ",";
+  out += std::string("\"hit_max_cycles\":") +
+         (hit_max_cycles ? "true" : "false") + ",";
+  out += "\"energy\":" + format_g17(energy) + ",";
+  out += "\"aopb\":" + format_g17(aopb) + ",";
+  out += "\"budget\":" + format_g17(budget) + ",";
+  out += "\"peak_power\":" + format_g17(peak_power) + ",";
+  out += "\"spin_energy\":" + format_g17(spin_energy) + ",";
+  out += "\"total_committed\":" + std::to_string(total_committed) + ",";
+  out += "\"summary_kv\":\"" + json::escape(summary_kv) + "\",";
+  out += "\"stats_json\":\"" + json::escape(stats_json) + "\"";
+  out += "}";
+  return out;
+}
+
+bool RunArtifact::parse(std::string_view payload, RunArtifact& out) {
+  json::Value doc;
+  std::string err;
+  if (!json::parse(payload, doc, err) || !doc.is_object()) return false;
+
+  RunArtifact a;
+  std::uint32_t schema = 0;
+  const json::Value* v = doc.find("schema_version");
+  if (v == nullptr || !v->as_u32(schema) || schema != kSchemaVersion)
+    return false;
+
+  const auto str = [&](const char* k, std::string& dst) {
+    const json::Value* m = doc.find(k);
+    if (m == nullptr || !m->is_string()) return false;
+    dst = m->as_string();
+    return true;
+  };
+  const auto hex = [&](const char* k, std::uint64_t& dst) {
+    std::string s;
+    return str(k, s) && parse_hex16(s, dst);
+  };
+  const auto u64 = [&](const char* k, std::uint64_t& dst) {
+    const json::Value* m = doc.find(k);
+    return m != nullptr && m->as_u64(dst);
+  };
+  const auto f64 = [&](const char* k, double& dst) {
+    const json::Value* m = doc.find(k);
+    if (m == nullptr || !m->is_number()) return false;
+    dst = m->as_double();
+    return true;
+  };
+
+  std::uint64_t cores = 0;
+  const json::Value* b = doc.find("hit_max_cycles");
+  if (!str("benchmark", a.benchmark) || !u64("num_cores", cores) ||
+      cores > 0xffffffffull || !hex("key", a.key) ||
+      !hex("config_fingerprint", a.config_fingerprint) ||
+      !hex("machine_fingerprint", a.machine_fingerprint) ||
+      !u64("cycles", a.cycles) || b == nullptr || !b->is_bool() ||
+      !f64("energy", a.energy) || !f64("aopb", a.aopb) ||
+      !f64("budget", a.budget) || !f64("peak_power", a.peak_power) ||
+      !f64("spin_energy", a.spin_energy) ||
+      !u64("total_committed", a.total_committed) ||
+      !str("summary_kv", a.summary_kv) ||
+      !str("stats_json", a.stats_json)) {
+    return false;
+  }
+  a.num_cores = static_cast<std::uint32_t>(cores);
+  a.hit_max_cycles = b->as_bool();
+  out = std::move(a);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DiskRunCache
+// ---------------------------------------------------------------------------
+
+DiskRunCache::DiskRunCache(std::string dir) : dir_(std::move(dir)) {
+  PTB_ASSERT(!dir_.empty(), "cache directory must not be empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  PTB_ASSERTF(!ec && std::filesystem::is_directory(dir_),
+              "cannot create cache directory '%s'", dir_.c_str());
+}
+
+std::uint64_t DiskRunCache::run_key(std::string_view benchmark,
+                                    const SimConfig& cfg) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  const std::uint32_t schema = RunArtifact::kSchemaVersion;
+  fnv_mix_bytes(h, &schema, sizeof(schema));
+  const std::uint64_t fp = config_fingerprint(cfg);
+  fnv_mix_bytes(h, &fp, sizeof(fp));
+  fnv_mix_bytes(h, benchmark.data(), benchmark.size());
+  return h;
+}
+
+std::string DiskRunCache::path_for(std::uint64_t key) const {
+  return dir_ + "/" + hex16(key) + ".run";
+}
+
+bool DiskRunCache::load(std::uint64_t key, std::string& payload) const {
+  const std::string path = path_for(key);
+  std::string raw;
+  if (!read_file(path, raw)) {
+    misses_.fetch_add(1);
+    return false;
+  }
+  const auto corrupt = [&] {
+    corrupt_.fetch_add(1);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // heal the slot on the next store
+    return false;
+  };
+  if (raw.size() < kHeaderBytes ||
+      std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return corrupt();
+  }
+  if (get_u32(raw.data() + 4) != kFrameVersion) return corrupt();
+  const std::uint64_t len = get_u64(raw.data() + 8);
+  if (get_u64(raw.data() + 16) != key) return corrupt();
+  if (raw.size() != kHeaderBytes + len) return corrupt();
+  // The payload must still be a valid schema-v1 artifact for this very
+  // key — framing alone cannot catch a payload-level bit flip.
+  RunArtifact a;
+  if (!RunArtifact::parse(
+          std::string_view(raw).substr(kHeaderBytes), a) ||
+      a.key != key) {
+    return corrupt();
+  }
+  payload = raw.substr(kHeaderBytes);
+  hits_.fetch_add(1);
+  return true;
+}
+
+bool DiskRunCache::store(std::uint64_t key, std::string_view payload) const {
+  std::string framed;
+  framed.reserve(kHeaderBytes + payload.size());
+  framed.append(kMagic, sizeof(kMagic));
+  put_u32(framed, kFrameVersion);
+  put_u64(framed, payload.size());
+  put_u64(framed, key);
+  framed.append(payload.data(), payload.size());
+
+  // Unique temp name per (process, store): concurrent writers of the same
+  // key never clobber each other's partial file, and rename() makes the
+  // publish atomic.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = dir_ + "/.tmp." + hex16(key) + "." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(framed.data(), 1, framed.size(), f) == framed.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_for(key).c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  stores_.fetch_add(1);
+  return true;
+}
+
+std::string cached_run_payload(const DiskRunCache& cache,
+                               const WorkloadProfile& profile,
+                               const SimConfig& cfg, bool& hit) {
+  const std::uint64_t key = DiskRunCache::run_key(profile.name, cfg);
+  return cache.get_or_compute(key, hit, [&] {
+    RunOptions opts;
+    opts.stats = true;  // the artifact carries the StatsDump JSON
+    const RunResult r = run_one(profile, cfg, opts);
+    return RunArtifact::from_result(profile.name, cfg, r).to_payload();
+  });
+}
+
+}  // namespace ptb

@@ -15,6 +15,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -140,6 +141,130 @@ class BaseRunCache {
   std::map<Key, Entry> cache_ PTB_GUARDED_BY(mu_);
   std::atomic<std::size_t> computed_{0};
 };
+
+/// The canonical on-disk/over-the-wire artifact of one simulation run:
+/// the RunResult scalar summary plus (when the run carried a stats
+/// registry) the deterministic StatsDump JSON — schema v1, the same
+/// document a bench binary's --stats flag writes. Artifacts are a pure
+/// function of (benchmark, config, seed): two runs of the same request
+/// serialize to byte-identical payloads, which is what lets the serve
+/// daemon answer repeat queries from DiskRunCache below and prove the
+/// cache honest with a byte compare.
+struct RunArtifact {
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  std::string benchmark;
+  std::uint32_t num_cores = 0;
+  std::uint64_t key = 0;  // DiskRunCache::run_key of (benchmark, cfg)
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t machine_fingerprint = 0;
+  std::uint64_t cycles = 0;
+  bool hit_max_cycles = false;
+  double energy = 0.0;
+  double aopb = 0.0;
+  double budget = 0.0;
+  double peak_power = 0.0;
+  double spin_energy = 0.0;
+  std::uint64_t total_committed = 0;
+  /// run_summary_kv(result) — the flat key=value rendering every bench
+  /// prints; carried verbatim so a cached answer matches a live one.
+  std::string summary_kv;
+  /// StatsDump::to_json(include_volatile=false) of the run's registry;
+  /// empty when the producing run had stats off.
+  std::string stats_json;
+
+  /// Builds the artifact for a finished run. `cfg` must be the config the
+  /// run was executed with (the fingerprints are recomputed from it).
+  static RunArtifact from_result(const std::string& benchmark,
+                                 const SimConfig& cfg, const RunResult& r);
+
+  /// Canonical JSON payload bytes (deterministic member order, locale-
+  /// pinned numbers). This is what DiskRunCache stores and the serve
+  /// daemon returns.
+  std::string to_payload() const;
+  /// Strict parse of to_payload output; false (out untouched) on
+  /// malformed or schema-mismatched payloads.
+  static bool parse(std::string_view payload, RunArtifact& out);
+};
+
+/// Persistent, content-addressed run cache: RunArtifact payloads on disk,
+/// one file per run key (the config-fingerprint-derived run_key), written
+/// atomically (temp file + rename) and framed with a little-endian
+/// magic/version/length/key header in the trace subsystem's corrupt-
+/// rejecting idiom — a truncated, bit-flipped or foreign file fails
+/// validation and reads as a miss (the caller re-simulates and the next
+/// store overwrites the bad entry).
+///
+/// Thread-safety: all methods may be called concurrently from any thread.
+/// Loads and stores race benignly through the filesystem (rename is
+/// atomic, so a reader sees either the old complete entry or the new
+/// one); the hit/miss/corrupt counters are atomics.
+class DiskRunCache {
+ public:
+  /// Opens (and creates, including parents) the cache directory. Aborts
+  /// if the directory cannot be created — a service without its cache
+  /// directory cannot meet its contract.
+  explicit DiskRunCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Content address of one run: FNV-1a over the artifact schema version,
+  /// config_fingerprint(cfg) and the benchmark name. Everything that can
+  /// change a result byte is inside config_fingerprint; observe-only
+  /// knobs (audit/trace/sim_threads) stay out, so a request answered
+  /// from cache is indistinguishable from a re-run.
+  static std::uint64_t run_key(std::string_view benchmark,
+                               const SimConfig& cfg);
+
+  /// Loads the payload for `key`. False on miss *or* on a corrupt entry
+  /// (bad magic/version/length/key or unparseable artifact) — corrupt
+  /// entries bump the corrupt counter and are unlinked so the slot heals
+  /// on the next store.
+  bool load(std::uint64_t key, std::string& payload) const;
+
+  /// Atomically persists `payload` under `key` (write temp + rename).
+  /// Returns false when the directory is not writable.
+  bool store(std::uint64_t key, std::string_view payload) const;
+
+  /// Runs `make` on miss/corruption and persists its payload; returns the
+  /// payload either way and reports whether it was a hit.
+  template <typename MakeFn>
+  std::string get_or_compute(std::uint64_t key, bool& hit, MakeFn&& make)
+      const {
+    std::string payload;
+    if (load(key, payload)) {
+      hit = true;
+      return payload;
+    }
+    hit = false;
+    payload = make();
+    store(key, payload);
+    return payload;
+  }
+
+  std::string path_for(std::uint64_t key) const;
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t corrupt() const { return corrupt_.load(); }
+  std::uint64_t stores() const { return stores_.load(); }
+
+ private:
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> corrupt_{0};
+  mutable std::atomic<std::uint64_t> stores_{0};
+};
+
+/// Convenience get-or-run on top of DiskRunCache: answers from disk when
+/// the artifact for (benchmark, cfg) is present and valid, otherwise
+/// simulates on the calling thread (run_one with a stats registry, so the
+/// artifact carries the StatsDump) and persists the result. `hit` reports
+/// which path was taken.
+std::string cached_run_payload(const DiskRunCache& cache,
+                               const WorkloadProfile& profile,
+                               const SimConfig& cfg, bool& hit);
 
 /// Runs every suite benchmark under each technique at `cores`, normalized
 /// against base runs from `cache`. All (benchmark x technique) cells plus

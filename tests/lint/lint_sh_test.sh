@@ -99,6 +99,34 @@ long stamp() { return std::chrono::steady_clock::now().time_since_epoch().count(
 EOF
 run_case "steady-clock-allowed" 0 "lint: OK" "/nonexistent-ptb-lint"
 
+# --- section 1: the serve HTTP transport is wallclock-exempt ----------------
+# src/serve/http.* may read steady_clock (request latency, socket
+# timeouts); see the guard comment on the rule in lint.sh.
+make_tree "$tmp/tree"
+mkdir -p "$tmp/tree/src/serve"
+cat > "$tmp/tree/src/serve/http.cpp" <<'EOF'
+#include <chrono>
+double now_ms() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+EOF
+run_case "serve-http-exempt" 0 "lint: OK" "/nonexistent-ptb-lint"
+
+# --- section 1: the exemption is the transport only, not all of src/serve ---
+# The scheduler/codec side of the daemon picks and builds simulations; a
+# clock read there is exactly the steering the rule exists to catch.
+make_tree "$tmp/tree"
+mkdir -p "$tmp/tree/src/serve"
+cat > "$tmp/tree/src/serve/service.cpp" <<'EOF'
+#include <chrono>
+long pick_seed() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+EOF
+run_case "serve-nontransport-fires" 1 "steady_clock outside" \
+  "/nonexistent-ptb-lint"
+
 # --- section 1: range-for over an unordered container -----------------------
 make_tree "$tmp/tree"
 cat >> "$tmp/tree/src/clean.cpp" <<'EOF'

@@ -1,0 +1,153 @@
+// TokenAdmission (serve/admission.hpp): the host-side token balancer that
+// caps concurrent simulations per tenant. plan() is a pure function of the
+// demand map, so every case here is exact — the invariants in the header
+// (sum(grant) <= budget, grant <= demand, full grants when everybody fits)
+// are asserted across the policy space and a brute-force sweep.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ptb::serve {
+namespace {
+
+using Demand = std::map<std::string, std::uint32_t>;
+
+std::uint64_t total(const Demand& m) {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : m) t += v;
+  return t;
+}
+
+void check_invariants(const TokenAdmission& adm, const Demand& demand) {
+  const Demand grant = adm.plan(demand);
+  ASSERT_EQ(grant.size(), demand.size());
+  std::uint64_t granted = 0;
+  for (const auto& [tenant, d] : demand) {
+    const auto it = grant.find(tenant);
+    ASSERT_NE(it, grant.end()) << tenant;
+    EXPECT_LE(it->second, d) << tenant << ": granted above demand";
+    if (d == 0) {
+      EXPECT_EQ(it->second, 0u) << tenant;
+    }
+    granted += it->second;
+  }
+  EXPECT_LE(granted, adm.host_tokens()) << "budget overrun";
+  if (total(demand) <= adm.host_tokens()) {
+    EXPECT_EQ(granted, total(demand)) << "under-subscribed demand stranded";
+  } else if (adm.policy() == PtbPolicy::kToAll) {
+    // Over-subscribed to_all re-splits until the spare is gone: the whole
+    // budget is handed out, no worker idles while any tenant queues.
+    // (to_one may strand spare beyond the single neediest tenant's
+    // residual — that lopsidedness is the policy's defining trade-off.)
+    EXPECT_EQ(granted, adm.host_tokens()) << "tokens stranded";
+  }
+}
+
+TEST(TokenAdmission, ZeroDemandGetsZeroGrant) {
+  const TokenAdmission adm(4, PtbPolicy::kToAll);
+  const Demand grant = adm.plan({{"a", 0}, {"b", 0}});
+  EXPECT_EQ(grant.at("a"), 0u);
+  EXPECT_EQ(grant.at("b"), 0u);
+}
+
+TEST(TokenAdmission, EverybodyFitsGetsFullDemand) {
+  const TokenAdmission adm(8, PtbPolicy::kToAll);
+  const Demand grant = adm.plan({{"a", 3}, {"b", 5}});
+  EXPECT_EQ(grant.at("a"), 3u);
+  EXPECT_EQ(grant.at("b"), 5u);
+}
+
+TEST(TokenAdmission, OversubscribedFairShare) {
+  // 4 tokens, two tenants each wanting 4: fair split, 2 apiece, under both
+  // policies (no spare remains after the fair pass).
+  for (const PtbPolicy p : {PtbPolicy::kToAll, PtbPolicy::kToOne}) {
+    const TokenAdmission adm(4, p);
+    const Demand grant = adm.plan({{"a", 4}, {"b", 4}});
+    EXPECT_EQ(grant.at("a"), 2u);
+    EXPECT_EQ(grant.at("b"), 2u);
+  }
+}
+
+TEST(TokenAdmission, ToOneSpareGoesToNeediestTenant) {
+  // 8 tokens, fair share 2 each; a and b are satisfied at 1, c and d are
+  // capped at 2. Spare = 2; to_one hands all of it to the largest residual
+  // (d, residual 8) in one piece.
+  const TokenAdmission adm(8, PtbPolicy::kToOne);
+  const Demand grant = adm.plan({{"a", 1}, {"b", 1}, {"c", 4}, {"d", 10}});
+  EXPECT_EQ(grant.at("a"), 1u);
+  EXPECT_EQ(grant.at("b"), 1u);
+  EXPECT_EQ(grant.at("c"), 2u);
+  EXPECT_EQ(grant.at("d"), 4u);
+}
+
+TEST(TokenAdmission, ToOneTieBreaksToFirstTenantInMapOrder) {
+  // Equal residuals: the lexicographically first tenant wins (std::map
+  // order), which keeps the plan deterministic across runs.
+  const TokenAdmission adm(5, PtbPolicy::kToOne);
+  const Demand grant = adm.plan({{"a", 1}, {"x", 4}, {"y", 4}});
+  EXPECT_EQ(grant.at("a"), 1u);
+  EXPECT_EQ(grant.at("x"), 3u);  // fair 1 + all 2 spare
+  EXPECT_EQ(grant.at("y"), 1u);
+}
+
+TEST(TokenAdmission, ToAllSplitsSpareAcrossNeedyTenants) {
+  // Same demand as the to_one case: to_all spreads the 2 spare tokens one
+  // each over the needy tenants {c, d} instead of piling them on d.
+  const TokenAdmission adm(8, PtbPolicy::kToAll);
+  const Demand grant = adm.plan({{"a", 1}, {"b", 1}, {"c", 4}, {"d", 10}});
+  EXPECT_EQ(grant.at("a"), 1u);
+  EXPECT_EQ(grant.at("b"), 1u);
+  EXPECT_EQ(grant.at("c"), 3u);
+  EXPECT_EQ(grant.at("d"), 3u);
+}
+
+TEST(TokenAdmission, ToAllResplitRoundsDrainTheSpare) {
+  // First-round share would strand tokens on the nearly-satisfied tenant;
+  // the bounded re-split rounds must push the rest to the still-needy one.
+  const TokenAdmission adm(9, PtbPolicy::kToAll);
+  const Demand grant = adm.plan({{"a", 1}, {"b", 9}, {"c", 1}});
+  EXPECT_EQ(grant.at("a"), 1u);
+  EXPECT_EQ(grant.at("c"), 1u);
+  EXPECT_EQ(grant.at("b"), 7u);  // everything the others left behind
+}
+
+TEST(TokenAdmission, MoreTenantsThanTokens) {
+  // fair = max(1, 2/3) = 1: the first two tenants in map order get one
+  // token each, the third waits. Deterministic, never over budget.
+  const TokenAdmission adm(2, PtbPolicy::kToAll);
+  const Demand grant = adm.plan({{"a", 5}, {"b", 5}, {"c", 5}});
+  EXPECT_EQ(grant.at("a"), 1u);
+  EXPECT_EQ(grant.at("b"), 1u);
+  EXPECT_EQ(grant.at("c"), 0u);
+}
+
+TEST(TokenAdmission, InvariantSweep) {
+  // Brute-force the invariants over a small demand lattice for both
+  // policies and several budgets. plan() is pure, so this is exhaustive
+  // for the covered shapes, not statistical.
+  for (const PtbPolicy p : {PtbPolicy::kToAll, PtbPolicy::kToOne}) {
+    for (const std::uint32_t tokens : {1u, 2u, 3u, 5u, 8u}) {
+      const TokenAdmission adm(tokens, p);
+      for (std::uint32_t a = 0; a <= 4; ++a) {
+        for (std::uint32_t b = 0; b <= 4; ++b) {
+          for (std::uint32_t c = 0; c <= 4; ++c) {
+            check_invariants(adm, {{"a", a}, {"b", b}, {"c", c}});
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TokenAdmission, PlanIsDeterministic) {
+  const TokenAdmission adm(6, PtbPolicy::kToAll);
+  const Demand demand = {{"p", 3}, {"q", 7}, {"r", 2}};
+  EXPECT_EQ(adm.plan(demand), adm.plan(demand));
+}
+
+}  // namespace
+}  // namespace ptb::serve

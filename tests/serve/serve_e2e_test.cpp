@@ -1,0 +1,287 @@
+// End-to-end ptb-serve tests: a real Server (sockets on 127.0.0.1, port 0)
+// driven through the in-repo HTTP client. The acceptance case for the
+// service plane lives here: a daemon *restart* between two identical
+// POST /v1/run requests, with the second answered from the persistent
+// DiskRunCache byte-identically to the first — the cache, not the process,
+// is the source of truth. The remaining cases cover /metrics exposition,
+// the admission cap, the sweep route and the error surface (routing is
+// also exercised without sockets through Server::handle).
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+
+namespace ptb::serve {
+namespace {
+
+// 2 cores x 20k cycles: a few milliseconds per simulation.
+const char* kRunBody =
+    "{\"benchmark\":\"fft\","
+    "\"config\":{\"num_cores\":2,\"max_cycles\":20000}}";
+
+ServiceOptions test_opts(const std::string& cache_dir) {
+  ServiceOptions o;
+  o.cache_dir = cache_dir;
+  o.sim_workers = 2;
+  o.host_tokens = 2;
+  o.queue_max = 64;
+  return o;
+}
+
+std::string fresh_cache_dir(const char* tag) {
+  // TempDir() outlives the process: wipe the slot so a "fresh cache" case
+  // stays fresh on re-runs.
+  const std::string dir = testing::TempDir() + "/ptb_serve_e2e_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const std::string* find_header(const HttpResponse& r, const char* name) {
+  for (const auto& [k, v] : r.headers) {
+    if (k == name) return &v;  // client lowercases names
+  }
+  return nullptr;
+}
+
+HttpResponse must_request(std::uint16_t port, const std::string& method,
+                          const std::string& target,
+                          const std::string& body = "") {
+  HttpResponse resp;
+  std::string err;
+  EXPECT_TRUE(
+      http_request("127.0.0.1", port, method, target, body, {}, resp, err))
+      << method << " " << target << ": " << err;
+  return resp;
+}
+
+// The acceptance test: byte-identical answers from the persistent cache
+// across a full daemon restart.
+TEST(ServeE2E, RestartServesByteIdenticalFromPersistentCache) {
+  const std::string cache_dir = fresh_cache_dir("restart");
+
+  std::string first_body;
+  std::string key;
+  {
+    Server server(test_opts(cache_dir), "127.0.0.1", 0, 2);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const HttpResponse r =
+        must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody);
+    ASSERT_EQ(r.status, 200) << r.body;
+    const std::string* cache = find_header(r, "x-ptb-cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(*cache, "miss") << "fresh cache dir cannot hit";
+    const std::string* k = find_header(r, "x-ptb-key");
+    ASSERT_NE(k, nullptr);
+    key = *k;
+    first_body = r.body;
+    ASSERT_FALSE(first_body.empty());
+    server.stop();
+  }  // daemon gone; only the cache directory survives
+
+  {
+    Server server(test_opts(cache_dir), "127.0.0.1", 0, 2);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const HttpResponse r =
+        must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody);
+    ASSERT_EQ(r.status, 200) << r.body;
+    const std::string* cache = find_header(r, "x-ptb-cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(*cache, "hit") << "restart lost the persistent cache";
+    EXPECT_EQ(r.body, first_body) << "cached answer not byte-identical";
+
+    // The content address is stable across processes too.
+    const HttpResponse by_key =
+        must_request(server.port(), "GET", "/v1/results/" + key);
+    ASSERT_EQ(by_key.status, 200);
+    EXPECT_EQ(by_key.body, first_body);
+    server.stop();
+  }
+}
+
+TEST(ServeE2E, MetricsExposeRequestCacheAndQueueSeries) {
+  Server server(test_opts(fresh_cache_dir("metrics")), "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  ASSERT_EQ(must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody)
+                .status,
+            200);
+  const HttpResponse m = must_request(server.port(), "GET", "/metrics");
+  ASSERT_EQ(m.status, 200);
+  EXPECT_NE(m.content_type.find("text/plain"), std::string::npos);
+  for (const char* series :
+       {"ptb_serve_http_requests", "ptb_serve_jobs_submitted",
+        "ptb_serve_cache_hits", "ptb_serve_cache_misses",
+        "ptb_serve_cache_corrupt", "ptb_serve_queue_depth",
+        "ptb_serve_jobs_in_flight", "ptb_serve_admission_host_tokens",
+        "ptb_serve_http_request_ms"}) {
+    EXPECT_NE(m.body.find(series), std::string::npos) << series;
+  }
+  // The one run above was a miss; the counter must say so.
+  EXPECT_NE(m.body.find("ptb_serve_cache_misses 1"), std::string::npos)
+      << m.body;
+  server.stop();
+}
+
+// Extracts the value of `series` from a Prometheus exposition ("" absent).
+std::string series_value(const std::string& text,
+                         const std::string& series) {
+  const std::size_t at = text.find("\n" + series + " ");
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + 1 + series.size() + 1;
+  return text.substr(start, text.find('\n', start) - start);
+}
+
+TEST(ServeE2E, AdmissionCapsInFlightSimulationsAtHostTokens) {
+  // 2 workers but a host budget of 1: the scheduler may never have more
+  // than one simulation in flight even with a deep single-tenant queue.
+  // A poller samples the in-flight gauge while the sweep runs; sampling
+  // can only under-observe a violation, never invent one, so a pass is
+  // sound and a violation is caught with high probability.
+  ServiceOptions opts = test_opts(fresh_cache_dir("admission"));
+  opts.host_tokens = 1;
+  Service service(opts);
+
+  std::vector<RunRequest> reqs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RunRequest r;
+    r.benchmark = "fft";
+    r.config.num_cores = 2;
+    r.config.max_cycles = 20000;
+    r.config.seed = seed;  // distinct addresses: all six really simulate
+    reqs.push_back(r);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::thread poller([&] {
+    while (!done.load()) {
+      const std::string v =
+          series_value(service.metrics_text(), "ptb_serve_jobs_in_flight");
+      if (!v.empty() && std::strtod(v.c_str(), nullptr) > 1.0) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+
+  Service::Submitted submitted;
+  std::string err;
+  ASSERT_TRUE(service.submit("tenant-a", reqs, submitted, err)) << err;
+  ASSERT_TRUE(service.wait(submitted.job_id));
+  done.store(true);
+  poller.join();
+
+  EXPECT_EQ(violations.load(), 0) << "in-flight exceeded the token budget";
+  const std::string status = service.job_status_json(submitted.job_id);
+  EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos) << status;
+  service.stop();
+}
+
+TEST(ServeE2E, SweepWaitReturnsEveryArtifactAndSecondSweepHits) {
+  Server server(test_opts(fresh_cache_dir("sweep")), "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const std::string body =
+      "{\"requests\":["
+      "{\"benchmark\":\"fft\",\"config\":{\"num_cores\":2,"
+      "\"max_cycles\":20000}},"
+      "{\"benchmark\":\"radix\",\"config\":{\"num_cores\":2,"
+      "\"max_cycles\":20000}}]}";
+  const HttpResponse first =
+      must_request(server.port(), "POST", "/v1/sweep?wait=1", body);
+  ASSERT_EQ(first.status, 200) << first.body;
+  EXPECT_NE(first.body.find("\"cache\":\"miss\""), std::string::npos);
+  EXPECT_NE(first.body.find("\"artifact\":{"), std::string::npos);
+
+  const HttpResponse second =
+      must_request(server.port(), "POST", "/v1/sweep?wait=1", body);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(second.body.find("\"cache\":\"miss\""), std::string::npos)
+      << "second sweep re-simulated";
+  // Embedded artifacts are the same bytes, so the whole response document
+  // is identical apart from the job id.
+  EXPECT_NE(second.body.find("\"cache\":\"hit\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ServeE2E, AsyncSubmitThenPollJob) {
+  Server server(test_opts(fresh_cache_dir("async")), "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const HttpResponse accepted =
+      must_request(server.port(), "POST", "/v1/run", kRunBody);
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::string* job = find_header(accepted, "x-ptb-job");
+  ASSERT_NE(job, nullptr);
+
+  // Poll through the real route until the job lands (bounded by the test
+  // timeout; each unit is milliseconds).
+  std::string status;
+  for (;;) {
+    const HttpResponse r =
+        must_request(server.port(), "GET", "/v1/jobs/" + *job);
+    ASSERT_EQ(r.status, 200);
+    status = r.body;
+    if (status.find("\"state\":\"done\"") != std::string::npos ||
+        status.find("\"state\":\"failed\"") != std::string::npos) {
+      break;
+    }
+    // Gentle poll: a tight loop would churn thousands of one-shot
+    // connections into TIME_WAIT while a sanitizer build simulates.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos) << status;
+  EXPECT_NE(status.find("\"completed\":1"), std::string::npos) << status;
+  server.stop();
+}
+
+// Routing error surface, exercised without sockets through handle().
+TEST(ServeE2E, HandleErrorSurface) {
+  Server server(test_opts(fresh_cache_dir("errors")), "127.0.0.1", 0, 1);
+
+  const auto req = [](const char* method, const char* path,
+                      const char* body = "") {
+    HttpRequest r;
+    r.method = method;
+    r.path = path;
+    r.body = body;
+    return r;
+  };
+
+  EXPECT_EQ(server.handle(req("GET", "/healthz")).status, 200);
+  EXPECT_EQ(server.handle(req("GET", "/no/such/route")).status, 404);
+  EXPECT_EQ(server.handle(req("GET", "/v1/run")).status, 405);
+  EXPECT_EQ(server.handle(req("POST", "/v1/run", "{not json")).status, 400);
+  EXPECT_EQ(
+      server.handle(req("POST", "/v1/run", "{\"benchmark\":\"nope\"}"))
+          .status,
+      400);
+  EXPECT_EQ(server.handle(req("GET", "/v1/jobs/j99999999")).status, 404);
+  EXPECT_EQ(
+      server.handle(req("GET", "/v1/results/0123456789abcdef")).status,
+      404);
+  EXPECT_EQ(server.handle(req("GET", "/v1/results/not-a-key")).status, 404);
+
+  // Drained service answers 503, not a hang.
+  server.service().stop();
+  EXPECT_EQ(server.handle(req("POST", "/v1/run", kRunBody)).status, 503);
+}
+
+}  // namespace
+}  // namespace ptb::serve

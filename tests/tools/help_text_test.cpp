@@ -87,9 +87,39 @@ TEST(HelpText, StatsHelpDocumentsFingerprintCheck) {
   EXPECT_NE(h.find("exit status"), std::string::npos);
 }
 
+TEST(HelpText, ServeHelpDocumentsEveryFlagAndRoute) {
+  const std::string h = rendered(ptb::tools::kServeUsage);
+  // One entry per flag the daemon's argv loop dispatches
+  // (tools/ptb_serve.cpp main()).
+  for (const char* flag :
+       {"--listen", "--port", "--jobs", "--host-tokens", "--policy",
+        "--cache-dir", "--queue-max", "--http-threads"}) {
+    EXPECT_NE(h.find(flag), std::string::npos) << flag;
+  }
+  // One entry per route Server::handle dispatches.
+  for (const char* route :
+       {"/v1/run", "/v1/sweep", "/v1/jobs/{id}", "/v1/results/{key}",
+        "/metrics", "/healthz"}) {
+    EXPECT_NE(h.find(route), std::string::npos) << route;
+  }
+}
+
+TEST(HelpText, ServeHelpDocumentsCacheAndDrainBehavior) {
+  const std::string h = rendered(ptb::tools::kServeUsage);
+  // The two behaviors an operator would otherwise discover by surprise:
+  // repeat answers come from the cache byte-identically (corrupt entries
+  // re-simulate, never serve), and shutdown drains rather than kills.
+  EXPECT_NE(h.find("byte-identically"), std::string::npos);
+  EXPECT_NE(h.find("corrupt"), std::string::npos);
+  EXPECT_NE(h.find("re-simulated"), std::string::npos);
+  EXPECT_NE(h.find("drain"), std::string::npos);
+  EXPECT_NE(h.find("exit status"), std::string::npos);
+}
+
 TEST(HelpText, FormattingContract) {
   expect_well_formed(rendered(ptb::tools::kTraceUsage));
   expect_well_formed(rendered(ptb::tools::kStatsUsage));
+  expect_well_formed(rendered(ptb::tools::kServeUsage));
 }
 
 // The byte-pin: sizes change whenever the text changes, which is enough to
@@ -98,8 +128,10 @@ TEST(HelpText, FormattingContract) {
 TEST(HelpText, GoldenShape) {
   const std::string trace = rendered(ptb::tools::kTraceUsage);
   const std::string stats = rendered(ptb::tools::kStatsUsage);
+  const std::string serve = rendered(ptb::tools::kServeUsage);
   EXPECT_EQ(lines_of(trace).size(), 13u);
   EXPECT_EQ(lines_of(stats).size(), 14u);
+  EXPECT_EQ(lines_of(serve).size(), 17u);
 }
 
 }  // namespace

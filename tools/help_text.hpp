@@ -60,4 +60,28 @@ inline constexpr char kStatsUsage[] =
     "exit status: 0 ok, 1 difference/regression or unreadable input, 2 "
     "usage.\n";
 
+// %s is the program name (argv[0]); printed via fprintf.
+inline constexpr char kServeUsage[] =
+    "usage: %s [OPTIONS]\n"
+    "  --listen ADDR    IPv4 listen address (default 127.0.0.1)\n"
+    "  --port N         TCP port; 0 picks an ephemeral port (default "
+    "7580)\n"
+    "  --jobs N         concurrent simulation workers (default 2)\n"
+    "  --host-tokens N  admission token budget balanced across tenants\n"
+    "                   (default: the --jobs value)\n"
+    "  --policy P       spare-token policy: to_all | to_one (default "
+    "to_all)\n"
+    "  --cache-dir DIR  persistent content-addressed run cache (default\n"
+    "                   .ptb-cache; created if absent)\n"
+    "  --queue-max N    queued-unit cap before requests get 429 (default "
+    "256)\n"
+    "  --http-threads N HTTP worker threads (default 4)\n"
+    "Serves POST /v1/run, POST /v1/sweep, GET /v1/jobs/{id},\n"
+    "GET /v1/results/{key}, GET /metrics (Prometheus), GET /healthz.\n"
+    "Repeat requests are answered from the cache byte-identically; corrupt\n"
+    "cache entries are rejected and re-simulated, never served. SIGINT/\n"
+    "SIGTERM drain gracefully: running simulations finish, queued ones "
+    "fail.\n"
+    "exit status: 0 clean shutdown, 1 startup failure, 2 usage.\n";
+
 }  // namespace ptb::tools
