@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
 #include "sim/reporting.hpp"
 #include "sim/run_pool.hpp"
@@ -46,6 +47,21 @@ struct BenchOptions {
   std::string stats_path;
   std::uint64_t stats_every = 0;
   bool stats_prom = false;  // --stats-format json (default) | prom
+  // --sample-windows DETAIL/PERIOD: SMARTS-style sampled simulation for
+  // every run — each period of PERIOD cycles models the first DETAIL
+  // cycles in detail and fast-forwards the rest. 0/0 (default) = off.
+  std::uint64_t sample_detail = 0;
+  std::uint64_t sample_period = 0;
+  // --warm-checkpoint-dir DIR: cache post-warmup simulator images on disk
+  // so repeated sweeps skip functional warmup.
+  std::string warm_checkpoint_dir;
+  // --checkpoint-at CYC:PATH: capture a checkpoint of the reference run
+  // (the --trace/--stats configuration) at cycle CYC and write it to PATH.
+  std::uint64_t checkpoint_at = 0;
+  std::string checkpoint_path;
+  // --restore-from PATH: restore the reference run from a checkpoint frame
+  // and run it to completion (proves frames round-trip from the CLI).
+  std::string restore_path;
 };
 
 /// Parses the shared flags; prints usage and exits on --help or on an
@@ -141,6 +157,67 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
         std::exit(2);
       }
       opts.stats_path = v;
+    } else if (arg == "--sample-windows" ||
+               arg.rfind("--sample-windows=", 0) == 0) {
+      const char* v = arg.size() > 16 && arg[16] == '='
+                          ? arg.c_str() + 17
+                          : value("--sample-windows");
+      char* end = nullptr;
+      const unsigned long long detail = std::strtoull(v, &end, 10);
+      bool ok = end != v && *end == '/';
+      if (ok) {
+        const char* p = end + 1;
+        const unsigned long long period = std::strtoull(p, &end, 10);
+        ok = end != p && *end == '\0' && detail > 0 && detail < period;
+        if (ok) {
+          opts.sample_detail = detail;
+          opts.sample_period = period;
+        }
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "%s: --sample-windows expects DETAIL/PERIOD with "
+                     "0 < DETAIL < PERIOD\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (arg == "--warm-checkpoint-dir" ||
+               arg.rfind("--warm-checkpoint-dir=", 0) == 0) {
+      opts.warm_checkpoint_dir = arg.size() > 21 && arg[21] == '='
+                                     ? arg.substr(22)
+                                     : value("--warm-checkpoint-dir");
+      if (opts.warm_checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "%s: --warm-checkpoint-dir requires a directory\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (arg == "--checkpoint-at" ||
+               arg.rfind("--checkpoint-at=", 0) == 0) {
+      // CYC:PATH — the cycle is numeric, so the first ':' ends it and the
+      // rest (which may itself contain ':') is the output path.
+      const std::string v = arg.size() > 15 && arg[15] == '='
+                                ? arg.substr(16)
+                                : std::string(value("--checkpoint-at"));
+      char* end = nullptr;
+      const unsigned long long cyc = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != ':' || end[1] == '\0') {
+        std::fprintf(stderr, "%s: --checkpoint-at expects CYC:PATH\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      opts.checkpoint_at = cyc;
+      opts.checkpoint_path = end + 1;
+    } else if (arg == "--restore-from" ||
+               arg.rfind("--restore-from=", 0) == 0) {
+      opts.restore_path = arg.size() > 14 && arg[14] == '='
+                              ? arg.substr(15)
+                              : std::string(value("--restore-from"));
+      if (opts.restore_path.empty()) {
+        std::fprintf(stderr, "%s: --restore-from requires a file path\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (arg == "--stats-format" ||
                arg.rfind("--stats-format=", 0) == 0) {
       const std::string v =
@@ -162,6 +239,9 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
           "          [--audit LEVEL] [--only NAME | --list]\n"
           "          [--trace PATH[:CATS]] [--stats PATH[:EVERY]]\n"
           "          [--stats-format json|prom]\n"
+          "          [--sample-windows DETAIL/PERIOD]\n"
+          "          [--warm-checkpoint-dir DIR]\n"
+          "          [--checkpoint-at CYC:PATH] [--restore-from PATH]\n"
           "  --jobs N      worker threads for the run grid (default: all\n"
           "                hardware threads); results are identical for any N\n"
           "  --sim-threads N\n"
@@ -195,7 +275,28 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
           "                series\n"
           "  --stats-format json|prom\n"
           "                exposition for --stats: JSON (default; the\n"
-          "                ptb-stats interchange format) or Prometheus text\n",
+          "                ptb-stats interchange format) or Prometheus text\n"
+          "  --sample-windows DETAIL/PERIOD\n"
+          "                sampled simulation for every run: each PERIOD\n"
+          "                cycles, model the first DETAIL in full detail and\n"
+          "                fast-forward the rest (power control frozen);\n"
+          "                energy/AoPB are scaled back up from the detailed\n"
+          "                windows. Approximate by design — numbers differ\n"
+          "                from a full run, deterministically\n"
+          "  --warm-checkpoint-dir DIR\n"
+          "                cache post-warmup simulator images in DIR; later\n"
+          "                runs of the same machine/seed/benchmark restore\n"
+          "                the image instead of replaying functional warmup\n"
+          "                (results stay byte-identical)\n"
+          "  --checkpoint-at CYC:PATH\n"
+          "                capture a checkpoint of the reference run (the\n"
+          "                --trace configuration) at cycle CYC, write the\n"
+          "                frame to PATH\n"
+          "  --restore-from PATH\n"
+          "                restore the reference run from a frame written by\n"
+          "                --checkpoint-at and run it to completion; the\n"
+          "                resumed run is bit-identical to an uninterrupted\n"
+          "                one\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -223,6 +324,10 @@ class BenchContext {
     // set before any run is submitted to the pool.
     set_default_audit_level(opts_.audit);
     set_default_sim_threads(opts_.sim_threads);
+    set_default_sample_windows(opts_.sample_detail, opts_.sample_period);
+    if (!opts_.warm_checkpoint_dir.empty()) {
+      set_default_warm_checkpoint_dir(opts_.warm_checkpoint_dir);
+    }
     // The suite filter must be installed before anything materializes the
     // suite (the first benchmark_suite() call freezes it).
     if (!set_suite_filter(opts_.only)) {
@@ -268,6 +373,8 @@ class BenchContext {
     int rc = 0;
     if (!opts_.trace_path.empty() && !write_trace()) rc = 1;
     if (!opts_.stats_path.empty() && !write_stats()) rc = 1;
+    if (!opts_.checkpoint_path.empty() && !write_checkpoint()) rc = 1;
+    if (!opts_.restore_path.empty() && !run_restored()) rc = 1;
     if (!opts_.json_path.empty() && !report_.write(opts_.json_path)) {
       std::fprintf(stderr, "error: cannot write JSON to %s\n",
                    opts_.json_path.c_str());
@@ -277,17 +384,23 @@ class BenchContext {
   }
 
  private:
-  /// The --trace reference run: the paper's headline configuration
-  /// (PTB+2Level under the dynamic policy selector, 16 cores) on the first
-  /// benchmark of the (possibly --only-filtered) suite. Runs on the calling
-  /// thread, so the trace bytes are independent of --jobs.
-  bool write_trace() {
+  /// The reference-run configuration shared by --trace, --stats,
+  /// --checkpoint-at and --restore-from: the paper's headline setup,
+  /// PTB+2Level under the dynamic policy selector on 16 cores.
+  static SimConfig reference_config() {
     TechniqueSpec tech;
     tech.label = "PTB+2Level(dyn)";
     tech.kind = TechniqueKind::kTwoLevel;
     tech.ptb = true;
     tech.policy = PtbPolicy::kDynamic;
-    const SimConfig cfg = make_sim_config(16, tech);
+    return make_sim_config(16, tech);
+  }
+
+  /// The --trace reference run on the first benchmark of the (possibly
+  /// --only-filtered) suite. Runs on the calling thread, so the trace
+  /// bytes are independent of --jobs.
+  bool write_trace() {
+    const SimConfig cfg = reference_config();
     RunOptions ropts;
     ropts.trace_categories = opts_.trace_categories;
     const WorkloadProfile& prof = benchmark_suite().front();
@@ -307,16 +420,10 @@ class BenchContext {
     return true;
   }
 
-  /// The --stats reference run: same configuration as --trace (PTB+2Level
-  /// under the dynamic policy selector, 16 cores, first benchmark of the
-  /// suite), run on the calling thread with the stats registry enabled.
+  /// The --stats reference run: same configuration as --trace, run on the
+  /// calling thread with the stats registry enabled.
   bool write_stats() {
-    TechniqueSpec tech;
-    tech.label = "PTB+2Level(dyn)";
-    tech.kind = TechniqueKind::kTwoLevel;
-    tech.ptb = true;
-    tech.policy = PtbPolicy::kDynamic;
-    const SimConfig cfg = make_sim_config(16, tech);
+    const SimConfig cfg = reference_config();
     RunOptions ropts;
     ropts.stats = true;
     ropts.stats_sample_every = opts_.stats_every;
@@ -341,6 +448,68 @@ class BenchContext {
         prof.name.c_str(), opts_.stats_path.c_str(),
         r.stats ? r.stats->scalars.size() : 0,
         opts_.stats_every > 0 ? ", sampled" : "");
+    return true;
+  }
+
+  /// --checkpoint-at CYC:PATH: the reference run again, capturing a full
+  /// simulator checkpoint at cycle CYC and writing the frame to PATH.
+  bool write_checkpoint() {
+    const SimConfig cfg = reference_config();
+    const WorkloadProfile& prof = benchmark_suite().front();
+    std::string frame;
+    RunOptions ropts;
+    ropts.checkpoint_at = opts_.checkpoint_at;
+    ropts.checkpoint_out = &frame;
+    const RunResult r = run_one(prof, cfg, ropts);
+    if (frame.empty()) {
+      std::fprintf(stderr,
+                   "error: run finished at cycle %llu before reaching "
+                   "--checkpoint-at cycle %llu\n",
+                   static_cast<unsigned long long>(r.cycles),
+                   static_cast<unsigned long long>(opts_.checkpoint_at));
+      return false;
+    }
+    std::string err;
+    if (!save_checkpoint_file(opts_.checkpoint_path, frame, &err)) {
+      std::fprintf(stderr, "error: cannot write checkpoint to %s: %s\n",
+                   opts_.checkpoint_path.c_str(), err.c_str());
+      return false;
+    }
+    std::printf(
+        "\ncheckpoint: %s on PTB+2Level(dyn)/16 cores at cycle %llu -> %s "
+        "(%zu bytes)\n",
+        prof.name.c_str(),
+        static_cast<unsigned long long>(opts_.checkpoint_at),
+        opts_.checkpoint_path.c_str(), frame.size());
+    return true;
+  }
+
+  /// --restore-from PATH: restore the reference run from a frame and run
+  /// it to completion. The resumed run is bit-identical to an
+  /// uninterrupted one; a frame from a different machine configuration,
+  /// seed, or benchmark is rejected with the validator's diagnostic.
+  bool run_restored() {
+    const SimConfig cfg = reference_config();
+    const WorkloadProfile& prof = benchmark_suite().front();
+    std::string frame;
+    std::string err;
+    if (!load_checkpoint_file(opts_.restore_path, frame, &err)) {
+      std::fprintf(stderr, "error: cannot read checkpoint %s: %s\n",
+                   opts_.restore_path.c_str(), err.c_str());
+      return false;
+    }
+    CmpSimulator sim(cfg, prof);
+    if (!sim.restore_checkpoint(frame, &err)) {
+      std::fprintf(stderr, "error: cannot restore from %s: %s\n",
+                   opts_.restore_path.c_str(), err.c_str());
+      return false;
+    }
+    const RunResult r = sim.run();
+    std::printf(
+        "\nrestored: %s on PTB+2Level(dyn)/16 cores from %s -> finished at "
+        "cycle %llu (energy %.3f)\n",
+        prof.name.c_str(), opts_.restore_path.c_str(),
+        static_cast<unsigned long long>(r.cycles), r.energy);
     return true;
   }
 

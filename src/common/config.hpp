@@ -269,6 +269,19 @@ struct SimConfig {
   /// fingerprint for the same reason as audit_level.
   TraceConfig trace{};
 
+  /// Sampled simulation (SMARTS-style systematic sampling): when both are
+  /// non-zero and sample_detail < sample_period, each period of
+  /// `sample_period` cycles runs its first `sample_detail` cycles in full
+  /// detail and fast-forwards the rest (cores/memory/NoC/sync still tick
+  /// exactly; the power, control and accounting planes are skipped with
+  /// enforcement ratios frozen). Energy results are extrapolated by the
+  /// duty cycle at the end of the run. Sampling *changes results* (it is
+  /// an approximation), so both knobs fold into the config fingerprint
+  /// when active; EXPERIMENTS.md quantifies the error. 0/0 (default) =
+  /// every cycle detailed.
+  Cycle sample_detail = 0;
+  Cycle sample_period = 0;
+
   /// Host worker threads for the intra-run cycle loop (sim/shard_pool):
   /// modeled cores are sharded across this many host threads that advance
   /// in lockstep epochs. Results are byte-identical for every value — the

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/bytes.hpp"
+
 namespace ptb {
 
 /// SplitMix64 — used to expand a single user seed into stream seeds.
@@ -67,6 +69,14 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
     return lo + next_below(hi - lo + 1);
+  }
+
+  /// Checkpoint support: the four state words are the entire generator.
+  void save_state(ByteWriter& w) const {
+    for (const std::uint64_t s : s_) w.u64(s);
+  }
+  void load_state(ByteReader& r) {
+    for (auto& s : s_) s = r.u64();
   }
 
   /// Approximately normal (Irwin-Hall of 4 uniforms), mean 0, std 1.

@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/bytes.hpp"
+
 namespace ptb {
 
 /// Streaming mean / variance / min / max (Welford's algorithm).
@@ -31,6 +33,23 @@ class RunningStat {
   double max() const { return n_ ? max_ : 0.0; }
 
   void reset() { *this = RunningStat{}; }
+
+  // Checkpoint support (sim/checkpoint): the raw accumulator words, so a
+  // restored stat continues Welford's recurrence bit-exactly.
+  void save_state(ByteWriter& w) const {
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load_state(ByteReader& r) {
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -58,6 +77,26 @@ class Histogram {
   /// Value below which the given fraction of samples fall (bucket-granular).
   double percentile(double p) const;
 
+  // Checkpoint support: counts only — the [lo, hi) geometry is configuration
+  // and must match at restore (the caller re-creates the histogram from the
+  // same config before loading).
+  void save_state(ByteWriter& w) const {
+    w.u64_vec(counts_);
+    w.u64(total_);
+    w.f64(sum_);
+  }
+  void load_state(ByteReader& r) {
+    std::vector<std::uint64_t> c;
+    r.u64_vec(c);
+    if (c.size() != counts_.size()) {
+      r.fail();
+      return;
+    }
+    counts_ = std::move(c);
+    total_ = r.u64();
+    sum_ = r.f64();
+  }
+
  private:
   double lo_;
   double hi_;
@@ -78,6 +117,24 @@ class TimeSeries {
   const std::vector<double>& times() const { return times_; }
   const std::vector<double>& values() const { return values_; }
   std::size_t size() const { return times_.size(); }
+
+  // Checkpoint support: decimation state + points, so a restored series
+  // keeps decimating exactly where the saved run left off.
+  void save_state(ByteWriter& w) const {
+    w.u64(max_points_);
+    w.u64(stride_);
+    w.u64(seen_);
+    w.f64_vec(times_);
+    w.f64_vec(values_);
+  }
+  void load_state(ByteReader& r) {
+    max_points_ = static_cast<std::size_t>(r.u64());
+    stride_ = r.u64();
+    seen_ = r.u64();
+    r.f64_vec(times_);
+    r.f64_vec(values_);
+    if (times_.size() != values_.size()) r.fail();
+  }
 
  private:
   std::size_t max_points_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -120,6 +121,39 @@ class PtbLoadBalancer {
   /// `prefix` (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support: in-flight wire state (slot-indexed rings —
+  // positions are pure functions of the cycle number, which the checkpoint
+  // also carries) + donor debits + token statistics.
+  void save_state(ByteWriter& w) const {
+    w.f64_vec(pool_arriving_);
+    w.f64_vec(returning_);
+    w.f64_vec(outstanding_);
+    w.f64(tokens_donated);
+    w.f64(tokens_granted);
+    w.f64(tokens_evaporated);
+    w.u64(donation_events);
+    w.u64(grant_events);
+  }
+  void load_state(ByteReader& r) {
+    std::vector<double> pa, rt, os;
+    r.f64_vec(pa);
+    r.f64_vec(rt);
+    r.f64_vec(os);
+    if (pa.size() != pool_arriving_.size() ||
+        rt.size() != returning_.size() || os.size() != outstanding_.size()) {
+      r.fail();
+      return;
+    }
+    pool_arriving_ = std::move(pa);
+    returning_ = std::move(rt);
+    outstanding_ = std::move(os);
+    tokens_donated = r.f64();
+    tokens_granted = r.f64();
+    tokens_evaporated = r.f64();
+    donation_events = r.u64();
+    grant_events = r.u64();
+  }
 
  private:
   std::size_t slot(Cycle t) const { return t % ring_; }

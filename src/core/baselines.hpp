@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "sync/spin_tracker.hpp"
@@ -43,6 +44,37 @@ class ThriftyBarrierController {
   // Statistics.
   std::uint64_t sleeps = 0;
   std::uint64_t sleep_cycles = 0;
+
+  // Checkpoint support.
+  void save_state(ByteWriter& w) const {
+    w.u64(cores_.size());
+    for (const PerCore& c : cores_) {
+      w.boolean(c.in_barrier);
+      w.boolean(c.asleep);
+      w.u64(c.entered_at);
+      w.u64(c.wake_at);
+      w.f64(c.predicted_wait);
+      w.u64(c.entry_episode);
+    }
+    w.u64(sleeps);
+    w.u64(sleep_cycles);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != cores_.size()) {
+      r.fail();
+      return;
+    }
+    for (PerCore& c : cores_) {
+      c.in_barrier = r.boolean();
+      c.asleep = r.boolean();
+      c.entered_at = r.u64();
+      c.wake_at = r.u64();
+      c.predicted_wait = r.f64();
+      c.entry_episode = r.u64();
+    }
+    sleeps = r.u64();
+    sleep_cycles = r.u64();
+  }
 
  private:
   struct PerCore {
@@ -71,6 +103,50 @@ class MeetingPointsController {
 
   // Statistics.
   std::uint64_t episodes = 0;
+
+  // Checkpoint support.
+  void save_state(ByteWriter& w) const {
+    w.u64(cores_.size());
+    for (const PerCore& c : cores_) {
+      w.boolean(c.waiting);
+      w.u64(c.arrived_at);
+      w.f64(c.wait_sample);
+    }
+    w.u64(mode_.size());
+    for (const std::uint32_t m : mode_) w.u32(m);
+    w.f64_vec(slack_ema_);
+    w.u32(waiting_count_);
+    w.boolean(saw_waiter_);
+    w.u64(phase_start_);
+    w.u64(episodes);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != cores_.size()) {
+      r.fail();
+      return;
+    }
+    for (PerCore& c : cores_) {
+      c.waiting = r.boolean();
+      c.arrived_at = r.u64();
+      c.wait_sample = r.f64();
+    }
+    if (r.u64() != mode_.size()) {
+      r.fail();
+      return;
+    }
+    for (std::uint32_t& m : mode_) m = r.u32();
+    std::vector<double> se;
+    r.f64_vec(se);
+    if (se.size() != slack_ema_.size()) {
+      r.fail();
+      return;
+    }
+    slack_ema_ = std::move(se);
+    waiting_count_ = r.u32();
+    saw_waiter_ = r.boolean();
+    phase_start_ = r.u64();
+    episodes = r.u64();
+  }
 
  private:
   void close_episode(Cycle now);

@@ -74,6 +74,19 @@ class ClusteredBalancer {
   /// emits token events with its global core ids and pool tag k.
   void set_tracer(EventTracer* t);
 
+  // Checkpoint support: every cluster balancer, in cluster order.
+  void save_state(ByteWriter& w) const {
+    w.u64(clusters_.size());
+    for (const auto& c : clusters_) c->save_state(w);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != clusters_.size()) {
+      r.fail();
+      return;
+    }
+    for (auto& c : clusters_) c->load_state(r);
+  }
+
  private:
   std::uint32_t num_cores_;
   std::uint32_t cluster_size_;

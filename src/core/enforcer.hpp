@@ -45,6 +45,10 @@ class PowerEnforcer {
     ctrl_.set_tracer(t, core);
   }
 
+  // Checkpoint support: the bound controller is the only mutable state.
+  void save_state(ByteWriter& w) const { ctrl_.save_state(w); }
+  void load_state(ByteReader& r) { ctrl_.load_state(r); }
+
  private:
   TechniqueKind kind_;
   TwoLevelController ctrl_;

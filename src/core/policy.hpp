@@ -46,6 +46,42 @@ class DynamicPolicySelector {
   std::uint64_t to_one_cycles = 0;
   std::uint64_t to_all_cycles = 0;
 
+  // Checkpoint support.
+  void save_state(ByteWriter& w) const {
+    w.u64(detectors_.size());
+    for (const SpinPowerDetector& d : detectors_) d.save_state(w);
+    w.u64(was_spinning_.size());
+    for (const bool b : was_spinning_) w.boolean(b);
+    w.u64(last_exit_cycle_);
+    w.u32(recent_exits_);
+    w.u8(static_cast<std::uint8_t>(last_));
+    w.u8(static_cast<std::uint8_t>(heuristic_current_));
+    w.boolean(policy_emitted_);
+    w.u64(to_one_cycles);
+    w.u64(to_all_cycles);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != detectors_.size()) {
+      r.fail();
+      return;
+    }
+    for (SpinPowerDetector& d : detectors_) d.load_state(r);
+    if (r.u64() != was_spinning_.size()) {
+      r.fail();
+      return;
+    }
+    for (std::size_t i = 0; i < was_spinning_.size(); ++i) {
+      was_spinning_[i] = r.boolean();
+    }
+    last_exit_cycle_ = r.u64();
+    recent_exits_ = r.u32();
+    last_ = static_cast<PtbPolicy>(r.u8());
+    heuristic_current_ = static_cast<PtbPolicy>(r.u8());
+    policy_emitted_ = r.boolean();
+    to_one_cycles = r.u64();
+    to_all_cycles = r.u64();
+  }
+
  private:
   void account(PtbPolicy p, std::uint32_t spinners);
 

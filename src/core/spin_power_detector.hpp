@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -38,6 +39,20 @@ class SpinPowerDetector {
   bool spinning() const { return spinning_; }
   std::uint64_t detections() const { return detections_; }
   std::uint64_t exits() const { return exits_; }
+
+  // Checkpoint support (threshold/confirm are configuration).
+  void save_state(ByteWriter& w) const {
+    w.u32(below_);
+    w.boolean(spinning_);
+    w.u64(detections_);
+    w.u64(exits_);
+  }
+  void load_state(ByteReader& r) {
+    below_ = r.u32();
+    spinning_ = r.boolean();
+    detections_ = r.u64();
+    exits_ = r.u64();
+  }
 
  private:
   double threshold_;

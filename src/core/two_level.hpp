@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -59,6 +60,23 @@ class TwoLevelController {
   /// controller's stats under `prefix` (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support: DVFS controller + throttle level + residency.
+  void save_state(ByteWriter& w) const {
+    dvfs_.save_state(w);
+    w.u32(level_);
+    for (const std::uint64_t c : level_cycles) w.u64(c);
+  }
+  void load_state(ByteReader& r) {
+    dvfs_.load_state(r);
+    const std::uint32_t l = r.u32();
+    if (l > 3) {
+      r.fail();
+      return;
+    }
+    level_ = l;
+    for (std::uint64_t& c : level_cycles) c = r.u64();
+  }
 
  private:
   const SimConfig& cfg_;

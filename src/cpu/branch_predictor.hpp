@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
@@ -22,6 +23,27 @@ class GsharePredictor {
   // Statistics.
   mutable std::uint64_t lookups = 0;
   std::uint64_t mispredicts = 0;
+
+  // Checkpoint support: counters table + global history + statistics
+  // (masks are configuration, rebuilt by the constructor).
+  void save_state(ByteWriter& w) const {
+    w.u8_vec(counters_);
+    w.u64(history_);
+    w.u64(lookups);
+    w.u64(mispredicts);
+  }
+  void load_state(ByteReader& r) {
+    std::vector<std::uint8_t> c;
+    r.u8_vec(c);
+    if (c.size() != counters_.size()) {
+      r.fail();
+      return;
+    }
+    counters_ = std::move(c);
+    history_ = r.u64();
+    lookups = r.u64();
+    mispredicts = r.u64();
+  }
 
  private:
   std::size_t index_of(Pc pc) const {

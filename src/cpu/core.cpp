@@ -383,4 +383,106 @@ void Core::resolve_deferred(Cycle now) {
   mem_defer_->clear();
 }
 
+void Core::save_state(ByteWriter& w) const {
+  predictor_.save_state(w);
+  ptht_.save_state(w);
+  bct_.save_state(w);
+  // In-flight ROB window: sequence numbers [head_seq_, head_seq_+rob_count_).
+  w.u64(head_seq_);
+  w.u32(rob_count_);
+  w.u32(lsq_count_);
+  for (std::uint64_t s = head_seq_; s < head_seq_ + rob_count_; ++s) {
+    const RobEntry& e = rob_[rob_index(s)];
+    save_microop(w, e.op);
+    w.u64(e.dispatched_at);
+    w.u64(e.complete_at);
+    w.boolean(e.issued);
+    w.boolean(e.completed);
+  }
+  // Completion events, drained from a copy in heap order: pop order is a
+  // deterministic function of the (cycle, seq) keys, which are unique.
+  {
+    auto copy = completions_;
+    w.u64(copy.size());
+    while (!copy.empty()) {
+      w.u64(copy.top().first);
+      w.u64(copy.top().second);
+      copy.pop();
+    }
+  }
+  w.boolean(program_finished_);
+  w.boolean(has_pending_op_);
+  save_microop(w, pending_op_);
+  w.u64(fetch_blocked_until_);
+  w.boolean(waiting_branch_resolve_);
+  w.u64(mispredict_seq_);
+  w.u32(fetch_limit_);
+  w.u64(issue_cursor_);
+  w.u32(sync_inflight_);
+  w.u64(committed);
+  w.u64(fetched);
+  w.u64(flushes);
+  w.u64(ticks);
+  w.u64(stall_branch);
+  w.u64(stall_front);
+  w.u64(stall_program);
+  w.u64(stall_rob);
+  w.u64(stall_lsq);
+  w.u64(finish_cycle);
+}
+
+void Core::load_state(ByteReader& r) {
+  predictor_.load_state(r);
+  ptht_.load_state(r);
+  bct_.load_state(r);
+  head_seq_ = r.u64();
+  const std::uint32_t nrob = r.u32();
+  const std::uint32_t nlsq = r.u32();
+  if (!r.ok() || nrob > rob_.size() || nlsq > nrob) {
+    r.fail();
+    return;
+  }
+  for (RobEntry& e : rob_) e = RobEntry{};
+  rob_count_ = nrob;
+  lsq_count_ = nlsq;
+  for (std::uint64_t s = head_seq_; s < head_seq_ + rob_count_; ++s) {
+    RobEntry& e = rob_[rob_index(s)];
+    if (!load_microop(r, e.op)) return;
+    e.dispatched_at = r.u64();
+    e.complete_at = r.u64();
+    e.issued = r.boolean();
+    e.completed = r.boolean();
+  }
+  completions_ = decltype(completions_)();
+  const std::uint64_t nc = r.u64();
+  if (nc > r.remaining() / 16) {
+    r.fail();
+    return;
+  }
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    const Cycle at = r.u64();
+    const std::uint64_t seq = r.u64();
+    completions_.emplace(at, seq);
+  }
+  program_finished_ = r.boolean();
+  has_pending_op_ = r.boolean();
+  if (!load_microop(r, pending_op_)) return;
+  fetch_blocked_until_ = r.u64();
+  waiting_branch_resolve_ = r.boolean();
+  mispredict_seq_ = r.u64();
+  fetch_limit_ = r.u32();
+  issue_cursor_ = r.u64();
+  sync_inflight_ = r.u32();
+  committed = r.u64();
+  fetched = r.u64();
+  flushes = r.u64();
+  ticks = r.u64();
+  stall_branch = r.u64();
+  stall_front = r.u64();
+  stall_program = r.u64();
+  stall_rob = r.u64();
+  stall_lsq = r.u64();
+  finish_cycle = r.u64();
+}
+
 }  // namespace ptb

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -154,6 +155,13 @@ class Core {
   /// counters under `prefix` (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support (sim/checkpoint): pipeline, predictor, PTHT and BCT
+  // state. Per-tick scratch, the base-cost memo and the FU pools (reset at
+  // the start of every tick) are rebuilt, not serialized. Must only be
+  // called at the cycle boundary (deferral queue drained).
+  void save_state(ByteWriter& w) const;
+  void load_state(ByteReader& r);
 
  private:
   struct RobEntry {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -70,6 +71,27 @@ class DvfsController {
   /// (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support.
+  void save_state(ByteWriter& w) const {
+    w.u32(mode_);
+    w.u64(transition_until_);
+    w.f64(window_acc_);
+    w.u32(window_n_);
+    w.u64(transitions);
+  }
+  void load_state(ByteReader& r) {
+    const std::uint32_t m = r.u32();
+    if (m >= kDvfsModes.size()) {
+      r.fail();
+      return;
+    }
+    mode_ = m;
+    transition_until_ = r.u64();
+    window_acc_ = r.f64();
+    window_n_ = r.u32();
+    transitions = r.u64();
+  }
 
  private:
   double vdd_of(std::uint32_t m) const {

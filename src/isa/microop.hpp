@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -73,5 +74,40 @@ struct MicroOp {
   }
   bool is_branch() const { return cls == OpClass::kBranch; }
 };
+
+// Checkpoint support (sim/checkpoint): byte-stable field-by-field encoding
+// shared by every holder of in-flight MicroOps (core ROB, program queues).
+inline void save_microop(ByteWriter& w, const MicroOp& op) {
+  w.u64(op.pc);
+  w.u8(static_cast<std::uint8_t>(op.cls));
+  w.u8(op.dep1);
+  w.u8(op.dep2);
+  w.u64(op.addr);
+  w.boolean(op.branch_taken);
+  w.boolean(op.blocks_generation);
+  w.u8(static_cast<std::uint8_t>(op.sync));
+  w.u32(op.sync_id);
+}
+
+/// Returns false (and fails the reader) on out-of-range enum encodings.
+inline bool load_microop(ByteReader& r, MicroOp& op) {
+  op.pc = r.u64();
+  const std::uint8_t cls = r.u8();
+  op.dep1 = r.u8();
+  op.dep2 = r.u8();
+  op.addr = r.u64();
+  op.branch_taken = r.boolean();
+  op.blocks_generation = r.boolean();
+  const std::uint8_t sync = r.u8();
+  op.sync_id = r.u32();
+  if (cls >= static_cast<std::uint8_t>(OpClass::kCount) ||
+      sync > static_cast<std::uint8_t>(SyncRole::kBarrierSpinLoad)) {
+    r.fail();
+    return false;
+  }
+  op.cls = static_cast<OpClass>(cls);
+  op.sync = static_cast<SyncRole>(sync);
+  return r.ok();
+}
 
 }  // namespace ptb

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -83,6 +84,46 @@ class Cache {
   /// Registers hit/miss/eviction counters under `prefix` (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support: every line (fields individually — the struct has
+  // padding), the LRU clock and the counters. Geometry is configuration and
+  // must match (validated against the line count).
+  void save_state(ByteWriter& w) const {
+    w.u64(lines_.size());
+    for (const Line& l : lines_) {
+      w.u64(l.tag);
+      w.u8(static_cast<std::uint8_t>(l.state));
+      w.u64(l.lru);
+      w.u32(l.sharers);
+      w.u32(l.owner);
+    }
+    w.u64(lru_clock_);
+    w.u64(hits);
+    w.u64(misses);
+    w.u64(evictions);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != lines_.size()) {
+      r.fail();
+      return;
+    }
+    for (Line& l : lines_) {
+      l.tag = r.u64();
+      const std::uint8_t s = r.u8();
+      if (s > static_cast<std::uint8_t>(CoherenceState::kModified)) {
+        r.fail();
+        return;
+      }
+      l.state = static_cast<CoherenceState>(s);
+      l.lru = r.u64();
+      l.sharers = r.u32();
+      l.owner = r.u32();
+    }
+    lru_clock_ = r.u64();
+    hits = r.u64();
+    misses = r.u64();
+    evictions = r.u64();
+  }
 
  private:
   std::uint32_t set_of(Addr line) const {

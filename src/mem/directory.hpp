@@ -74,6 +74,36 @@ class DirectoryController {
   DramModel& dram() { return dram_; }
   const DramModel& dram() const { return dram_; }
 
+  // Checkpoint support: every L2 bank, the DRAM model and the counters.
+  // (The L1 references are serialized by the MemorySystem.)
+  void save_state(ByteWriter& w) const {
+    w.u64(l2_banks_.size());
+    for (const Cache& b : l2_banks_) b.save_state(w);
+    dram_.save_state(w);
+    w.u64(gets_requests);
+    w.u64(getm_requests);
+    w.u64(owner_forwards);
+    w.u64(invalidations_sent);
+    w.u64(l2_misses);
+    w.u64(l2_recalls);
+    w.u64(writebacks);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != l2_banks_.size()) {
+      r.fail();
+      return;
+    }
+    for (Cache& b : l2_banks_) b.load_state(r);
+    dram_.load_state(r);
+    gets_requests = r.u64();
+    getm_requests = r.u64();
+    owner_forwards = r.u64();
+    invalidations_sent = r.u64();
+    l2_misses = r.u64();
+    l2_recalls = r.u64();
+    writebacks = r.u64();
+  }
+
  private:
   /// Ensures `line` is resident in its home L2 bank; returns the cycle the
   /// data is available at the bank and the resident line pointer.

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 
@@ -30,6 +31,31 @@ class DramModel {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t accesses = 0;
+
+  // Checkpoint support: per-bank row-buffer/queue state + counters.
+  void save_state(ByteWriter& w) const {
+    w.u64(banks_.size());
+    for (const Bank& b : banks_) {
+      w.u64(b.open_row);
+      w.u64(b.next_free);
+    }
+    w.u64(row_hits);
+    w.u64(row_misses);
+    w.u64(accesses);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != banks_.size()) {
+      r.fail();
+      return;
+    }
+    for (Bank& b : banks_) {
+      b.open_row = r.u64();
+      b.next_free = r.u64();
+    }
+    row_hits = r.u64();
+    row_misses = r.u64();
+    accesses = r.u64();
+  }
 
  private:
   struct Bank {

@@ -9,12 +9,15 @@
 // completion order on one line equals their processing order).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -88,6 +91,76 @@ class MemorySystem {
   /// hit/miss/eviction counters under `prefix`.l1i.N / .l1d.N (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support. line_busy_ is an unordered_map — it is serialized
+  // in sorted-key order so equal logical state always produces equal bytes
+  // (the byte-stability contract; cf. the ptb-lint unordered-iter checker).
+  // ptb-lint: allow-begin(unordered-iter) — order is re-established by sort.
+  void save_state(ByteWriter& w) const {
+    w.u64(l1i_.size());
+    for (const Cache& c : l1i_) c.save_state(w);
+    for (const Cache& c : l1d_) c.save_state(w);
+    dir_->save_state(w);
+    std::vector<std::pair<Addr, Cycle>> busy(line_busy_.begin(),
+                                             line_busy_.end());
+    std::sort(busy.begin(), busy.end());
+    w.u64(busy.size());
+    for (const auto& [line, until] : busy) {
+      w.u64(line);
+      w.u64(until);
+    }
+    w.u64(busy_prune_countdown_);
+    w.u64(mshr_outstanding_.size());
+    for (const auto& q : mshr_outstanding_) {
+      w.u64(q.size());
+      for (const Cycle c : q) w.u64(c);
+    }
+    w.u64(loads);
+    w.u64(stores);
+    w.u64(atomics);
+    w.u64(ifetches);
+    w.u64(l1_misses);
+  }
+  // ptb-lint: allow-end
+  void load_state(ByteReader& r) {
+    if (r.u64() != l1i_.size()) {
+      r.fail();
+      return;
+    }
+    for (Cache& c : l1i_) c.load_state(r);
+    for (Cache& c : l1d_) c.load_state(r);
+    dir_->load_state(r);
+    line_busy_.clear();
+    const std::uint64_t nb = r.u64();
+    if (nb > r.remaining() / 16) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      const Addr line = r.u64();
+      const Cycle until = r.u64();
+      line_busy_[line] = until;
+    }
+    busy_prune_countdown_ = r.u64();
+    if (r.u64() != mshr_outstanding_.size()) {
+      r.fail();
+      return;
+    }
+    for (auto& q : mshr_outstanding_) {
+      const std::uint64_t nq = r.u64();
+      if (nq > r.remaining() / 8) {
+        r.fail();
+        return;
+      }
+      q.assign(nq, 0);
+      for (Cycle& c : q) c = r.u64();
+    }
+    loads = r.u64();
+    stores = r.u64();
+    atomics = r.u64();
+    ifetches = r.u64();
+    l1_misses = r.u64();
+  }
 
  private:
   Cycle mshr_admit(CoreId c, Cycle start);

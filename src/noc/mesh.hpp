@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/config.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -48,6 +49,26 @@ class Mesh {
   /// Registers message/flit-hop counters under `prefix` (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support: link reservations + counters.
+  void save_state(ByteWriter& w) const {
+    w.u64_vec(link_free_);
+    w.u64(messages_);
+    w.u64(flit_hops_);
+    w.u64(flit_hops_drained_);
+  }
+  void load_state(ByteReader& r) {
+    std::vector<Cycle> lf;
+    r.u64_vec(lf);
+    if (lf.size() != link_free_.size()) {
+      r.fail();
+      return;
+    }
+    link_free_ = std::move(lf);
+    messages_ = r.u64();
+    flit_hops_ = r.u64();
+    flit_hops_drained_ = r.u64();
+  }
 
  private:
   std::uint32_t flits_for(std::uint32_t bytes) const;

@@ -30,6 +30,18 @@ class EnergyAccounting {
   double aopb() const { return aopb_; }
   const RunningStat& power_stat() const { return power_stat_; }
 
+  // Checkpoint support (the budget is configuration).
+  void save_state(ByteWriter& w) const {
+    w.f64(energy_);
+    w.f64(aopb_);
+    power_stat_.save_state(w);
+  }
+  void load_state(ByteReader& r) {
+    energy_ = r.f64();
+    aopb_ = r.f64();
+    power_stat_.load_state(r);
+  }
+
  private:
   double budget_;
   double energy_ = 0.0;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
@@ -89,6 +90,35 @@ class Ptht {
   mutable std::uint64_t lookups = 0;
   mutable std::uint64_t cold_misses = 0;
   std::uint64_t updates = 0;
+
+  // Checkpoint support: the table and the counters. The inline cache is a
+  // pure cache (hits and misses through it count identically), so it
+  // restarts empty — no observable difference.
+  void save_state(ByteWriter& w) const {
+    w.u64(table_.size());
+    for (const Entry& e : table_) {
+      w.u64(e.tag);
+      w.f32(e.tokens);
+    }
+    w.u64(lookups);
+    w.u64(cold_misses);
+    w.u64(updates);
+  }
+  void load_state(ByteReader& r) {
+    const std::uint64_t n = r.u64();
+    if (n != table_.size()) {
+      r.fail();
+      return;
+    }
+    for (Entry& e : table_) {
+      e.tag = r.u64();
+      e.tokens = r.f32();
+    }
+    inline_cache_.fill(InlineEntry{});
+    lookups = r.u64();
+    cold_misses = r.u64();
+    updates = r.u64();
+  }
 
  private:
   struct Entry {

@@ -35,6 +35,23 @@ class ThermalModel {
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
 
+  // Checkpoint support: node temperatures + their history stats.
+  void save_state(ByteWriter& w) const {
+    w.f64_vec(temp_);
+    w.u64(hist_.size());
+    for (const RunningStat& h : hist_) h.save_state(w);
+  }
+  void load_state(ByteReader& r) {
+    std::vector<double> t;
+    r.f64_vec(t);
+    if (t.size() != temp_.size() || r.u64() != hist_.size()) {
+      r.fail();
+      return;
+    }
+    temp_ = std::move(t);
+    for (RunningStat& h : hist_) h.load_state(r);
+  }
+
  private:
   ThermalConfig cfg_;
   std::vector<double> temp_;

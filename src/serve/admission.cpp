@@ -51,19 +51,27 @@ std::map<std::string, std::uint32_t> TokenAdmission::plan(
   if (spare == 0) return grant;
 
   if (policy_ == PtbPolicy::kToOne) {
-    // All spare tokens to the neediest tenant (largest residual demand;
-    // map order breaks ties deterministically).
-    std::string neediest;
-    std::uint32_t best_residual = 0;
-    for (const auto& [tenant, d] : demand) {
-      const std::uint32_t residual = d - grant[tenant];
-      if (residual > best_residual) {
-        best_residual = residual;
-        neediest = tenant;
+    // Spare cascades neediest-first: everything to the largest residual
+    // demand (map order breaks ties deterministically), then — only if
+    // that tenant saturates with spare left over — on to the next
+    // neediest, until the spare is drained or nobody wants more. The
+    // cascade keeps the to_one shape (lopsided, one winner per round)
+    // while never stranding tokens that some tenant still queues for.
+    // Terminates: each round drains the spare or saturates one tenant.
+    while (spare > 0) {
+      std::string neediest;
+      std::uint32_t best_residual = 0;
+      for (const auto& [tenant, d] : demand) {
+        const std::uint32_t residual = d - grant[tenant];
+        if (residual > best_residual) {
+          best_residual = residual;
+          neediest = tenant;
+        }
       }
-    }
-    if (best_residual > 0) {
-      grant[neediest] += std::min(spare, best_residual);
+      if (best_residual == 0) break;
+      const std::uint32_t give = std::min(spare, best_residual);
+      grant[neediest] += give;
+      spare -= give;
     }
     return grant;
   }

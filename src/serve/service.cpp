@@ -42,6 +42,7 @@ Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
       cache_(opts_.cache_dir),
       admission_(opts_.host_tokens, opts_.admission_policy) {
+  cache_.set_max_bytes(opts_.cache_max_bytes);  // before any worker exists
   register_metrics();
   const unsigned workers = opts_.sim_workers == 0 ? 1 : opts_.sim_workers;
   workers_.reserve(workers);
@@ -77,6 +78,32 @@ void Service::register_metrics() {
                        [this] { return double(cache_.corrupt()); });
   registry_.counter_fn("serve.cache.stores", "disk cache entries written",
                        [this] { return double(cache_.stores()); });
+  // Warm-checkpoint traffic flows through the process-wide warm cache
+  // (set_default_warm_checkpoint_dir, consulted by run_one), a separate
+  // DiskRunCache object that may share this service's directory — so the
+  // warm counters read the singleton and evictions sum both objects.
+  registry_.counter_fn("serve.cache.evicted",
+                       "cache entries evicted to honor --cache-max-bytes",
+                       [this] {
+                         const DiskRunCache* w = default_warm_checkpoint_cache();
+                         return double(cache_.evicted() +
+                                       (w != nullptr ? w->evicted() : 0));
+                       });
+  registry_.counter_fn("serve.cache.warm_hits",
+                       "warm-checkpoint images restored from the cache", [] {
+                         const DiskRunCache* w = default_warm_checkpoint_cache();
+                         return w != nullptr ? double(w->warm_hits()) : 0.0;
+                       });
+  registry_.counter_fn("serve.cache.warm_misses",
+                       "warm-checkpoint lookups that missed", [] {
+                         const DiskRunCache* w = default_warm_checkpoint_cache();
+                         return w != nullptr ? double(w->warm_misses()) : 0.0;
+                       });
+  registry_.counter_fn("serve.cache.warm_stores",
+                       "warm-checkpoint images written to the cache", [] {
+                         const DiskRunCache* w = default_warm_checkpoint_cache();
+                         return w != nullptr ? double(w->warm_stores()) : 0.0;
+                       });
   registry_.gauge_fn("serve.queue.depth", "units queued, not yet running",
                      [this] { return double(queue_depth_.load()); }, 0);
   registry_.gauge_fn("serve.jobs.in_flight", "simulations running now",

@@ -46,6 +46,9 @@ struct ServiceOptions {
   std::uint32_t host_tokens = 2;  // --host-tokens: admission budget
   PtbPolicy admission_policy = PtbPolicy::kToAll;
   std::size_t queue_max = 256;  // queued (not yet running) units
+  // --cache-max-bytes: disk-cache quota; oldest published entries are
+  // evicted after each store to stay under it. 0 = unbounded.
+  std::uint64_t cache_max_bytes = 0;
 };
 
 class Service {

@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_annotations.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/reporting.hpp"
 #include "sim/shard_pool.hpp"
 #include "stats/dump.hpp"
@@ -42,6 +43,34 @@ struct SelfProfile {
   std::uint64_t timed_cycles = 0;
 };
 }  // namespace
+
+// Run-scoped state a restore must carry into the next run() call: the
+// checkpointed cycle, the CycleFrame persistents and the raw payloads of
+// sections whose targets (energy accounting, registry-owned histogram,
+// sample buffer, tracer, result power traces) only exist as run() locals.
+// Populated only for mid-run frames; a cycle-0 warm frame carries just the
+// cycle (everything run-scoped is at its freshly-constructed value there,
+// and the frame's eff_budget would pin the *donor's* budget).
+struct CmpSimulator::CheckpointCarry {
+  Cycle cycle = 0;
+  bool epoch_over = false;
+  double epoch_acc = 0.0;
+  std::uint32_t epoch_n = 0;
+  std::uint64_t spin_gated_cycles = 0;
+  std::uint64_t detailed_cycles = 0;
+  std::uint64_t prof_timed_cycles = 0;
+  std::vector<double> freq_acc;
+  std::vector<double> est_ema;
+  std::vector<double> act_ema;
+  std::vector<double> eff_budget;
+  std::vector<double> thermal_acc;
+  std::vector<std::uint8_t> finished;
+  std::string acct;
+  std::string hist;
+  std::string samples;
+  std::string tracer;
+  std::string res_power;
+};
 
 void CycleFrame::reset(std::uint32_t n, double local_budget) {
   freq_acc.assign(n, 0.0);
@@ -154,6 +183,128 @@ void CmpSimulator::warm_caches() {
   }
 }
 
+bool CmpSimulator::restore_checkpoint(std::string_view bytes,
+                                      std::string* err) {
+  const auto fail = [&](std::string m) {
+    if (err != nullptr) *err = std::move(m);
+    return false;
+  };
+  CheckpointReader ck;
+  if (!ck.parse(bytes)) return fail(ck.error());
+  const CheckpointHeader& h = ck.header();
+  if (h.num_cores != cfg_.num_cores) {
+    return fail("checkpoint core count mismatch (" +
+                std::to_string(h.num_cores) + " vs " +
+                std::to_string(cfg_.num_cores) + ")");
+  }
+  if (h.benchmark != profile_.name) {
+    return fail("checkpoint benchmark mismatch ('" + h.benchmark + "' vs '" +
+                profile_.name + "')");
+  }
+  if (h.machine_fp != machine_fingerprint(cfg_)) {
+    return fail("checkpoint machine fingerprint mismatch");
+  }
+  if (h.seed != cfg_.seed) return fail("checkpoint seed mismatch");
+  if (h.cycle != 0 && h.config_fp != config_fingerprint(cfg_)) {
+    return fail(
+        "checkpoint config fingerprint mismatch: a mid-run frame resumes "
+        "only under the exact config it was captured with (cycle-0 warm "
+        "frames restore across techniques)");
+  }
+
+  // Component sections load straight into the members. A section whose
+  // target does not exist under this configuration is skipped (a warm fork
+  // into a different technique); a section that exists but fails to parse
+  // or leaves trailing bytes rejects the restore.
+  const auto load = [&](CkptSection tag, auto&& fn) -> bool {
+    if (!ck.has_section(tag)) return true;
+    ByteReader r(ck.section(tag));
+    fn(r);
+    return r.ok() && r.empty();
+  };
+  const auto skip_rest = [](ByteReader& r) { r.raw(r.remaining()); };
+
+  bool ok = true;
+  ok = ok && load(CkptSection::kCores, [&](ByteReader& r) {
+    for (auto& c : cores_) c->load_state(r);
+  });
+  ok = ok && load(CkptSection::kPrograms, [&](ByteReader& r) {
+    for (auto& p : programs_) p->load_state(r);
+  });
+  ok = ok && load(CkptSection::kMem,
+                  [&](ByteReader& r) { mem_->load_state(r); });
+  ok = ok && load(CkptSection::kMesh,
+                  [&](ByteReader& r) { mesh_->load_state(r); });
+  ok = ok && load(CkptSection::kSync,
+                  [&](ByteReader& r) { sync_->load_state(r); });
+  ok = ok && load(CkptSection::kTrackers, [&](ByteReader& r) {
+    for (SpinTracker& t : trackers_) t.load_state(r);
+  });
+  ok = ok && load(CkptSection::kBalancer, [&](ByteReader& r) {
+    balancer_ ? balancer_->load_state(r) : skip_rest(r);
+  });
+  ok = ok && load(CkptSection::kClustered, [&](ByteReader& r) {
+    clustered_ ? clustered_->load_state(r) : skip_rest(r);
+  });
+  ok = ok && load(CkptSection::kEnforcers, [&](ByteReader& r) {
+    for (auto& e : enforcers_) e->load_state(r);
+  });
+  ok = ok && load(CkptSection::kSelector, [&](ByteReader& r) {
+    selector_ ? selector_->load_state(r) : skip_rest(r);
+  });
+  ok = ok && load(CkptSection::kGates, [&](ByteReader& r) {
+    if (r.u64() != gate_detectors_.size()) {
+      skip_rest(r);  // different gating config: keep fresh detectors
+      return;
+    }
+    for (SpinPowerDetector& d : gate_detectors_) d.load_state(r);
+  });
+  ok = ok && load(CkptSection::kThrifty, [&](ByteReader& r) {
+    thrifty_ ? thrifty_->load_state(r) : skip_rest(r);
+  });
+  ok = ok && load(CkptSection::kMeeting, [&](ByteReader& r) {
+    meeting_ ? meeting_->load_state(r) : skip_rest(r);
+  });
+  ok = ok && load(CkptSection::kThermal,
+                  [&](ByteReader& r) { thermal_.load_state(r); });
+
+  auto carry = std::make_unique<CheckpointCarry>();
+  carry->cycle = h.cycle;
+  if (h.cycle != 0) {
+    ok = ok && load(CkptSection::kFrame, [&](ByteReader& r) {
+      r.f64_vec(carry->freq_acc);
+      r.f64_vec(carry->est_ema);
+      r.f64_vec(carry->act_ema);
+      r.f64_vec(carry->eff_budget);
+      r.f64_vec(carry->thermal_acc);
+      r.u8_vec(carry->finished);
+      if (carry->finished.size() != cfg_.num_cores ||
+          carry->freq_acc.size() != cfg_.num_cores) {
+        r.fail();
+      }
+    });
+    ok = ok && load(CkptSection::kRun, [&](ByteReader& r) {
+      carry->epoch_over = r.boolean();
+      carry->epoch_acc = r.f64();
+      carry->epoch_n = r.u32();
+      carry->spin_gated_cycles = r.u64();
+      carry->detailed_cycles = r.u64();
+      carry->prof_timed_cycles = r.u64();
+    });
+    carry->acct = std::string(ck.section(CkptSection::kAcct));
+    carry->hist = std::string(ck.section(CkptSection::kHist));
+    carry->samples = std::string(ck.section(CkptSection::kSamples));
+    carry->tracer = std::string(ck.section(CkptSection::kTracer));
+    carry->res_power = std::string(ck.section(CkptSection::kResPower));
+  }
+  if (!ok) {
+    return fail("checkpoint section payload rejected (corrupt or "
+                "incompatible with this configuration)");
+  }
+  carry_ = std::move(carry);
+  return true;
+}
+
 RunResult CmpSimulator::run(const RunOptions& opts) {
   const std::uint32_t n = cfg_.num_cores;
 
@@ -187,7 +338,8 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   };
   if (tracer) wire_tracer(tracer.get());
 
-  if (cfg_.functional_warmup) warm_caches();
+  // A restored checkpoint already contains post-warmup (or later) state.
+  if (cfg_.functional_warmup && carry_ == nullptr) warm_caches();
   RunResult res;
   res.benchmark = profile_.name;
   res.num_cores = n;
@@ -220,6 +372,21 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   bool epoch_over = false;
   double epoch_acc = 0.0;
   std::uint32_t epoch_n = 0;
+
+  // Sampled fast-forward mode (SimConfig::sample_detail / sample_period):
+  // cores, memory, NoC and synchronization tick *exactly* every cycle —
+  // timing, lock handoffs and cycle counts are preserved — but outside the
+  // detailed windows the power/control plane is frozen: no power-model
+  // evaluation, no EMA update, no balancing, no enforcement ticks (DVFS
+  // ratios hold their last detailed value), no accounting. Energy results
+  // are extrapolated by the duty cycle at the end ("frozen-control
+  // fast-forward"; honest error bars live in EXPERIMENTS.md). The invariant
+  // auditor is disabled under sampling: its accounting cross-checks assume
+  // every cycle is recorded.
+  const bool sampling = cfg_.sample_period > 0 && cfg_.sample_detail > 0 &&
+                        cfg_.sample_detail < cfg_.sample_period;
+  std::uint64_t detailed_cycles = 0;
+  bool cycle_detailed = true;
 
   const double wire_overhead =
       cfg_.ptb.enabled ? (1.0 + cfg_.power.ptb_wire_overhead_frac) : 1.0;
@@ -316,6 +483,147 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   if (stats && opts.stats_sample_every > 0) {
     samples = std::make_unique<SampleBuffer>(*stats);
   }
+
+  // --- checkpoint capture (sim/checkpoint.hpp) ---
+  // Runs at the top of a cycle-loop body: the strongest quiescent point —
+  // the previous cycle's sequential phases completed, the deferral queues
+  // are drained and the trace staging slots are flushed, so every byte of
+  // live state is reachable through the components and the locals above.
+  const auto capture_checkpoint = [&]() -> std::string {
+    CheckpointHeader h;
+    h.checkpoint_fp = checkpoint_fingerprint(cfg_, profile_.name, now);
+    h.machine_fp = machine_fingerprint(cfg_);
+    h.config_fp = config_fingerprint(cfg_);
+    h.seed = cfg_.seed;
+    h.num_cores = n;
+    h.cycle = now;
+    h.benchmark = profile_.name;
+    CheckpointWriter cw(h);
+    {
+      ByteWriter& w = cw.section(CkptSection::kCores);
+      for (CoreId i = 0; i < n; ++i) cores_[i]->save_state(w);
+    }
+    {
+      ByteWriter& w = cw.section(CkptSection::kPrograms);
+      for (CoreId i = 0; i < n; ++i) programs_[i]->save_state(w);
+    }
+    mem_->save_state(cw.section(CkptSection::kMem));
+    mesh_->save_state(cw.section(CkptSection::kMesh));
+    sync_->save_state(cw.section(CkptSection::kSync));
+    {
+      ByteWriter& w = cw.section(CkptSection::kTrackers);
+      for (CoreId i = 0; i < n; ++i) trackers_[i].save_state(w);
+    }
+    if (balancer_) balancer_->save_state(cw.section(CkptSection::kBalancer));
+    if (clustered_) {
+      clustered_->save_state(cw.section(CkptSection::kClustered));
+    }
+    {
+      ByteWriter& w = cw.section(CkptSection::kEnforcers);
+      for (CoreId i = 0; i < n; ++i) enforcers_[i]->save_state(w);
+    }
+    if (selector_) selector_->save_state(cw.section(CkptSection::kSelector));
+    if (!gate_detectors_.empty()) {
+      ByteWriter& w = cw.section(CkptSection::kGates);
+      w.u64(gate_detectors_.size());
+      for (const SpinPowerDetector& d : gate_detectors_) d.save_state(w);
+    }
+    if (thrifty_) thrifty_->save_state(cw.section(CkptSection::kThrifty));
+    if (meeting_) meeting_->save_state(cw.section(CkptSection::kMeeting));
+    thermal_.save_state(cw.section(CkptSection::kThermal));
+    {
+      ByteWriter& w = cw.section(CkptSection::kFrame);
+      w.f64_vec(f.freq_acc);
+      w.f64_vec(f.est_ema);
+      w.f64_vec(f.act_ema);
+      w.f64_vec(f.eff_budget);
+      w.f64_vec(f.thermal_acc);
+      w.u8_vec(f.finished);
+    }
+    acct.save_state(cw.section(CkptSection::kAcct));
+    {
+      ByteWriter& w = cw.section(CkptSection::kRun);
+      w.boolean(epoch_over);
+      w.f64(epoch_acc);
+      w.u32(epoch_n);
+      w.u64(res.spin_gated_cycles);
+      w.u64(detailed_cycles);
+      // The self-profile *cycle count* is deterministic (its cadence is a
+      // pure function of `now`) and feeds a sample-buffer column, so it is
+      // carried; the wall-clock seconds stay volatile and uncarried.
+      w.u64(prof.timed_cycles);
+    }
+    if (power_hist) power_hist->save_state(cw.section(CkptSection::kHist));
+    if (samples) samples->save_state(cw.section(CkptSection::kSamples));
+    if (tracer) tracer->save_state(cw.section(CkptSection::kTracer));
+    if (opts.record_cmp_trace || opts.record_core_traces) {
+      ByteWriter& w = cw.section(CkptSection::kResPower);
+      res.cmp_power_trace.save_state(w);
+      w.u64(res.core_power_traces.size());
+      for (const TimeSeries& t : res.core_power_traces) t.save_state(w);
+    }
+    return cw.finish();
+  };
+
+  // --- checkpoint carry application ---
+  // restore_checkpoint() already loaded the component sections into the
+  // members; the run-scoped remainder lands here, now that the locals
+  // exist. Consumed so a later run() on this simulator starts fresh.
+  if (carry_) {
+    now = carry_->cycle;
+    if (carry_->cycle != 0) {
+      epoch_over = carry_->epoch_over;
+      epoch_acc = carry_->epoch_acc;
+      epoch_n = carry_->epoch_n;
+      res.spin_gated_cycles = carry_->spin_gated_cycles;
+      detailed_cycles = carry_->detailed_cycles;
+      prof.timed_cycles = carry_->prof_timed_cycles;
+      f.freq_acc = std::move(carry_->freq_acc);
+      f.est_ema = std::move(carry_->est_ema);
+      f.act_ema = std::move(carry_->act_ema);
+      f.eff_budget = std::move(carry_->eff_budget);
+      f.thermal_acc = std::move(carry_->thermal_acc);
+      f.finished = std::move(carry_->finished);
+      finished_count = 0;
+      for (CoreId i = 0; i < n; ++i) {
+        if (f.finished[i] != 0) {
+          ++finished_count;
+          res.cores[i].finish_cycle = cores_[i]->finish_cycle;
+        }
+      }
+      // Raw run-scoped payloads: applied when the matching consumer exists
+      // in this run; a mismatch (different RunOptions than the captured
+      // run) leaves the freshly-constructed state.
+      const auto apply = [](const std::string& bytes, auto&& fn) {
+        if (bytes.empty()) return;
+        ByteReader r(bytes);
+        fn(r);
+      };
+      apply(carry_->acct, [&](ByteReader& r) { acct.load_state(r); });
+      if (power_hist) {
+        apply(carry_->hist,
+              [&](ByteReader& r) { power_hist->load_state(r); });
+      }
+      if (samples) {
+        apply(carry_->samples,
+              [&](ByteReader& r) { samples->load_state(r); });
+      }
+      if (tracer) {
+        apply(carry_->tracer,
+              [&](ByteReader& r) { tracer->load_state(r); });
+      }
+      if (opts.record_cmp_trace || opts.record_core_traces) {
+        apply(carry_->res_power, [&](ByteReader& r) {
+          res.cmp_power_trace.load_state(r);
+          if (r.u64() == res.core_power_traces.size()) {
+            for (TimeSeries& t : res.core_power_traces) t.load_state(r);
+          }
+        });
+      }
+    }
+    carry_.reset();
+  }
+
   using ProfClock = std::chrono::steady_clock;  // lint:allowed-wallclock
   const auto prof_lap = [](ProfClock::time_point t0, double& acc) {
     const auto t1 = ProfClock::now();
@@ -420,19 +728,21 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
           if (!f.seq_gated[i]) gate_and_commit(i);
           if (f.active[i] != 0) core.tick_fetch_phase(now);
 
-          f.gated[i] = (f.active[i] == 0 || core.idle()) ? 1 : 0;
-          // Actual power: exact base tokens of the instructions entering
-          // the pipeline this cycle plus the (small) ROB residency
-          // component. Front-end attribution makes the fetch-throttling
-          // techniques act on the power curve within a few cycles, as in
-          // the paper.
-          f.rob_occ[i] = core.rob_occupancy();
-          f.fetch_exact[i] =
-              f.active[i] != 0 ? core.fetch_tokens_exact() : 0.0;
-          // Control estimate: PTHT tokens of the instructions being
-          // fetched (residency folded into the stored values, III.B).
-          f.fetch_est[i] =
-              f.active[i] != 0 ? core.fetch_tokens_estimated() : 0.0;
+          if (cycle_detailed) {
+            f.gated[i] = (f.active[i] == 0 || core.idle()) ? 1 : 0;
+            // Actual power: exact base tokens of the instructions entering
+            // the pipeline this cycle plus the (small) ROB residency
+            // component. Front-end attribution makes the fetch-throttling
+            // techniques act on the power curve within a few cycles, as in
+            // the paper.
+            f.rob_occ[i] = core.rob_occupancy();
+            f.fetch_exact[i] =
+                f.active[i] != 0 ? core.fetch_tokens_exact() : 0.0;
+            // Control estimate: PTHT tokens of the instructions being
+            // fetched (residency folded into the stored values, III.B).
+            f.fetch_est[i] =
+                f.active[i] != 0 ? core.fetch_tokens_estimated() : 0.0;
+          }
 
           if (!f.finished[i] && core.finished()) {
             f.finished[i] = 1;
@@ -440,6 +750,10 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
             res.cores[i].finish_cycle = now;
           }
         }
+        // Fast-forward cycles skip the whole power plane: model, EMAs,
+        // spin/thermal attribution. The duty-cycle extrapolation at the
+        // end of run() scales the energy results back up.
+        if (!cycle_detailed) return;
 
         // Shard slice of the batched power model + smoothing.
         const std::uint32_t cnt = end - begin;
@@ -483,6 +797,19 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   // ptb-lint: parallel-region-end(shard_job)
 
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
+    // Checkpoint capture: top of the loop body, before the cycle executes,
+    // so a restored run replays `checkpoint_at` onward (checkpoint.hpp).
+    if (now == opts.checkpoint_at && opts.checkpoint_out != nullptr) {
+      *opts.checkpoint_out = capture_checkpoint();
+    }
+    // Sampled simulation: the first `sample_detail` cycles of every
+    // `sample_period` run detailed; the rest fast-forward (cores, memory,
+    // NoC and sync still tick exactly — only the power/control/accounting
+    // planes are skipped, with enforcement ratios frozen).
+    cycle_detailed = !sampling || (now % cfg_.sample_period) <
+                                      cfg_.sample_detail;
+    if (cycle_detailed) ++detailed_cycles;
+
     // Stamp the cycle once; emit sites then need no cycle parameter.
     // Per-core emits from here to stage_flush() land in per-core staging
     // slots, reproducing the serial core-major emission order.
@@ -524,6 +851,15 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     finished_count = 0;
     for (CoreId i = 0; i < n; ++i) {
       finished_count += f.finished[i] != 0 ? 1u : 0u;
+    }
+    // Fast-forward cycles end here: the architectural planes above ran
+    // exactly; the power/control/accounting phases below are skipped with
+    // control state (enforcement ratios, balancer wires, EMAs) frozen.
+    // The flit hops this cycle's replayed accesses routed are drained and
+    // discarded so they don't leak into the next detailed cycle's energy.
+    if (!cycle_detailed) {
+      (void)mesh_->drain_flit_hops();
+      continue;
     }
     // CMP-wide totals use the one canonical FP reduction order.
     double total_act = deterministic_total(f.act_power.data(), n);
@@ -609,8 +945,10 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       res.cmp_power_trace.add(static_cast<double>(now), total_act);
     }
 
-    // --- 5. invariant audit (off the results path; read-only) ---
-    if (auditor_) {
+    // --- 5. invariant audit (off the results path; read-only). Disabled
+    //        under sampling: the accounting cross-checks assume every
+    //        cycle is recorded. ---
+    if (auditor_ && !sampling) {
       audit_cycle(now, acct, total_act, f.eff_budget.data(),
                   f.finished.data(), finished_count);
     }
@@ -625,7 +963,7 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
   // (tests, introspection) must take the classic immediate path again.
   for (CoreId i = 0; i < n; ++i) cores_[i]->set_mem_defer(nullptr);
 
-  if (auditor_) {
+  if (auditor_ && !sampling) {
     // The periodic scan can miss the tail of the run; always close with a
     // full coherence sweep so short runs are audited end-to-end too.
     if (auditor_->level() == AuditLevel::kFull) {
@@ -639,8 +977,18 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
 
   res.cycles = now;
   res.hit_max_cycles = (finished_count < n);
-  res.energy = acct.energy();
-  res.aopb = acct.aopb();
+  // Sampled runs extrapolate energy by the duty cycle: only detailed
+  // cycles accounted power, so the totals scale by cycles/detailed.
+  // state_cycles stay raw detailed-window counts (scaling integer cycle
+  // tallies would fabricate precision); a non-sampling run multiplies by
+  // exactly 1.0 — byte-identical.
+  double sample_scale = 1.0;
+  if (sampling && detailed_cycles > 0) {
+    sample_scale =
+        static_cast<double>(now) / static_cast<double>(detailed_cycles);
+  }
+  res.energy = acct.energy() * sample_scale;
+  res.aopb = acct.aopb() * sample_scale;
   res.power = acct.power_stat();
   for (CoreId i = 0; i < n; ++i) {
     CoreResult& c = res.cores[i];
@@ -650,8 +998,8 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       c.state_cycles[s] =
           trackers_[i].cycles_in(static_cast<ExecState>(s));
     }
-    c.spin_energy = trackers_[i].spin_power();
-    c.energy = trackers_[i].total_power();
+    c.spin_energy = trackers_[i].spin_power() * sample_scale;
+    c.energy = trackers_[i].total_power() * sample_scale;
     c.temp_mean = thermal_.history(i).mean();
     c.temp_std = thermal_.history(i).stddev();
     res.spin_energy += c.spin_energy;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "audit/audit.hpp"
@@ -130,6 +131,17 @@ struct RunOptions {
   /// (sim/shard_pool.hpp). The TSan stress tests use it to shake epoch
   /// timing; it perturbs wall-clock only — results stay bit-identical.
   std::uint32_t shard_jitter_ns = 0;
+  /// Cycle at which run() serializes a full-state checkpoint frame
+  /// (sim/checkpoint.hpp) into `*checkpoint_out` (kNeverCycle = never).
+  /// The capture happens at the top of that cycle's loop body — before the
+  /// cycle executes — so a run restored from the frame replays cycle
+  /// `checkpoint_at` onward and finishes with bit-identical results.
+  /// 0 captures the warm point at loop entry (post functional warmup),
+  /// which is technique/budget-independent: one warmed frame forks a whole
+  /// sweep. No frame is written when the run ends before `checkpoint_at`.
+  Cycle checkpoint_at = kNeverCycle;
+  /// Receives the checkpoint frame bytes; null disables capture.
+  std::string* checkpoint_out = nullptr;
 };
 
 /// Reusable per-cycle scratch for the simulator's hot loop, SoA-packed so
@@ -176,6 +188,17 @@ class CmpSimulator {
   /// SimConfig::functional_warmup is set.
   void warm_caches();
 
+  /// Restores a checkpoint frame produced via RunOptions::checkpoint_at.
+  /// Validates identity before touching any state: core count, benchmark,
+  /// machine fingerprint and seed must match; a mid-run frame (cycle != 0)
+  /// additionally pins the full config fingerprint, while a cycle-0 warm
+  /// frame restores under any technique/budget of the same machine.
+  /// The next run() then resumes from the checkpointed cycle (skipping
+  /// functional warmup). Returns false with a diagnostic in `*err` on any
+  /// rejected frame; the simulator may be partially mutated after a
+  /// failure and must not be run (construct a fresh one).
+  bool restore_checkpoint(std::string_view bytes, std::string* err = nullptr);
+
   // Introspection for tests (valid after construction; cores after run()).
   const BudgetManager& budgets() const { return budgets_; }
   MemorySystem& memory() { return *mem_; }
@@ -220,6 +243,10 @@ class CmpSimulator {
   ThermalModel thermal_;
   std::unique_ptr<InvariantAuditor> auditor_;
   CycleFrame frame_;
+  // Run-scoped checkpoint state staged by restore_checkpoint() and applied
+  // (then consumed) by the next run() once its locals exist.
+  struct CheckpointCarry;
+  std::unique_ptr<CheckpointCarry> carry_;
 };
 
 }  // namespace ptb

@@ -19,9 +19,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/assert.hpp"
 #include "common/format.hpp"
 #include "common/json.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
 #include "sim/reporting.hpp"
 #include "sim/trace_export.hpp"
@@ -297,7 +301,101 @@ bool DiskRunCache::store(std::uint64_t key, std::string_view payload) const {
     return false;
   }
   stores_.fetch_add(1);
+  enforce_quota();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-checkpoint images
+// ---------------------------------------------------------------------------
+
+std::string DiskRunCache::warm_checkpoint_path(std::uint64_t ckpt_fp) const {
+  return dir_ + "/ckpt-" + hex16(ckpt_fp) + ".ptbc";
+}
+
+bool DiskRunCache::load_warm_checkpoint(std::uint64_t ckpt_fp,
+                                        std::string& frame) const {
+  const std::string path = warm_checkpoint_path(ckpt_fp);
+  std::string raw;
+  if (!read_file(path, raw)) {
+    warm_misses_.fetch_add(1);
+    return false;
+  }
+  // Full frame validation up front (magic/version/length/checksum) plus
+  // the address cross-check: the image must be the cycle-0 frame of the
+  // very fingerprint it is filed under. Anything else is corruption (or a
+  // foreign file) — count, unlink, heal on the next store.
+  CheckpointReader ck;
+  if (!ck.parse(raw) || ck.header().checkpoint_fp != ckpt_fp ||
+      ck.header().cycle != 0) {
+    corrupt_.fetch_add(1);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    warm_misses_.fetch_add(1);
+    return false;
+  }
+  frame = std::move(raw);
+  warm_hits_.fetch_add(1);
+  return true;
+}
+
+bool DiskRunCache::store_warm_checkpoint(std::uint64_t ckpt_fp,
+                                         std::string_view frame) const {
+  std::string err;
+  if (!save_checkpoint_file(warm_checkpoint_path(ckpt_fp), frame, &err)) {
+    return false;
+  }
+  warm_stores_.fetch_add(1);
+  enforce_quota();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Size quota
+// ---------------------------------------------------------------------------
+
+void DiskRunCache::enforce_quota() const {
+  if (max_bytes_ == 0) return;
+  namespace fs = std::filesystem;
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string name;  // tie-break -> deterministic eviction order
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (ec) return;  // directory races with concurrent eviction: give up
+    const std::string name = de.path().filename().string();
+    // Only our published entries participate: .run artifacts and
+    // ckpt-*.ptbc images. In-flight temp files (.tmp.*) are someone's
+    // pending publish, never reaped here.
+    const bool is_run = name.size() == 20 && name.ends_with(".run");
+    const bool is_ckpt =
+        name.size() == 26 && name.starts_with("ckpt-") &&
+        name.ends_with(".ptbc");
+    if (!is_run && !is_ckpt) continue;
+    std::error_code sec;
+    const std::uint64_t size = de.file_size(sec);
+    const fs::file_time_type mtime = de.last_write_time(sec);
+    if (sec) continue;  // vanished under us (concurrent eviction)
+    total += size;
+    entries.push_back(Entry{mtime, name, size});
+  }
+  if (total <= max_bytes_) return;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+  });
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code rec;
+    if (std::filesystem::remove(dir_ + "/" + e.name, rec) && !rec) {
+      total -= e.size;
+      evicted_.fetch_add(1);
+    }
+  }
 }
 
 std::string cached_run_payload(const DiskRunCache& cache,

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/stats.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -158,6 +159,42 @@ class SampleBuffer {
   const std::vector<std::string>& columns() const { return columns_; }
   const std::vector<Cycle>& cycles() const { return cycles_; }
   const std::vector<double>& column(std::size_t i) const { return data_[i]; }
+
+  // Checkpoint support (sim/checkpoint): accumulated rows. The column set
+  // comes from the (re-registered) registry; a restore into a registry with
+  // a different column set fails the reader.
+  void save_state(ByteWriter& w) const {
+    w.u64(columns_.size());
+    for (const std::string& c : columns_) w.str(c);
+    w.u64_vec(cycles_);
+    for (const std::vector<double>& col : data_) w.f64_vec(col);
+  }
+  void load_state(ByteReader& r) {
+    const std::uint64_t nc = r.u64();
+    if (nc != columns_.size()) {
+      r.fail();
+      return;
+    }
+    for (const std::string& c : columns_) {
+      if (r.str() != c) {
+        r.fail();
+        return;
+      }
+    }
+    std::vector<Cycle> cyc;
+    r.u64_vec(cyc);
+    std::vector<std::vector<double>> cols(data_.size());
+    for (std::vector<double>& col : cols) {
+      r.f64_vec(col);
+      if (col.size() != cyc.size()) {
+        r.fail();
+        return;
+      }
+    }
+    if (!r.ok()) return;
+    cycles_ = std::move(cyc);
+    data_ = std::move(cols);
+  }
 
  private:
   std::vector<const Stat*> stats_;        // sorted, scalar, non-volatile

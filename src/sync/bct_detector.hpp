@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "isa/microop.hpp"
 
@@ -25,6 +26,24 @@ class BctDetector {
 
   bool spinning() const { return spinning_; }
   std::uint64_t detections() const { return detections_; }
+
+  // Checkpoint support.
+  void save_state(ByteWriter& w) const {
+    w.u64(interval_hash_);
+    w.u64(last_hash_);
+    w.u64(last_bct_pc_);
+    w.u32(identical_);
+    w.boolean(spinning_);
+    w.u64(detections_);
+  }
+  void load_state(ByteReader& r) {
+    interval_hash_ = r.u64();
+    last_hash_ = r.u64();
+    last_bct_pc_ = r.u64();
+    identical_ = r.u32();
+    spinning_ = r.boolean();
+    detections_ = r.u64();
+  }
 
  private:
   static std::uint64_t mix(std::uint64_t h, std::uint64_t v) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytes.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "trace/trace.hpp"
@@ -94,6 +95,23 @@ class SpinTracker {
   /// (src/stats).
   void register_stats(StatsRegistry& reg, const std::string& prefix)
       const PTB_REQUIRES(g_sequential_point);
+
+  // Checkpoint support (tracer wiring is per-run, not state).
+  void save_state(ByteWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    for (const Cycle c : cycles_) w.u64(c);
+    for (const double p : power_) w.f64(p);
+  }
+  void load_state(ByteReader& r) {
+    const std::uint8_t s = r.u8();
+    if (s >= kNumExecStates) {
+      r.fail();
+      return;
+    }
+    state_ = static_cast<ExecState>(s);
+    for (Cycle& c : cycles_) c = r.u64();
+    for (double& p : power_) p = r.f64();
+  }
 
  private:
   ExecState state_ = ExecState::kBusy;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 
 namespace ptb {
@@ -69,6 +70,44 @@ class SyncState {
   std::uint64_t acquisitions = 0;
   std::uint64_t failed_acquires = 0;
   std::uint64_t barrier_episodes = 0;
+
+  // Checkpoint support: lock/barrier values + statistics.
+  void save_state(ByteWriter& w) const {
+    w.u64(locks_.size());
+    for (const Lock& l : locks_) {
+      w.u64(l.held);
+      w.u32(l.holder);
+    }
+    w.u64(barriers_.size());
+    for (const Barrier& b : barriers_) {
+      w.u32(b.count);
+      w.u64(b.sense);
+    }
+    w.u64(acquisitions);
+    w.u64(failed_acquires);
+    w.u64(barrier_episodes);
+  }
+  void load_state(ByteReader& r) {
+    if (r.u64() != locks_.size()) {
+      r.fail();
+      return;
+    }
+    for (Lock& l : locks_) {
+      l.held = r.u64();
+      l.holder = r.u32();
+    }
+    if (r.u64() != barriers_.size()) {
+      r.fail();
+      return;
+    }
+    for (Barrier& b : barriers_) {
+      b.count = r.u32();
+      b.sense = r.u64();
+    }
+    acquisitions = r.u64();
+    failed_acquires = r.u64();
+    barrier_episodes = r.u64();
+  }
 
  private:
   struct Lock {

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
@@ -173,6 +174,48 @@ class TraceRing {
   /// Events oldest -> newest.
   std::vector<TraceEvent> in_order() const;
 
+  // Checkpoint support (sim/checkpoint): events in oldest->newest order +
+  // the emit counter. Load rebuilds an equivalent ring (rotated to slot 0 —
+  // rotation is unobservable; in_order() and future pushes are identical).
+  void save_state(ByteWriter& w) const {
+    w.u64(emitted_);
+    w.u64(size_);
+    const std::vector<TraceEvent> ev = in_order();
+    for (const TraceEvent& e : ev) {
+      w.u64(e.cycle);
+      w.u8(static_cast<std::uint8_t>(e.type));
+      w.u32(e.core);
+      w.u64(e.arg);
+      w.f64(e.value);
+    }
+  }
+  void load_state(ByteReader& r) {
+    const std::uint64_t emitted = r.u64();
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > buf_.size() || n > emitted ||
+        n > r.remaining() / 29) {  // 29 = serialized TraceEvent bytes
+      r.fail();
+      return;
+    }
+    for (TraceEvent& e : buf_) e = TraceEvent{};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      TraceEvent& e = buf_[i];
+      e.cycle = r.u64();
+      const std::uint8_t t = r.u8();
+      e.core = r.u32();
+      e.arg = r.u64();
+      e.value = r.f64();
+      if (t >= static_cast<std::uint8_t>(TraceEventType::kCount)) {
+        r.fail();
+        return;
+      }
+      e.type = static_cast<TraceEventType>(t);
+    }
+    size_ = n;
+    head_ = buf_.empty() ? 0 : n % buf_.size();
+    emitted_ = emitted;
+  }
+
  private:
   std::vector<TraceEvent> buf_;
   std::size_t head_ = 0;   // next write slot
@@ -231,6 +274,23 @@ class EventTracer {
   /// Detaches the recorded trace, stamping the run metadata.
   EventTrace finish(std::uint32_t num_cores, Cycle end_cycle,
                     std::uint32_t wire_latency);
+
+  // Checkpoint support (sim/checkpoint): the per-category rings. Must only
+  // be called at the cycle's sequential point with staging inactive and the
+  // staging slots drained (stage_flush() ran).
+  void save_state(ByteWriter& w) const {
+    w.u64(now_);
+    w.u64(rings_.size());
+    for (const TraceRing& ring : rings_) ring.save_state(w);
+  }
+  void load_state(ByteReader& r) {
+    now_ = r.u64();
+    if (r.u64() != rings_.size()) {
+      r.fail();
+      return;
+    }
+    for (TraceRing& ring : rings_) ring.load_state(r);
+  }
 
  private:
   void push(const TraceEvent& e);

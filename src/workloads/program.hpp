@@ -12,6 +12,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "cpu/thread_program.hpp"
@@ -35,6 +36,64 @@ class SyntheticProgram final : public ThreadProgram {
   std::uint32_t iteration() const { return iter_; }
   std::uint64_t compute_ops_emitted() const { return compute_emitted_; }
   std::uint64_t lock_sections_entered() const { return cs_entered_; }
+
+  // Checkpoint support (sim/checkpoint): the generator state machine, the
+  // RNG and the prepared-op queue. The code template and address layout are
+  // pure functions of (profile, tid, seed) and are rebuilt, not serialized.
+  void save_state(ByteWriter& w) const {
+    rng_.save_state(w);
+    w.u32(template_pos_);
+    w.u64(stride_priv_);
+    w.u64(stride_shared_);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(queue_.size());
+    for (const MicroOp& op : queue_) save_microop(w, op);
+    w.boolean(waiting_);
+    w.u32(pause_left_);
+    w.u32(iter_);
+    w.u64(ops_left_);
+    w.u64(cs_countdown_);
+    w.u64(cs_left_);
+    w.u32(current_lock_);
+    w.u64(barrier_wait_sense_);
+    w.boolean(in_final_barrier_);
+    w.u64(compute_emitted_);
+    w.u64(cs_entered_);
+  }
+  void load_state(ByteReader& r) {
+    rng_.load_state(r);
+    template_pos_ = r.u32();
+    stride_priv_ = r.u64();
+    stride_shared_ = r.u64();
+    const std::uint8_t st = r.u8();
+    if (st > static_cast<std::uint8_t>(State::kDone)) {
+      r.fail();
+      return;
+    }
+    state_ = static_cast<State>(st);
+    const std::uint64_t nq = r.u64();
+    if (nq > r.remaining() / 26) {  // 26 = serialized MicroOp bytes
+      r.fail();
+      return;
+    }
+    queue_.clear();
+    for (std::uint64_t i = 0; i < nq; ++i) {
+      MicroOp op;
+      if (!load_microop(r, op)) return;
+      queue_.push_back(op);
+    }
+    waiting_ = r.boolean();
+    pause_left_ = r.u32();
+    iter_ = r.u32();
+    ops_left_ = r.u64();
+    cs_countdown_ = r.u64();
+    cs_left_ = r.u64();
+    current_lock_ = r.u32();
+    barrier_wait_sense_ = r.u64();
+    in_final_barrier_ = r.boolean();
+    compute_emitted_ = r.u64();
+    cs_entered_ = r.u64();
+  }
 
   // Address layout (public so the simulator can warm caches functionally).
   static constexpr Addr kSharedBase = 0x0100'0000;

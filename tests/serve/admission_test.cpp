@@ -38,11 +38,11 @@ void check_invariants(const TokenAdmission& adm, const Demand& demand) {
   EXPECT_LE(granted, adm.host_tokens()) << "budget overrun";
   if (total(demand) <= adm.host_tokens()) {
     EXPECT_EQ(granted, total(demand)) << "under-subscribed demand stranded";
-  } else if (adm.policy() == PtbPolicy::kToAll) {
-    // Over-subscribed to_all re-splits until the spare is gone: the whole
-    // budget is handed out, no worker idles while any tenant queues.
-    // (to_one may strand spare beyond the single neediest tenant's
-    // residual — that lopsidedness is the policy's defining trade-off.)
+  } else {
+    // Over-subscribed: aggregate residual demand exceeds the spare, so the
+    // whole budget must be handed out under BOTH policies — to_all via its
+    // re-split rounds, to_one via the neediest-first cascade. No worker
+    // idles while any tenant queues.
     EXPECT_EQ(granted, adm.host_tokens()) << "tokens stranded";
   }
 }
@@ -82,6 +82,19 @@ TEST(TokenAdmission, ToOneSpareGoesToNeediestTenant) {
   EXPECT_EQ(grant.at("b"), 1u);
   EXPECT_EQ(grant.at("c"), 2u);
   EXPECT_EQ(grant.at("d"), 4u);
+}
+
+TEST(TokenAdmission, ToOneCascadesSpareWhenNeediestSaturates) {
+  // Regression: 12 tokens, fair share 3; a and b cap at 3, c and d are
+  // satisfied at 1, leaving spare = 4 against residuals a:3, b:2. The old
+  // single-grant code gave a its 3 and stranded the last token while b
+  // still queued; the cascade saturates a, then moves on to b.
+  const TokenAdmission adm(12, PtbPolicy::kToOne);
+  const Demand grant = adm.plan({{"a", 6}, {"b", 5}, {"c", 1}, {"d", 1}});
+  EXPECT_EQ(grant.at("a"), 6u);
+  EXPECT_EQ(grant.at("b"), 4u);  // fair 3 + the token a could not absorb
+  EXPECT_EQ(grant.at("c"), 1u);
+  EXPECT_EQ(grant.at("d"), 1u);
 }
 
 TEST(TokenAdmission, ToOneTieBreaksToFirstTenantInMapOrder) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,8 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/cmp.hpp"
 #include "sim/reporting.hpp"
 #include "sim/trace_export.hpp"
 #include "workloads/phases.hpp"
@@ -62,6 +65,20 @@ void corrupt_file_at(const std::string& path, std::size_t offset,
   ASSERT_NE(f, nullptr) << path;
   ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
   ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// XORs one byte so the corruption is guaranteed to change the file
+// (corrupt_file_at with a fixed byte is a no-op when it already matches).
+void flip_byte_at(const std::string& path, std::size_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  char b = 0;
+  ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+  b = static_cast<char>(b ^ 0x01);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
   ASSERT_EQ(std::fclose(f), 0);
 }
 
@@ -223,6 +240,150 @@ TEST(DiskRunCache, ConcurrentReadersAndWritersOneKey) {
   std::string got;
   EXPECT_TRUE(cache.load(key, got));
   EXPECT_EQ(got, payload);
+}
+
+TEST(DiskRunCache, QuotaEvictsOldestPublishedEntriesFirst) {
+  DiskRunCache cache(temp_cache_dir("quota"));
+  namespace fs = std::filesystem;
+
+  // Four same-size synthetic artifacts under distinct keys; ages are
+  // pinned explicitly so (mtime, name) eviction order is deterministic
+  // regardless of how fast the stores land.
+  const auto payload_for = [](std::uint64_t key) {
+    RunArtifact a;
+    a.benchmark = "quota";
+    a.num_cores = 2;
+    a.key = key;  // load() cross-checks the embedded key
+    a.summary_kv = "pad=" + std::string(1000, 'x');
+    return a.to_payload();  // fixed-width key -> same size for every key
+  };
+  const std::uint64_t k1 = 0xa000000000000001ull;
+  const std::uint64_t k2 = 0xa000000000000002ull;
+  const std::uint64_t k3 = 0xa000000000000003ull;
+  const std::uint64_t k4 = 0xa000000000000004ull;
+  ASSERT_TRUE(cache.store(k1, payload_for(k1)));  // quota 0 = unbounded
+  ASSERT_TRUE(cache.store(k2, payload_for(k2)));
+  ASSERT_TRUE(cache.store(k3, payload_for(k3)));
+  const std::uint64_t entry = fs::file_size(cache.path_for(k1));
+  const auto now = fs::last_write_time(cache.path_for(k3));
+  fs::last_write_time(cache.path_for(k1), now - std::chrono::minutes(3));
+  fs::last_write_time(cache.path_for(k2), now - std::chrono::minutes(2));
+  fs::last_write_time(cache.path_for(k3), now - std::chrono::minutes(1));
+
+  // Room for three and a half entries: publishing the fourth must evict
+  // exactly the oldest (k1) and nothing else.
+  cache.set_max_bytes(3 * entry + entry / 2);
+  ASSERT_TRUE(cache.store(k4, payload_for(k4)));
+  EXPECT_FALSE(fs::exists(cache.path_for(k1))) << "oldest entry survived";
+  EXPECT_TRUE(fs::exists(cache.path_for(k2)));
+  EXPECT_TRUE(fs::exists(cache.path_for(k3)));
+  EXPECT_TRUE(fs::exists(cache.path_for(k4)));
+  EXPECT_EQ(cache.evicted(), 1u);
+
+  // Shrink the quota to a single entry: the next publish keeps only
+  // itself (k4's pinned age makes it older than the fresh k5).
+  fs::last_write_time(cache.path_for(k4), now - std::chrono::seconds(30));
+  cache.set_max_bytes(entry + entry / 2);
+  const std::uint64_t k5 = 0xa000000000000005ull;
+  ASSERT_TRUE(cache.store(k5, payload_for(k5)));
+  EXPECT_FALSE(fs::exists(cache.path_for(k2)));
+  EXPECT_FALSE(fs::exists(cache.path_for(k3)));
+  EXPECT_FALSE(fs::exists(cache.path_for(k4)));
+  EXPECT_TRUE(fs::exists(cache.path_for(k5)));
+  EXPECT_EQ(cache.evicted(), 4u);
+
+  // Evicted keys are plain misses — the read path re-simulates, it never
+  // errors.
+  std::string got;
+  EXPECT_FALSE(cache.load(k2, got));
+  EXPECT_TRUE(cache.load(k5, got));
+  EXPECT_EQ(got, payload_for(k5));
+}
+
+TEST(DiskRunCache, WarmCheckpointRoundTripRejectsCorruptAndForeign) {
+  const DiskRunCache cache(temp_cache_dir("warm"));
+  const WorkloadProfile p = fast_profile();
+  const SimConfig cfg = fast_config();
+
+  // A genuine cycle-0 warm frame, captured the way run_one captures it.
+  std::string frame;
+  RunOptions opts;
+  opts.checkpoint_at = 0;
+  opts.checkpoint_out = &frame;
+  CmpSimulator sim(cfg, p);
+  (void)sim.run(opts);
+  ASSERT_FALSE(frame.empty());
+  const std::uint64_t fp = checkpoint_fingerprint(cfg, p.name, 0);
+
+  std::string got;
+  EXPECT_FALSE(cache.load_warm_checkpoint(fp, got));
+  EXPECT_EQ(cache.warm_misses(), 1u);
+  ASSERT_TRUE(cache.store_warm_checkpoint(fp, frame));
+  EXPECT_EQ(cache.warm_stores(), 1u);
+  ASSERT_TRUE(cache.load_warm_checkpoint(fp, got));
+  EXPECT_EQ(got, frame) << "warm image not byte-identical";
+  EXPECT_EQ(cache.warm_hits(), 1u);
+
+  // Filed under the wrong fingerprint: the embedded checkpoint_fp check
+  // rejects it, counts it corrupt and heals the slot by unlinking.
+  std::filesystem::rename(cache.warm_checkpoint_path(fp),
+                          cache.warm_checkpoint_path(fp ^ 1));
+  EXPECT_FALSE(cache.load_warm_checkpoint(fp ^ 1, got));
+  EXPECT_EQ(cache.corrupt(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.warm_checkpoint_path(fp ^ 1)));
+
+  // A bit flip mid-frame fails the frame checksum: corrupt, unlinked,
+  // and the next lookup is a clean miss.
+  ASSERT_TRUE(cache.store_warm_checkpoint(fp, frame));
+  flip_byte_at(cache.warm_checkpoint_path(fp), frame.size() / 2);
+  EXPECT_FALSE(cache.load_warm_checkpoint(fp, got));
+  EXPECT_EQ(cache.corrupt(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(cache.warm_checkpoint_path(fp)));
+}
+
+TEST(RunOne, WarmCheckpointDirSkipsWarmupByteIdentically) {
+  const WorkloadProfile p = fast_profile();
+  const SimConfig cfg = fast_config();
+  ASSERT_TRUE(cfg.functional_warmup);
+  RunOptions opts;
+  opts.stats = true;
+
+  // Scratch references with no warm cache configured: the base config and
+  // a different technique on the same machine/seed/benchmark.
+  const RunResult cold = run_one(p, cfg, opts);
+  const std::string cold_payload =
+      RunArtifact::from_result(p.name, cfg, cold).to_payload();
+  SimConfig dvfs = cfg;
+  dvfs.technique = TechniqueKind::kDvfs;
+  const RunResult dvfs_cold = run_one(p, dvfs, opts);
+
+  const std::string dir = temp_cache_dir("warmdir");
+  set_default_warm_checkpoint_dir(dir);
+  const DiskRunCache* warm = default_warm_checkpoint_cache();
+  ASSERT_NE(warm, nullptr);
+
+  // First run through the warm path publishes the post-warmup image …
+  const RunResult first = run_one(p, cfg, opts);
+  EXPECT_EQ(warm->warm_stores(), 1u);
+  EXPECT_EQ(RunArtifact::from_result(p.name, cfg, first).to_payload(),
+            cold_payload);
+
+  // … and the second restores it instead of re-warming, byte-identically.
+  const RunResult second = run_one(p, cfg, opts);
+  EXPECT_EQ(warm->warm_hits(), 1u);
+  EXPECT_EQ(RunArtifact::from_result(p.name, cfg, second).to_payload(),
+            cold_payload);
+
+  // A different technique forks off the same warm image (the cycle-0
+  // fingerprint excludes technique and budget) and still reproduces its
+  // own scratch run exactly.
+  const RunResult forked = run_one(p, dvfs, opts);
+  EXPECT_EQ(warm->warm_hits(), 2u);
+  EXPECT_EQ(RunArtifact::from_result(p.name, dvfs, forked).to_payload(),
+            RunArtifact::from_result(p.name, dvfs, dvfs_cold).to_payload());
+
+  set_default_warm_checkpoint_dir("");  // leave no global state behind
+  ASSERT_EQ(default_warm_checkpoint_cache(), nullptr);
 }
 
 }  // namespace

@@ -10,6 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -252,6 +257,63 @@ TEST(ServeE2E, AsyncSubmitThenPollJob) {
 }
 
 // Routing error surface, exercised without sockets through handle().
+// Raw-socket request for wire-level cases the structured client cannot
+// express (here: a Content-Length the server must refuse to buffer).
+// Sends `bytes`, reads to EOF, returns everything the server answered.
+std::string raw_request(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(ServeE2E, OversizedContentLengthRejectedWith413) {
+  // The body cap must trip on the declared Content-Length alone — the
+  // server answers 413 and closes without waiting for (or buffering) the
+  // advertised megabytes. Only the request head is ever sent here, so a
+  // hang would mean the server tried to read the body.
+  Server server(test_opts(fresh_cache_dir("toolarge")), "127.0.0.1", 0, 1);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const std::string head =
+      "POST /v1/run HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Length: 1048577\r\n"  // 1 MiB cap + 1
+      "Connection: close\r\n"
+      "\r\n";
+  const std::string resp = raw_request(server.port(), head);
+  ASSERT_FALSE(resp.empty()) << "no response to oversized request";
+  EXPECT_EQ(resp.rfind("HTTP/1.1 413 ", 0), 0u) << resp;
+
+  // A request at the cap's edge with a *lying* (absent) body also cannot
+  // wedge the worker: a fresh, well-formed request still gets served.
+  EXPECT_EQ(must_request(server.port(), "GET", "/healthz").status, 200);
+  server.stop();
+}
+
 TEST(ServeE2E, HandleErrorSurface) {
   Server server(test_opts(fresh_cache_dir("errors")), "127.0.0.1", 0, 1);
 

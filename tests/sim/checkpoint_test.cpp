@@ -1,0 +1,432 @@
+// Checkpoint/restore exactness and fault-injection tests
+// (sim/checkpoint.hpp):
+//
+//   - frame plumbing: round-trip, and every corruption class rejected
+//     cleanly (truncation, bit-flips, wrong magic/version, bogus section
+//     tables) — never UB, never a partial accept;
+//   - identity validation: a frame restores only into a simulator with the
+//     same core count / benchmark / machine fingerprint / seed, and a
+//     mid-run frame additionally pins the full config fingerprint;
+//   - the headline guarantee: a run restored from a mid-run checkpoint
+//     finishes bit-identical — RunResult fields, serialized event-trace
+//     bytes and the deterministic stats dump — to the uninterrupted run,
+//     at every --sim-threads value;
+//   - warm forking: a cycle-0 post-warmup frame captured under one
+//     technique restores under another and reproduces that technique's
+//     from-scratch results exactly;
+//   - sampled simulation: fast-forward windows preserve completion timing,
+//     stay deterministic across shard counts, and fold into the config
+//     fingerprint.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cmp.hpp"
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "trace/trace.hpp"
+#include "workloads/suite.hpp"
+
+namespace ptb {
+namespace {
+
+WorkloadProfile small_profile() {
+  WorkloadProfile p;
+  p.name = "ckpt";
+  p.iterations = 2;
+  p.ops_per_iteration = 3000;
+  p.imbalance = 0.2;
+  p.num_locks = 2;
+  p.cs_per_1k_ops = 4.0;
+  p.cs_len_ops = 10;
+  p.hot_lock_frac = 0.5;
+  return p;
+}
+
+TechniqueSpec base_spec() {
+  return {"base", TechniqueKind::kNone, false, PtbPolicy::kToAll, 0.0};
+}
+
+TechniqueSpec ptb_spec() {
+  return {"ptb+2l(dyn)", TechniqueKind::kTwoLevel, true, PtbPolicy::kDynamic,
+          0.0};
+}
+
+// Bitwise comparison of every deterministic RunResult field (the
+// sim_threads identity hammer's comparator, reused for restore identity).
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.num_cores, b.num_cores);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.hit_max_cycles, b.hit_max_cycles);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.aopb, b.aopb);
+  EXPECT_EQ(a.budget, b.budget);
+  EXPECT_EQ(a.power.count(), b.power.count());
+  EXPECT_EQ(a.power.mean(), b.power.mean());
+  EXPECT_EQ(a.power.max(), b.power.max());
+  EXPECT_EQ(a.power.variance(), b.power.variance());
+  EXPECT_EQ(a.spin_energy, b.spin_energy);
+  EXPECT_EQ(a.total_committed, b.total_committed);
+  EXPECT_EQ(a.tokens_donated, b.tokens_donated);
+  EXPECT_EQ(a.tokens_granted, b.tokens_granted);
+  EXPECT_EQ(a.tokens_evaporated, b.tokens_evaporated);
+  EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+  EXPECT_EQ(a.to_one_cycles, b.to_one_cycles);
+  EXPECT_EQ(a.to_all_cycles, b.to_all_cycles);
+  EXPECT_EQ(a.spin_gated_cycles, b.spin_gated_cycles);
+  EXPECT_EQ(a.machine_fingerprint, b.machine_fingerprint);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    SCOPED_TRACE(i);
+    const CoreResult& x = a.cores[i];
+    const CoreResult& y = b.cores[i];
+    EXPECT_EQ(x.finish_cycle, y.finish_cycle);
+    EXPECT_EQ(x.committed, y.committed);
+    EXPECT_EQ(x.flushes, y.flushes);
+    for (std::uint32_t s = 0; s < kNumExecStates; ++s) {
+      EXPECT_EQ(x.state_cycles[s], y.state_cycles[s]);
+    }
+    EXPECT_EQ(x.spin_energy, y.spin_energy);
+    EXPECT_EQ(x.energy, y.energy);
+    EXPECT_EQ(x.temp_mean, y.temp_mean);
+    EXPECT_EQ(x.temp_std, y.temp_std);
+  }
+}
+
+// --- frame plumbing ---------------------------------------------------------
+
+std::string tiny_frame() {
+  CheckpointHeader h;
+  h.checkpoint_fp = 0x1111;
+  h.machine_fp = 0x2222;
+  h.config_fp = 0x3333;
+  h.seed = 7;
+  h.num_cores = 4;
+  h.cycle = 42;
+  h.benchmark = "fft";
+  CheckpointWriter w(h);
+  {
+    ByteWriter& s = w.section(CkptSection::kCores);
+    s.u64(0xdeadbeef);
+  }
+  {
+    ByteWriter& s = w.section(CkptSection::kThermal);
+    s.f64(1.5);
+    s.str("tail");
+  }
+  return w.finish();
+}
+
+TEST(CheckpointFrame, RoundTripHeaderAndSections) {
+  const std::string bytes = tiny_frame();
+  CheckpointReader r;
+  ASSERT_TRUE(r.parse(bytes)) << r.error();
+  EXPECT_EQ(r.header().checkpoint_fp, 0x1111u);
+  EXPECT_EQ(r.header().machine_fp, 0x2222u);
+  EXPECT_EQ(r.header().config_fp, 0x3333u);
+  EXPECT_EQ(r.header().seed, 7u);
+  EXPECT_EQ(r.header().num_cores, 4u);
+  EXPECT_EQ(r.header().cycle, 42u);
+  EXPECT_EQ(r.header().benchmark, "fft");
+  ASSERT_TRUE(r.has_section(CkptSection::kCores));
+  ASSERT_TRUE(r.has_section(CkptSection::kThermal));
+  EXPECT_FALSE(r.has_section(CkptSection::kMem));
+  ByteReader cores(r.section(CkptSection::kCores));
+  EXPECT_EQ(cores.u64(), 0xdeadbeefu);
+  EXPECT_TRUE(cores.empty());
+  ByteReader th(r.section(CkptSection::kThermal));
+  EXPECT_EQ(th.f64(), 1.5);
+  EXPECT_EQ(th.str(), "tail");
+  EXPECT_TRUE(th.ok());
+}
+
+TEST(CheckpointFrame, FrameBytesAreDeterministic) {
+  EXPECT_EQ(tiny_frame(), tiny_frame());
+}
+
+TEST(CheckpointFrame, EveryTruncationLengthRejected) {
+  const std::string bytes = tiny_frame();
+  CheckpointReader r;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(r.parse(std::string_view(bytes).substr(0, len)))
+        << "accepted a frame truncated to " << len << " bytes";
+    EXPECT_FALSE(r.error().empty());
+  }
+}
+
+TEST(CheckpointFrame, EverySingleBitFlipRejected) {
+  const std::string bytes = tiny_frame();
+  // The magic/version/length words reject structurally; every payload bit
+  // is caught by the FNV checksum. Appended garbage is a length mismatch.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string mut = bytes;
+      mut[i] = static_cast<char>(mut[i] ^ (1 << bit));
+      CheckpointReader r;
+      EXPECT_FALSE(r.parse(mut))
+          << "accepted a frame with byte " << i << " bit " << bit
+          << " flipped";
+    }
+  }
+  CheckpointReader r;
+  EXPECT_FALSE(r.parse(bytes + "x"));
+}
+
+TEST(CheckpointFrame, WrongMagicAndVersionDiagnosed) {
+  std::string bytes = tiny_frame();
+  {
+    std::string mut = bytes;
+    mut[0] = 'X';
+    CheckpointReader r;
+    ASSERT_FALSE(r.parse(mut));
+    EXPECT_NE(r.error().find("magic"), std::string::npos) << r.error();
+  }
+  {
+    std::string mut = bytes;
+    mut[4] = static_cast<char>(kCheckpointVersion + 1);
+    CheckpointReader r;
+    ASSERT_FALSE(r.parse(mut));
+    EXPECT_NE(r.error().find("version"), std::string::npos) << r.error();
+  }
+}
+
+TEST(CheckpointFrame, FileRoundTripAndMissingFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/ckpt_roundtrip.ptbc";
+  const std::string bytes = tiny_frame();
+  std::string err;
+  ASSERT_TRUE(save_checkpoint_file(path, bytes, &err)) << err;
+  std::string back;
+  ASSERT_TRUE(load_checkpoint_file(path, back, &err)) << err;
+  EXPECT_EQ(back, bytes);
+  EXPECT_FALSE(load_checkpoint_file(dir + "/absent.ptbc", back, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// --- identity validation ----------------------------------------------------
+
+std::string capture_at(const WorkloadProfile& p, const SimConfig& cfg,
+                       Cycle at, const RunOptions& base = {}) {
+  CmpSimulator sim(cfg, p);
+  std::string ckpt;
+  RunOptions opts = base;
+  opts.checkpoint_at = at;
+  opts.checkpoint_out = &ckpt;
+  sim.run(opts);
+  return ckpt;
+}
+
+TEST(CheckpointRestore, IdentityMismatchesRejected) {
+  const WorkloadProfile p = small_profile();
+  const SimConfig cfg = make_sim_config(4, ptb_spec());
+  const std::string ckpt = capture_at(p, cfg, 500);
+  ASSERT_FALSE(ckpt.empty());
+
+  std::string err;
+  {  // different core count
+    CmpSimulator sim(make_sim_config(8, ptb_spec()), p);
+    EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+    EXPECT_NE(err.find("core count"), std::string::npos) << err;
+  }
+  {  // different benchmark
+    WorkloadProfile q = p;
+    q.name = "other";
+    CmpSimulator sim(cfg, q);
+    EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+    EXPECT_NE(err.find("benchmark"), std::string::npos) << err;
+  }
+  {  // different machine
+    SimConfig m = cfg;
+    m.core.rob_entries *= 2;
+    CmpSimulator sim(m, p);
+    EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+    EXPECT_NE(err.find("machine"), std::string::npos) << err;
+  }
+  {  // different seed
+    SimConfig s = cfg;
+    s.seed = cfg.seed + 1;
+    CmpSimulator sim(s, p);
+    EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+    EXPECT_NE(err.find("seed"), std::string::npos) << err;
+  }
+  {  // mid-run frame under a different technique: config fp pinned
+    CmpSimulator sim(make_sim_config(4, base_spec()), p);
+    EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+    EXPECT_NE(err.find("config fingerprint"), std::string::npos) << err;
+  }
+}
+
+TEST(CheckpointRestore, CorruptFrameRejectedWithDiagnostic) {
+  const WorkloadProfile p = small_profile();
+  const SimConfig cfg = make_sim_config(4, ptb_spec());
+  std::string ckpt = capture_at(p, cfg, 500);
+  ASSERT_FALSE(ckpt.empty());
+  ckpt[ckpt.size() / 2] ^= 0x10;  // payload bit-flip -> checksum
+  CmpSimulator sim(cfg, p);
+  std::string err;
+  EXPECT_FALSE(sim.restore_checkpoint(ckpt, &err));
+  EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+}
+
+// --- restore-vs-continuous exactness ----------------------------------------
+
+// The hammer: capture at C under shard count S1, restore into a fresh
+// simulator running at shard count S2, and require the resumed run to be
+// bit-identical to the uninterrupted run — results, trace bytes, stats
+// dump. Covers the {1,4} x {1,4} grid for both a PTB technique and the
+// thrifty baseline (different sequential-pre-pass shape).
+void restore_hammer(const TechniqueSpec& tech) {
+  const WorkloadProfile p = small_profile();
+  RunOptions opts;
+  opts.trace_categories = kTraceAll;
+  opts.stats = true;
+  opts.stats_sample_every = 256;
+
+  for (const std::uint32_t capture_threads : {1u, 4u}) {
+    SimConfig cfg = make_sim_config(4, tech);
+    cfg.sim_threads = capture_threads;
+    const RunResult full = CmpSimulator(cfg, p).run(opts);
+    ASSERT_FALSE(full.hit_max_cycles);
+    const Cycle mid = full.cycles / 2;
+    const std::string ckpt = capture_at(p, cfg, mid, opts);
+    ASSERT_FALSE(ckpt.empty());
+
+    for (const std::uint32_t resume_threads : {1u, 4u}) {
+      SCOPED_TRACE(std::to_string(capture_threads) + " threads -> " +
+                   std::to_string(resume_threads));
+      SimConfig rcfg = cfg;
+      rcfg.sim_threads = resume_threads;
+      CmpSimulator sim(rcfg, p);
+      std::string err;
+      ASSERT_TRUE(sim.restore_checkpoint(ckpt, &err)) << err;
+      const RunResult resumed = sim.run(opts);
+      expect_bit_identical(full, resumed);
+      ASSERT_NE(full.trace, nullptr);
+      ASSERT_NE(resumed.trace, nullptr);
+      EXPECT_EQ(full.trace->serialize(), resumed.trace->serialize());
+      ASSERT_NE(resumed.stats, nullptr);
+      EXPECT_EQ(stats_json(full, /*include_volatile=*/false),
+                stats_json(resumed, /*include_volatile=*/false));
+    }
+  }
+}
+
+TEST(CheckpointRestore, MidRunResumeBitIdenticalPtb) {
+  restore_hammer(ptb_spec());
+}
+
+TEST(CheckpointRestore, MidRunResumeBitIdenticalThrifty) {
+  restore_hammer({"thrifty", TechniqueKind::kThriftyBarrier, false,
+                  PtbPolicy::kToAll, 0.0});
+}
+
+// A restored simulator consumes its carry: the frame only redirects the
+// next run().
+TEST(CheckpointRestore, CarryConsumedBySingleRun) {
+  const WorkloadProfile p = small_profile();
+  const SimConfig cfg = make_sim_config(4, ptb_spec());
+  const RunResult full = CmpSimulator(cfg, p).run();
+  const std::string ckpt = capture_at(p, cfg, full.cycles / 2);
+  CmpSimulator sim(cfg, p);
+  ASSERT_TRUE(sim.restore_checkpoint(ckpt));
+  const RunResult resumed = sim.run();
+  expect_bit_identical(full, resumed);
+}
+
+// --- warm forking -----------------------------------------------------------
+
+// A cycle-0 frame captured right after functional warmup under the *base*
+// technique restores under a PTB config (different config fingerprint) and
+// reproduces the PTB run's from-scratch results bit for bit: the warmed
+// image is technique/budget-independent, so one image serves a sweep.
+TEST(CheckpointRestore, WarmFrameForksAcrossTechniques) {
+  const WorkloadProfile p = small_profile();
+  const std::string warm = capture_at(p, make_sim_config(4, base_spec()), 0);
+  ASSERT_FALSE(warm.empty());
+
+  for (const TechniqueSpec& tech :
+       {ptb_spec(),
+        TechniqueSpec{"dvfs", TechniqueKind::kDvfs, false, PtbPolicy::kToAll,
+                      0.0}}) {
+    SCOPED_TRACE(tech.label);
+    const SimConfig cfg = make_sim_config(4, tech);
+    const RunResult scratch = CmpSimulator(cfg, p).run();
+    CmpSimulator sim(cfg, p);
+    std::string err;
+    ASSERT_TRUE(sim.restore_checkpoint(warm, &err)) << err;
+    expect_bit_identical(scratch, sim.run());
+  }
+}
+
+TEST(CheckpointFingerprint, ExcludesTechniqueIncludesCycle) {
+  const SimConfig a = make_sim_config(4, base_spec());
+  const SimConfig b = make_sim_config(4, ptb_spec());
+  EXPECT_EQ(checkpoint_fingerprint(a, "fft", 0),
+            checkpoint_fingerprint(b, "fft", 0));
+  EXPECT_NE(checkpoint_fingerprint(a, "fft", 0),
+            checkpoint_fingerprint(a, "fft", 1000));
+  EXPECT_NE(checkpoint_fingerprint(a, "fft", 0),
+            checkpoint_fingerprint(a, "lu", 0));
+  SimConfig c = a;
+  c.seed = a.seed + 1;
+  EXPECT_NE(checkpoint_fingerprint(a, "fft", 0),
+            checkpoint_fingerprint(c, "fft", 0));
+}
+
+// --- sampled simulation -----------------------------------------------------
+
+TEST(SampledSim, PreservesCompletionAndScalesEnergy) {
+  const WorkloadProfile p = small_profile();
+  SimConfig full_cfg = make_sim_config(4, base_spec());
+  const RunResult full = CmpSimulator(full_cfg, p).run();
+  ASSERT_FALSE(full.hit_max_cycles);
+
+  SimConfig cfg = full_cfg;
+  cfg.sample_detail = 200;
+  cfg.sample_period = 1000;
+  const RunResult sampled = CmpSimulator(cfg, p).run();
+  ASSERT_FALSE(sampled.hit_max_cycles);
+  // Fast-forward never skips an architectural tick: completion timing is
+  // exact, per-core committed counts included.
+  EXPECT_EQ(sampled.cycles, full.cycles);
+  EXPECT_EQ(sampled.total_committed, full.total_committed);
+  for (std::size_t i = 0; i < full.cores.size(); ++i) {
+    EXPECT_EQ(sampled.cores[i].finish_cycle, full.cores[i].finish_cycle);
+    EXPECT_EQ(sampled.cores[i].committed, full.cores[i].committed);
+  }
+  // Energy is extrapolated from a 20% duty cycle: approximate, but it must
+  // land in the right ballpark (EXPERIMENTS.md quantifies the error).
+  EXPECT_GT(sampled.energy, 0.5 * full.energy);
+  EXPECT_LT(sampled.energy, 2.0 * full.energy);
+}
+
+TEST(SampledSim, DeterministicAcrossShardCounts) {
+  const WorkloadProfile p = small_profile();
+  SimConfig cfg = make_sim_config(4, ptb_spec());
+  cfg.sample_detail = 250;
+  cfg.sample_period = 1000;
+  SimConfig four = cfg;
+  four.sim_threads = 4;
+  expect_bit_identical(CmpSimulator(cfg, p).run(),
+                       CmpSimulator(four, p).run());
+}
+
+TEST(SampledSim, KnobsFoldIntoConfigFingerprintWhenActive) {
+  const SimConfig off = make_sim_config(4, base_spec());
+  SimConfig on = off;
+  on.sample_detail = 200;
+  on.sample_period = 1000;
+  // Result-changing -> distinct config fingerprint; machine unchanged.
+  EXPECT_NE(config_fingerprint(off), config_fingerprint(on));
+  EXPECT_EQ(machine_fingerprint(off), machine_fingerprint(on));
+  SimConfig other = on;
+  other.sample_detail = 400;
+  EXPECT_NE(config_fingerprint(on), config_fingerprint(other));
+}
+
+}  // namespace
+}  // namespace ptb

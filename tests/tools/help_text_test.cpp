@@ -93,7 +93,7 @@ TEST(HelpText, ServeHelpDocumentsEveryFlagAndRoute) {
   // (tools/ptb_serve.cpp main()).
   for (const char* flag :
        {"--listen", "--port", "--jobs", "--host-tokens", "--policy",
-        "--cache-dir", "--queue-max", "--http-threads"}) {
+        "--cache-dir", "--cache-max-bytes", "--queue-max", "--http-threads"}) {
     EXPECT_NE(h.find(flag), std::string::npos) << flag;
   }
   // One entry per route Server::handle dispatches.
@@ -131,7 +131,7 @@ TEST(HelpText, GoldenShape) {
   const std::string serve = rendered(ptb::tools::kServeUsage);
   EXPECT_EQ(lines_of(trace).size(), 13u);
   EXPECT_EQ(lines_of(stats).size(), 14u);
-  EXPECT_EQ(lines_of(serve).size(), 17u);
+  EXPECT_EQ(lines_of(serve).size(), 22u);
 }
 
 }  // namespace

@@ -73,15 +73,23 @@ inline constexpr char kServeUsage[] =
     "to_all)\n"
     "  --cache-dir DIR  persistent content-addressed run cache (default\n"
     "                   .ptb-cache; created if absent)\n"
+    "  --cache-max-bytes N\n"
+    "                   disk-cache quota in bytes; oldest published "
+    "entries\n"
+    "                   are evicted after each store (default 0 = "
+    "unbounded)\n"
     "  --queue-max N    queued-unit cap before requests get 429 (default "
     "256)\n"
     "  --http-threads N HTTP worker threads (default 4)\n"
     "Serves POST /v1/run, POST /v1/sweep, GET /v1/jobs/{id},\n"
     "GET /v1/results/{key}, GET /metrics (Prometheus), GET /healthz.\n"
     "Repeat requests are answered from the cache byte-identically; corrupt\n"
-    "cache entries are rejected and re-simulated, never served. SIGINT/\n"
-    "SIGTERM drain gracefully: running simulations finish, queued ones "
-    "fail.\n"
+    "cache entries are rejected and re-simulated, never served. Simulations\n"
+    "restore a warm-checkpoint image from the cache dir instead of "
+    "replaying\n"
+    "functional warmup whenever one exists. SIGINT/SIGTERM drain "
+    "gracefully:\n"
+    "running simulations finish, queued ones fail.\n"
     "exit status: 0 clean shutdown, 1 startup failure, 2 usage.\n";
 
 }  // namespace ptb::tools

@@ -16,6 +16,7 @@
 
 #include "help_text.hpp"
 #include "serve/server.hpp"
+#include "sim/experiment.hpp"
 #include "tool_util.hpp"
 
 namespace {
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::uint32_t queue_max = 256;
   std::uint32_t http_threads = 4;
   std::string cache_dir = ".ptb-cache";
+  std::uint64_t cache_max_bytes = 0;  // 0 = unbounded
   ptb::PtbPolicy policy = ptb::PtbPolicy::kToAll;
 
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +108,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: bad --cache-dir value (empty)\n", argv[0]);
         return 2;
       }
+    } else if (arg == "--cache-max-bytes") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      if (!ptb::tools::parse_u64_arg(v, cache_max_bytes)) {
+        std::fprintf(stderr,
+                     "%s: bad --cache-max-bytes value '%s' (expected a "
+                     "byte count, 0 = unbounded)\n",
+                     argv[0], v);
+        return 2;
+      }
     } else if (arg == "--policy") {
       const char* v = need_value();
       if (v == nullptr) return 2;
@@ -138,6 +150,15 @@ int main(int argc, char** argv) {
   sopts.host_tokens = host_tokens;
   sopts.admission_policy = policy;
   sopts.queue_max = queue_max;
+  sopts.cache_max_bytes = cache_max_bytes;
+
+  // Warm-checkpoint images share the cache directory: every simulation
+  // this daemon runs restores the post-warmup state instead of replaying
+  // functional warmup, across runs and across daemon restarts.
+  ptb::set_default_warm_checkpoint_dir(cache_dir);
+  if (ptb::DiskRunCache* warm = ptb::default_warm_checkpoint_cache()) {
+    warm->set_max_bytes(cache_max_bytes);
+  }
 
   ptb::serve::Server server(sopts, listen,
                             static_cast<std::uint16_t>(port), http_threads);

@@ -3,6 +3,7 @@
 // (no simulation code) — keep this header that way too.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,15 @@ inline bool parse_double_arg(const char* s, double& out) {
   char* end = nullptr;
   out = std::strtod(s, &end);
   return end != s && *end == '\0';
+}
+
+/// Strict u64 parse; false on garbage.
+inline bool parse_u64_arg(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
 }
 
 /// Strict unsigned parse; false on garbage.
