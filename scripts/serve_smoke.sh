@@ -5,13 +5,19 @@
 #   2. POST /v1/run?wait=1 twice: the first must miss, the second must hit
 #      and the two bodies must be byte-identical (cmp);
 #   3. POST /v1/sweep?wait=1 twice: the second may contain no "miss";
-#   4. scrape /metrics and check the request/cache/queue series;
-#   5. SIGTERM -> graceful drain, clean exit;
-#   6. restart on the same cache dir: the very first request must be a hit
+#   4. scrape /metrics and check the request/cache/queue/stage series;
+#   5. stream GET /v1/jobs/{id}/events for a fresh async run: progress
+#      events must arrive before the terminal one;
+#   6. export GET /v1/trace through ptb-trace serve to Perfetto JSON (the
+#      JSON is copied to $SERVE_SMOKE_ARTIFACT_DIR when set, for CI upload);
+#   7. check the structured JSON access log (one line per request);
+#   8. SIGTERM -> graceful drain, clean exit;
+#   9. restart on the same cache dir: the very first request must be a hit
 #      with the same bytes — the cache, not the process, owns the results.
 #
 # Dependency-free: HTTP via bash /dev/tcp (the daemon closes after each
-# response, so reading to EOF is a complete exchange).
+# response, so reading to EOF is a complete exchange; streamed responses
+# end at the terminal event, so the same read works there too).
 #
 # Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
 # Exit: 0 all checks pass, 1 otherwise.
@@ -19,7 +25,9 @@ set -u
 
 build_dir="${1:-build}"
 serve_bin="$build_dir/tools/ptb-serve"
+trace_bin="$build_dir/tools/ptb-trace"
 [[ -x "$serve_bin" ]] || { echo "FAIL: $serve_bin not built"; exit 1; }
+[[ -x "$trace_bin" ]] || { echo "FAIL: $trace_bin not built"; exit 1; }
 
 tmp="$(mktemp -d)"
 serve_pid=""
@@ -48,6 +56,18 @@ body_of() {
   sed '1,/^\r*$/d' "$1" > "$2"
 }
 
+# raw_body_of RESPONSE OUTFILE — binary-safe head strip (sed is line-based
+# and would mangle the span log's binary bytes): find the byte offset of
+# the blank "\r\n" line ending the head and copy everything after it.
+# (grep can't search for CRLFCRLF directly — a newline in the pattern
+# splits it into multiple patterns — so match the blank line instead.)
+raw_body_of() {
+  local off
+  off=$(grep -abm1 $'^\r$' "$1" | cut -d: -f1)
+  [[ -n "$off" ]] || return 1
+  tail -c +"$((off + 3))" "$1" > "$2"
+}
+
 check() { # check DESC CONDITION...
   local desc="$1"; shift
   if "$@"; then
@@ -58,9 +78,10 @@ check() { # check DESC CONDITION...
   fi
 }
 
-start_daemon() { # start_daemon LOGFILE
-  local log="$1"
-  "$serve_bin" --port 0 --cache-dir "$tmp/cache" --jobs 2 > "$log" 2>&1 &
+start_daemon() { # start_daemon LOGFILE ACCESSLOG
+  local log="$1" access="$2"
+  "$serve_bin" --port 0 --cache-dir "$tmp/cache" --jobs 2 \
+    --log-file "$access" --log-level debug > "$log" 2>&1 &
   serve_pid=$!
   port=""
   for _ in $(seq 1 100); do
@@ -84,7 +105,7 @@ stop_daemon() { # stop_daemon LOGFILE
 }
 
 # --- first daemon: miss -> hit, sweep, metrics, drain -----------------------
-start_daemon "$tmp/serve1.log"
+start_daemon "$tmp/serve1.log" "$tmp/access1.log"
 echo "daemon up on port $port (cache $tmp/cache)"
 
 http POST '/v1/run?wait=1' "$run_body" "$tmp/r1"
@@ -114,16 +135,70 @@ http GET '/metrics' '' "$tmp/m"
 body_of "$tmp/m" "$tmp/m.body"
 for series in ptb_serve_http_requests ptb_serve_cache_hits \
               ptb_serve_cache_misses ptb_serve_queue_depth \
-              ptb_serve_jobs_in_flight ptb_serve_http_request_ms; do
+              ptb_serve_jobs_in_flight ptb_serve_http_request_ms \
+              ptb_serve_http_streams ptb_serve_stage_simulate_ms \
+              ptb_serve_stage_cache_probe_ms; do
   check "metrics expose $series" grep -q "$series" "$tmp/m.body"
 done
 check "no corrupt entries seen" grep -q '^ptb_serve_cache_corrupt 0' \
   "$tmp/m.body"
 
+# --- live progress stream ---------------------------------------------------
+# A config no earlier request used, so the run really simulates and emits
+# progress events (a cache hit has nothing to report). The stream blocks
+# until the terminal event, so reading to EOF captures the whole feed.
+events_body='{"benchmark":"fft","config":{"num_cores":2,"max_cycles":26000}}'
+http POST '/v1/run' "$events_body" "$tmp/ev202"
+check "async run accepted (202)" grep -q '^HTTP/1.1 202' "$tmp/ev202"
+body_of "$tmp/ev202" "$tmp/ev202.body"
+job=$(sed -n 's/.*"job":"\([^"]*\)".*/\1/p' "$tmp/ev202.body")
+check "202 body names the job" test -n "$job"
+http GET "/v1/jobs/$job/events" '' "$tmp/ev"
+check "events stream is chunked SSE" grep -qi '^transfer-encoding: chunked' \
+  "$tmp/ev"
+check "stream carries progress events" grep -q '^event: progress' "$tmp/ev"
+check "stream ends with a terminal event" grep -qE '^event: (done|aborted)' \
+  "$tmp/ev"
+check "progress precedes the terminal event" bash -c \
+  'p=$(grep -n "^event: progress" "$1" | head -1 | cut -d: -f1)
+   t=$(grep -nE "^event: (done|aborted)" "$1" | head -1 | cut -d: -f1)
+   [[ -n "$p" && -n "$t" && "$p" -lt "$t" ]]' -- "$tmp/ev"
+
+# --- request-span trace export ----------------------------------------------
+http GET '/v1/trace' '' "$tmp/tr"
+check "trace endpoint is 200" grep -q '^HTTP/1.1 200' "$tmp/tr"
+raw_body_of "$tmp/tr" "$tmp/trace.bin"
+check "ptb-trace serve renders Perfetto JSON" \
+  "$trace_bin" serve "$tmp/trace.bin" "$tmp/serve-trace.json"
+check "trace JSON has traceEvents" grep -q '"traceEvents"' \
+  "$tmp/serve-trace.json"
+check "trace JSON names the simulate stage" grep -q '"name":"simulate"' \
+  "$tmp/serve-trace.json"
+if [[ -n "${SERVE_SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SERVE_SMOKE_ARTIFACT_DIR"
+  cp "$tmp/serve-trace.json" "$SERVE_SMOKE_ARTIFACT_DIR/"
+  echo "trace JSON copied to $SERVE_SMOKE_ARTIFACT_DIR/serve-trace.json"
+fi
+
 stop_daemon "$tmp/serve1.log"
 
+# --- structured access log --------------------------------------------------
+check "access log written" test -s "$tmp/access1.log"
+check "access log covers /v1/run" grep -q '"path":"/v1/run"' \
+  "$tmp/access1.log"
+check "access log carries trace ids" grep -q '"trace":"' "$tmp/access1.log"
+check "debug level adds stage durations" grep -q '"stages":{' \
+  "$tmp/access1.log"
+if command -v python3 >/dev/null 2>&1; then
+  check "every access-log line is valid JSON" python3 -c '
+import json, sys
+for line in open(sys.argv[1]):
+    if line.strip():
+        json.loads(line)' "$tmp/access1.log"
+fi
+
 # --- second daemon, same cache dir: restart keeps the bytes -----------------
-start_daemon "$tmp/serve2.log"
+start_daemon "$tmp/serve2.log" "$tmp/access2.log"
 http POST '/v1/run?wait=1' "$run_body" "$tmp/r3"
 check "post-restart run is a hit" grep -qi '^x-ptb-cache: hit' "$tmp/r3"
 body_of "$tmp/r3" "$tmp/r3.body"

@@ -232,6 +232,77 @@ std::string render_http_response(const HttpResponse& r) {
   return out;
 }
 
+std::string render_http_stream_head(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " ";
+  out += http_status_reason(r.status);
+  out += "\r\nContent-Type: " + r.content_type;
+  out += "\r\nTransfer-Encoding: chunked";
+  out += "\r\nConnection: close";
+  for (const auto& [k, v] : r.headers) {
+    out += "\r\n" + k + ": " + v;
+  }
+  out += "\r\n\r\n";
+  return out;
+}
+
+bool http_dechunk(std::string_view raw, std::string& out, std::string& err) {
+  std::string body;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = raw.find("\r\n", pos);
+    if (nl == std::string_view::npos) {
+      err = "chunked body: missing size line terminator";
+      return false;
+    }
+    std::string_view size_line = raw.substr(pos, nl - pos);
+    // Chunk extensions (";name=value") are legal; ignore them.
+    const std::size_t semi = size_line.find(';');
+    if (semi != std::string_view::npos) size_line = size_line.substr(0, semi);
+    size_line = trim(size_line);
+    if (size_line.empty()) {
+      err = "chunked body: empty chunk size";
+      return false;
+    }
+    std::size_t len = 0;
+    for (const char c : size_line) {
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        err = "chunked body: bad chunk size";
+        return false;
+      }
+      if (len > (kMaxBodyBytes >> 4)) {
+        err = "chunked body: chunk too large";
+        return false;
+      }
+      len = (len << 4) | digit;
+    }
+    pos = nl + 2;
+    if (len == 0) {
+      // Terminal chunk; any trailers up to the final blank line are
+      // discarded. A truncated trailer section is tolerated — the peer
+      // already sent every payload byte.
+      out = std::move(body);
+      return true;
+    }
+    if (pos + len + 2 > raw.size()) {
+      err = "chunked body: truncated chunk data";
+      return false;
+    }
+    body.append(raw.data() + pos, len);
+    if (raw.substr(pos + len, 2) != "\r\n") {
+      err = "chunked body: missing chunk data terminator";
+      return false;
+    }
+    pos += len + 2;
+  }
+}
+
 // ptb-lint: allow-begin(wallclock) -- the single wall-clock read site of
 // the serve subsystem: host-side latency metrics only.
 double now_ms() {
@@ -295,6 +366,8 @@ bool HttpServer::start(std::string& err) {
   }
 
   stop_.store(false);
+  accept_joined_.store(false);
+  workers_joined_.store(false);
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(num_workers_);
   for (unsigned i = 0; i < num_workers_; ++i) {
@@ -303,14 +376,19 @@ bool HttpServer::start(std::string& err) {
   return true;
 }
 
-void HttpServer::stop() {
-  if (stop_.exchange(true)) {
-    // Second caller still needs the joins to have finished; the first
-    // caller does them, and thread::join on a joined thread would throw —
-    // so only the transition owner tears down.
+void HttpServer::stop_accepting() {
+  stop_.store(true);
+  if (accept_joined_.exchange(true)) {
+    // thread::join on a joined thread would throw — only the transition
+    // owner of each phase tears it down (same idiom below for workers).
     return;
   }
   if (acceptor_.joinable()) acceptor_.join();
+}
+
+void HttpServer::stop() {
+  stop_accepting();
+  if (workers_joined_.exchange(true)) return;
   {
     MutexLock lock(mu_);
     draining_ = true;
@@ -426,6 +504,8 @@ void HttpServer::handle_connection(int fd) {
         resp.body = "{\"error\":\"truncated request body\"}";
       } else {
         req.body = buf.substr(body_off, content_length);
+        req.ingress_ms = t0;
+        req.parsed_ms = now_ms();
         have_request = true;
       }
     }
@@ -433,6 +513,26 @@ void HttpServer::handle_connection(int fd) {
 
   if (have_request) {
     resp = handler_(req);
+  }
+  if (resp.stream) {
+    // Streaming response: chunked framing, producer-driven. The sink
+    // reports peer hangup so the producer can stop early; the terminal
+    // zero-length chunk is best-effort (the peer may already be gone).
+    if (send_all(fd, render_http_stream_head(resp))) {
+      const HttpResponse::ChunkSink sink = [fd](std::string_view chunk) {
+        if (chunk.empty()) return true;  // zero-size would terminate
+        char size_line[32];
+        std::snprintf(size_line, sizeof(size_line), "%zx\r\n", chunk.size());
+        return send_all(fd, size_line) && send_all(fd, chunk) &&
+               send_all(fd, "\r\n");
+      };
+      resp.stream(sink);
+      send_all(fd, "0\r\n\r\n");
+    }
+    ::close(fd);
+    served_.fetch_add(1);
+    if (stream_hook_) stream_hook_();
+    return;
   }
   send_all(fd, render_http_response(resp));
   ::close(fd);
@@ -517,6 +617,7 @@ bool http_request(const std::string& host, std::uint16_t port,
   }
   HttpResponse resp;
   resp.status = std::atoi(status_line.c_str() + sp + 1);
+  bool chunked = false;
   std::size_t pos = status_line_end + 2;
   while (pos < head_end) {
     const std::size_t nl = raw.find("\r\n", pos);
@@ -531,10 +632,23 @@ bool http_request(const std::string& host, std::uint16_t port,
     if (name == "content-type") {
       resp.content_type = value;
     } else {
+      if (name == "transfer-encoding" &&
+          lower(value).find("chunked") != std::string::npos) {
+        chunked = true;
+      }
       resp.headers.emplace_back(name, value);
     }
   }
-  resp.body = raw.substr(head_end + 4);
+  if (chunked) {
+    std::string decoded;
+    if (!http_dechunk(std::string_view(raw).substr(head_end + 4), decoded,
+                      err)) {
+      return false;
+    }
+    resp.body = std::move(decoded);
+  } else {
+    resp.body = raw.substr(head_end + 4);
+  }
   out = std::move(resp);
   return true;
 }

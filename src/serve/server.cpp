@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/json.hpp"
+#include "trace/serve_span.hpp"
 
 namespace ptb::serve {
 
@@ -13,6 +15,27 @@ HttpResponse error_response(int status, const std::string& message) {
   r.status = status;
   r.body = "{\"error\":\"" + json::escape(message) + "\"}";
   return r;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string ms_str(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+const std::string* response_header(const HttpResponse& r,
+                                   std::string_view name) {
+  for (const auto& [k, v] : r.headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
 }
 
 std::string tenant_of(const HttpRequest& req) {
@@ -43,16 +66,102 @@ Server::Server(ServiceOptions service_opts, std::string listen_addr,
             [this](const HttpRequest& req) { return handle(req); }) {
   http_.set_latency_hook(
       [this](double ms) { service_.record_http_request(ms); });
+  http_.set_stream_hook([this] { service_.record_http_stream(); });
 }
 
 bool Server::start(std::string& err) { return http_.start(err); }
 
 void Server::stop() {
-  http_.stop();     // no new requests
+  // Order matters for open event streams: close the accept side first (no
+  // new requests), then drain the service — its terminal "aborted" events
+  // unblock any stream still held by an HTTP worker — and only then join
+  // the workers. Joining first would deadlock on a live stream.
+  http_.stop_accepting();
   service_.stop();  // drain in-flight simulations, fail queued
+  http_.stop();
 }
 
 HttpResponse Server::handle(const HttpRequest& req) {
+  SpanRecorder* rec = service_.spans();
+  Service::TraceCtx ctx;
+  const double t0 = req.ingress_ms > 0.0 ? req.ingress_ms : now_ms();
+  if (rec != nullptr) {
+    ctx.trace_id = rec->begin_trace();
+    ctx.root_span = rec->next_span_id();
+  }
+
+  HttpResponse resp = dispatch(req, ctx);
+  const double t1 = now_ms();
+
+  if (rec != nullptr) {
+    if (req.parsed_ms > 0.0) {
+      // Head+body read/decode, attributed from the transport's stamps
+      // (absent when the request was hand-built in a test).
+      ServeSpan parse;
+      parse.trace_id = ctx.trace_id;
+      parse.span_id = rec->next_span_id();
+      parse.parent_id = ctx.root_span;
+      parse.name = "parse";
+      parse.start_ms = t0;
+      parse.end_ms = req.parsed_ms;
+      rec->emit(parse);
+      service_.record_stage("parse", parse.end_ms - parse.start_ms);
+    }
+    ServeSpan root;
+    root.trace_id = ctx.trace_id;
+    root.span_id = ctx.root_span;
+    root.parent_id = 0;
+    root.name = "request";
+    root.start_ms = t0;
+    root.end_ms = t1;
+    root.note =
+        req.method + " " + req.path + " -> " + std::to_string(resp.status);
+    rec->emit(root);
+    resp.headers.emplace_back("X-Ptb-Trace", hex16(ctx.trace_id));
+  }
+
+  AccessLog& log = service_.access_log();
+  if (log.should_log(resp.status)) {
+    const std::string* cache = response_header(resp, "X-Ptb-Cache");
+    const std::string* job = response_header(resp, "X-Ptb-Job");
+    std::string line = "{\"ts_ms\":" + ms_str(t1);
+    if (rec != nullptr) {
+      line += ",\"trace\":\"" + hex16(ctx.trace_id) + "\"";
+    }
+    line += ",\"tenant\":\"" + json::escape(tenant_of(req)) + "\"";
+    line += ",\"method\":\"" + json::escape(req.method) + "\"";
+    line += ",\"path\":\"" + json::escape(req.path) + "\"";
+    if (!req.query.empty()) {
+      line += ",\"query\":\"" + json::escape(req.query) + "\"";
+    }
+    line += ",\"status\":" + std::to_string(resp.status);
+    line += ",\"dur_ms\":" + ms_str(t1 - t0);
+    if (cache != nullptr) line += ",\"cache\":\"" + *cache + "\"";
+    if (job != nullptr) {
+      line += ",\"job\":\"" + *job + "\"";
+      if (log.level() == LogLevel::kDebug) {
+        std::uint32_t tokens_held = 0;
+        std::vector<std::pair<std::string, double>> stages;
+        if (service_.job_observed(*job, tokens_held, stages)) {
+          line += ",\"tokens_held\":" + std::to_string(tokens_held);
+          line += ",\"stages\":{";
+          for (std::size_t i = 0; i < stages.size(); ++i) {
+            if (i) line += ",";
+            line += "\"" + json::escape(stages[i].first) +
+                    "\":" + ms_str(stages[i].second);
+          }
+          line += "}";
+        }
+      }
+    }
+    line += "}";
+    log.write_line(line);
+  }
+  return resp;
+}
+
+HttpResponse Server::dispatch(const HttpRequest& req,
+                              const Service::TraceCtx& ctx) {
   // --- POST /v1/run ------------------------------------------------------
   if (req.path == "/v1/run" || req.path == "/v1/sweep") {
     if (req.method != "POST") return error_response(405, "POST required");
@@ -73,8 +182,8 @@ HttpResponse Server::handle(const HttpRequest& req) {
     }
 
     Service::Submitted submitted;
-    if (!service_.submit(tenant_of(req), std::move(requests), submitted,
-                         err)) {
+    if (!service_.submit(tenant_of(req), std::move(requests), submitted, err,
+                         ctx)) {
       return error_response(err == "queue full" ? 429 : 503, err);
     }
     if (!want_wait(req)) {
@@ -120,6 +229,50 @@ HttpResponse Server::handle(const HttpRequest& req) {
     return r;
   }
 
+  // --- GET /v1/jobs/{id}/events ------------------------------------------
+  // Must be matched before the plain jobs route (same prefix). The
+  // response streams: the producer lambda runs on the HTTP worker thread,
+  // blocking in next_job_event between events and emitting a comment
+  // heartbeat on every timeout so a proxy (or a patient human) can tell
+  // the stream is alive. Terminates on the job's terminal event, on
+  // ": gone" (job pruned / feed consumed), or when the peer hangs up.
+  if (req.path.rfind("/v1/jobs/", 0) == 0 && req.path.size() > 16 &&
+      req.path.compare(req.path.size() - 7, 7, "/events") == 0) {
+    if (req.method != "GET") return error_response(405, "GET required");
+    const std::string id = req.path.substr(9, req.path.size() - 16);
+    if (service_.job_status_json(id).empty()) {
+      return error_response(404, "unknown job '" + id + "'");
+    }
+    const double heartbeat_ms = service_.options().stream_heartbeat_ms;
+    Service* svc = &service_;
+    HttpResponse r;
+    r.content_type = "text/event-stream";
+    r.headers.emplace_back("Cache-Control", "no-store");
+    r.stream = [svc, id, heartbeat_ms](const HttpResponse::ChunkSink& sink) {
+      std::uint64_t last_seq = 0;
+      for (;;) {
+        Service::JobEvent ev;
+        switch (svc->next_job_event(id, last_seq, heartbeat_ms, ev)) {
+          case Service::EventWait::kGone:
+            sink(": gone\n\n");
+            return;
+          case Service::EventWait::kTimeout:
+            if (!sink(": heartbeat\n\n")) return;  // peer hung up
+            break;
+          case Service::EventWait::kEvent: {
+            last_seq = ev.seq;
+            const std::string frame = "event: " + ev.kind +
+                                      "\nid: " + std::to_string(ev.seq) +
+                                      "\ndata: " + ev.data + "\n\n";
+            if (!sink(frame) || ev.terminal) return;
+            break;
+          }
+        }
+      }
+    };
+    return r;
+  }
+
   // --- GET /v1/jobs/{id} -------------------------------------------------
   if (req.path.rfind("/v1/jobs/", 0) == 0) {
     if (req.method != "GET") return error_response(405, "GET required");
@@ -143,6 +296,24 @@ HttpResponse Server::handle(const HttpRequest& req) {
     HttpResponse r;
     r.body = std::move(payload);
     r.headers.emplace_back("X-Ptb-Cache", "hit");
+    return r;
+  }
+
+  // --- GET /v1/trace -----------------------------------------------------
+  if (req.path == "/v1/trace") {
+    if (req.method != "GET") return error_response(405, "GET required");
+    if (service_.spans() == nullptr) {
+      return error_response(404, "tracing disabled (--trace-spans 0)");
+    }
+    const ServeSpanLog log = service_.trace_snapshot();
+    HttpResponse r;
+    if (req.query_param("format") == "json") {
+      r.content_type = "application/json";
+      r.body = serve_spans_chrome_json(log);
+    } else {
+      r.content_type = "application/octet-stream";
+      r.body = log.serialize();
+    }
     return r;
   }
 

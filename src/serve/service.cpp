@@ -5,8 +5,15 @@
 
 #include "common/assert.hpp"
 #include "common/json.hpp"
+#include "serve/http.hpp"
 #include "stats/dump.hpp"
 #include "workloads/suite.hpp"
+
+// ptb-lint: allow-begin(wallclock) -- event-stream timeouts only: the
+// condition-variable wait below bounds how long a streaming client blocks
+// between heartbeats; no simulation state is derived from it.
+#include <chrono>
+// ptb-lint: allow-end
 
 namespace ptb::serve {
 
@@ -14,6 +21,20 @@ namespace {
 
 // Finished jobs retained for polling before the oldest are pruned.
 constexpr std::size_t kMaxRetainedJobs = 1024;
+
+// Per-job event feed cap: oldest events are dropped first (the client sees
+// the gap in the seq numbers). Terminal events are always the newest, so
+// they are never dropped.
+constexpr std::size_t kMaxJobEvents = 256;
+
+// The host-stage taxonomy: every span name the service can emit below the
+// per-request root, and the set of per-stage latency histograms
+// pre-registered on the daemon's registry (registration must happen at the
+// constructor's sequential point, so lazy per-name registration is out).
+constexpr const char* kStageNames[] = {
+    "parse",        "queue_wait", "admission_wait", "cache_probe",
+    "warm_restore", "simulate",   "serialize",      "cache_publish",
+};
 
 std::string hex16(std::uint64_t v) {
   char buf[20];
@@ -43,6 +64,14 @@ Service::Service(ServiceOptions opts)
       cache_(opts_.cache_dir),
       admission_(opts_.host_tokens, opts_.admission_policy) {
   cache_.set_max_bytes(opts_.cache_max_bytes);  // before any worker exists
+  if (opts_.trace_spans > 0) {
+    spans_ = std::make_unique<SpanRecorder>(opts_.trace_spans);
+  }
+  if (!opts_.log_file.empty()) {
+    std::string err;
+    PTB_ASSERTF(access_log_.open(opts_.log_file, opts_.log_level, err),
+                "access log: %s", err.c_str());
+  }
   register_metrics();
   const unsigned workers = opts_.sim_workers == 0 ? 1 : opts_.sim_workers;
   workers_.reserve(workers);
@@ -61,6 +90,9 @@ void Service::register_metrics() {
   registry_.counter_fn("serve.http.requests",
                        "HTTP requests completed (all statuses)",
                        [this] { return double(http_requests_.load()); });
+  registry_.counter_fn("serve.http.streams",
+                       "streaming (chunked) responses completed",
+                       [this] { return double(http_streams_.load()); });
   registry_.counter_fn("serve.jobs.submitted", "jobs accepted by submit()",
                        [this] { return double(jobs_submitted_.load()); });
   registry_.counter_fn("serve.units.completed",
@@ -116,12 +148,24 @@ void Service::register_metrics() {
     latency_hist_ = &registry_.distribution(
         "serve.http.request_ms", "HTTP request latency (milliseconds)", 0.0,
         1000.0, 20);
+    for (const char* stage : kStageNames) {
+      stage_hists_[stage] = &registry_.distribution(
+          std::string("serve.stage.") + stage + "_ms",
+          std::string("'") + stage + "' stage latency (milliseconds)", 0.0,
+          1000.0, 20);
+    }
   }
 }
 
 bool Service::submit(const std::string& tenant,
                      std::vector<RunRequest> requests, Submitted& out,
                      std::string& err) {
+  return submit(tenant, std::move(requests), out, err, TraceCtx{});
+}
+
+bool Service::submit(const std::string& tenant,
+                     std::vector<RunRequest> requests, Submitted& out,
+                     std::string& err, const TraceCtx& trace) {
   PTB_ASSERT(!requests.empty(), "submit requires at least one request");
   Submitted result;
   {
@@ -155,11 +199,15 @@ bool Service::submit(const std::string& tenant,
     auto job = std::make_unique<Job>();
     job->id = idbuf;
     job->tenant = tenant.empty() ? "default" : tenant;
+    job->trace_id = trace.trace_id;
+    job->root_span = trace.root_span;
     job->units.reserve(requests.size());
+    const double enqueued = spans_ != nullptr ? now_ms() : 0.0;
     for (RunRequest& req : requests) {
       Unit u;
       u.key = DiskRunCache::run_key(req.benchmark, req.config);
       u.req = std::move(req);
+      u.enqueued_ms = enqueued;
       result.unit_keys.push_back(hex16(u.key));
       job->units.push_back(std::move(u));
     }
@@ -199,6 +247,12 @@ Service::QueueRef Service::pick_unit_locked() {
       q.pop_front();
       return ref;
     }
+    if (spans_ != nullptr) {
+      // Admission denied with work queued: stamp the head-of-line unit's
+      // first-blocked instant so its admission_wait span starts here.
+      Unit& head = q.front().job->units[q.front().unit_index];
+      if (head.blocked_ms == 0.0) head.blocked_ms = now_ms();
+    }
   }
   return QueueRef{nullptr, 0};
 }
@@ -214,29 +268,186 @@ void Service::worker_loop() {
     }
     if (ref.job == nullptr) return;  // stopping; queued units fail in stop()
 
-    Unit& u = ref.job->units[ref.unit_index];
+    Job* job = ref.job;  // stable: jobs are pruned only once finished
+    Unit& u = job->units[ref.unit_index];
     u.state = Unit::State::kRunning;
-    ++running_per_tenant_[ref.job->tenant];
+    const std::uint32_t running_now = ++running_per_tenant_[job->tenant];
+    if (running_now > job->tokens_held_peak) {
+      job->tokens_held_peak = running_now;
+    }
     queue_depth_.fetch_sub(1);
     units_running_.fetch_add(1);
+    if (spans_ != nullptr) u.picked_ms = now_ms();
     const RunRequest req = u.req;  // simulate without the lock
+    const std::uint64_t trace_id = job->trace_id;
+    const std::uint32_t root_span = job->root_span;
+    const double enqueued = u.enqueued_ms;
+    const double blocked = u.blocked_ms;
+    const double picked = u.picked_ms;
+    const std::size_t unit_index = ref.unit_index;
     lock.unlock();
 
+    SpanRecorder* rec = spans_.get();
+    const bool tracing = rec != nullptr && trace_id != 0;
+    const bool want_progress = opts_.progress_every_cycles > 0;
+
+    // Per-stage durations accumulate worker-locally during the unlocked
+    // simulate window and are assigned into the Unit only after relocking.
+    std::vector<std::pair<std::string, double>> stage_ms;
+
+    if (tracing) {
+      // Scheduler spans. Both are always emitted — admission_wait is
+      // zero-length when the unit was never denied — so two identical
+      // requests produce structurally identical span trees regardless of
+      // scheduler timing.
+      ServeSpan s;
+      s.trace_id = trace_id;
+      s.parent_id = root_span;
+      s.span_id = rec->next_span_id();
+      s.name = "queue_wait";
+      s.start_ms = enqueued;
+      s.end_ms = picked;
+      rec->emit(s);
+      record_stage("queue_wait", picked - enqueued);
+      stage_ms.emplace_back("queue_wait", picked - enqueued);
+      s.span_id = rec->next_span_id();
+      s.name = "admission_wait";
+      s.start_ms = blocked == 0.0 ? picked : blocked;
+      rec->emit(s);
+      record_stage("admission_wait", s.end_ms - s.start_ms);
+      stage_ms.emplace_back("admission_wait", s.end_ms - s.start_ms);
+    }
+
+    // Host-stage observer: a LIFO stack of open stages makes nesting
+    // (warm_restore inside simulate) parent naturally.
+    struct StageOpen {
+      std::string name;
+      double begin_ms;
+      std::uint32_t span_id;
+    };
+    std::vector<StageOpen> open;
+    RunObserver observer;
+    const RunObserver* obs_ptr = nullptr;
+    if (tracing) {
+      observer.stage_enter = [&](std::string_view stage) {
+        open.push_back(
+            StageOpen{std::string(stage), now_ms(), rec->next_span_id()});
+      };
+      observer.stage_exit = [&](std::string_view stage) {
+        // Stages strictly nest; unwinding to the named stage tolerates a
+        // producer that misses an inner end on an error path.
+        while (!open.empty()) {
+          const StageOpen top = std::move(open.back());
+          open.pop_back();
+          ServeSpan s;
+          s.trace_id = trace_id;
+          s.span_id = top.span_id;
+          s.parent_id = open.empty() ? root_span : open.back().span_id;
+          s.name = top.name;
+          s.start_ms = top.begin_ms;
+          s.end_ms = now_ms();
+          rec->emit(s);
+          record_stage(top.name, s.end_ms - s.start_ms);
+          stage_ms.emplace_back(top.name, s.end_ms - s.start_ms);
+          if (top.name == stage) break;
+        }
+      };
+      obs_ptr = &observer;
+    }
+    if (want_progress) {
+      observer.progress_every = opts_.progress_every_cycles;
+      observer.progress = [&](const RunProgress& p) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"unit\":%zu,\"cycle\":%llu,\"max_cycles\":%llu,"
+            "\"committed\":%llu,\"ipc\":%.4f,\"watts\":%.2f,"
+            "\"cores_finished\":%u,\"cores\":%u,\"phase\":\"%s\"}",
+            unit_index, static_cast<unsigned long long>(p.cycle),
+            static_cast<unsigned long long>(p.max_cycles),
+            static_cast<unsigned long long>(p.committed), p.ipc, p.watts,
+            p.cores_finished, p.num_cores,
+            p.detailed ? "detailed" : "fastforward");
+        MutexLock plock(mu_);
+        push_event_locked(*job, "progress", buf, false);
+      };
+      obs_ptr = &observer;
+    }
+
     bool hit = false;
-    std::string payload = cached_run_payload(
-        cache_, benchmark_by_name(req.benchmark), req.config, hit);
+    std::string payload =
+        cached_run_payload(cache_, benchmark_by_name(req.benchmark),
+                           req.config, hit, obs_ptr);
 
     lock.lock();
     u.state = Unit::State::kDone;
     u.cache_hit = hit;
     u.payload = std::move(payload);
-    --running_per_tenant_[ref.job->tenant];
+    u.stage_ms = std::move(stage_ms);
+    --running_per_tenant_[job->tenant];
     units_running_.fetch_sub(1);
     units_completed_.fetch_add(1);
-    ++ref.job->completed;
-    if (ref.job->finished()) done_cv_.notify_all();
+    ++job->completed;
+    {
+      std::string data = "{\"unit\":" + std::to_string(unit_index) +
+                         ",\"benchmark\":\"" + json::escape(req.benchmark) +
+                         "\",\"state\":\"done\",\"cache\":\"" +
+                         (hit ? "hit" : "miss") + "\",\"key\":\"" +
+                         hex16(u.key) + "\"}";
+      push_event_locked(*job, "unit", std::move(data), false);
+    }
+    if (job->finished()) {
+      bool any_failed = false;
+      for (const Unit& ju : job->units) {
+        if (ju.state == Unit::State::kFailed) any_failed = true;
+      }
+      const char* kind = any_failed ? "failed" : "done";
+      std::string data = "{\"id\":\"" + job->id + "\",\"state\":\"" + kind +
+                         "\",\"total\":" + std::to_string(job->units.size()) +
+                         "}";
+      push_event_locked(*job, kind, std::move(data), true);
+      done_cv_.notify_all();
+    }
     // Admission headroom changed: another tenant's unit may now start.
     work_cv_.notify_all();
+  }
+}
+
+void Service::push_event_locked(Job& job, const char* kind, std::string data,
+                                bool terminal) {
+  JobEvent ev;
+  ev.seq = job.next_event_seq++;
+  ev.kind = kind;
+  ev.data = std::move(data);
+  ev.terminal = terminal;
+  job.events.push_back(std::move(ev));
+  while (job.events.size() > kMaxJobEvents) job.events.pop_front();
+  if (terminal) job.terminal_emitted = true;
+  event_cv_.notify_all();
+}
+
+Service::EventWait Service::next_job_event(const std::string& job_id,
+                                           std::uint64_t after_seq,
+                                           double timeout_ms, JobEvent& out) {
+  if (timeout_ms < 0.0) timeout_ms = 0.0;
+  MutexLock lock(mu_);
+  bool timed_out = false;
+  for (;;) {
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return EventWait::kGone;
+    const Job& job = *it->second;
+    for (const JobEvent& ev : job.events) {
+      if (ev.seq > after_seq) {
+        out = ev;
+        return EventWait::kEvent;
+      }
+    }
+    if (job.terminal_emitted) return EventWait::kGone;  // feed consumed
+    if (timed_out) return EventWait::kTimeout;
+    timed_out =
+        event_cv_.wait_for(
+            lock, std::chrono::duration<double, std::milli>(timeout_ms)) ==
+        std::cv_status::timeout;
   }
 }
 
@@ -335,6 +546,47 @@ void Service::record_http_request(double ms) {
   latency_hist_->add(ms);
 }
 
+void Service::record_http_stream() {
+  http_requests_.fetch_add(1);
+  http_streams_.fetch_add(1);
+}
+
+void Service::record_stage(std::string_view stage, double ms) {
+  MutexLock lock(metrics_mu_);
+  const auto it = stage_hists_.find(stage);
+  if (it != stage_hists_.end()) it->second->add(ms);
+}
+
+ServeSpanLog Service::trace_snapshot() {
+  return spans_ != nullptr ? spans_->snapshot() : ServeSpanLog{};
+}
+
+bool Service::job_observed(const std::string& job_id,
+                           std::uint32_t& tokens_held,
+                           std::vector<std::pair<std::string, double>>&
+                               stages) {
+  MutexLock lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  const Job& job = *it->second;
+  tokens_held = job.tokens_held_peak;
+  stages.clear();
+  for (const Unit& u : job.units) {
+    for (const auto& [name, ms] : u.stage_ms) {
+      bool merged = false;
+      for (auto& [sname, sms] : stages) {
+        if (sname == name) {
+          sms += ms;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) stages.emplace_back(name, ms);
+    }
+  }
+  return true;
+}
+
 void Service::stop() {
   if (stopped_.exchange(true)) return;
   {
@@ -360,8 +612,19 @@ void Service::stop() {
       }
       q.clear();
     }
+    // Any job finishing through this drain never got a terminal event from
+    // a worker: emit "aborted" so an open /v1/jobs/{id}/events stream
+    // unblocks and closes instead of hanging until the client gives up.
+    for (auto& [id, job] : jobs_) {
+      if (job->finished() && !job->terminal_emitted) {
+        std::string data =
+            "{\"id\":\"" + job->id + "\",\"state\":\"aborted\"}";
+        push_event_locked(*job, "aborted", std::move(data), true);
+      }
+    }
   }
   done_cv_.notify_all();
+  event_cv_.notify_all();
 }
 
 }  // namespace ptb::serve

@@ -1,0 +1,32 @@
+#include "serve/span.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ptb::serve {
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity) {
+  PTB_ASSERT(capacity_ >= 1, "a zero-capacity recorder means 'tracing off'");
+}
+
+void SpanRecorder::emit(ServeSpan span) {
+  MutexLock lock(mu_);
+  ++emitted_;
+  ring_.push_back(std::move(span));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+ServeSpanLog SpanRecorder::snapshot() const {
+  MutexLock lock(mu_);
+  ServeSpanLog log;
+  log.emitted = emitted_;
+  log.dropped = dropped_;
+  log.spans.assign(ring_.begin(), ring_.end());
+  return log;
+}
+
+}  // namespace ptb::serve

@@ -1,0 +1,63 @@
+// SpanRecorder: the ptb-serve daemon's thread-safe, bounded span sink —
+// the service-plane twin of the simulator's EventTrace rings. Transport
+// threads (serve/server.cpp, per-request root and parse spans) and
+// simulation workers (serve/service.cpp, per-unit stage spans) emit
+// completed ServeSpans; the recorder keeps the newest `capacity` of them
+// and counts what the ring overwrote, so a long-lived daemon's trace is
+// always the recent past, never an OOM.
+//
+// Identity minting: begin_trace() hands out the per-request trace id at
+// HTTP ingress; next_span_id() hands out span ids (unique for the
+// recorder's lifetime) so spans emitted concurrently from different
+// threads never collide. Trees are linked by parent id, not emission
+// order — snapshot() order is completion order.
+//
+// Zero cost when off: the Service allocates no recorder at all when
+// ServiceOptions::trace_spans is 0, and every emit site is a null check.
+// Spans observe requests only (timestamps come from serve/http.cpp
+// now_ms()); simulation results are byte-identical with tracing on or off
+// (asserted in tests/serve/serve_e2e_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/thread_annotations.hpp"
+#include "trace/serve_span.hpp"
+
+namespace ptb::serve {
+
+class SpanRecorder {
+ public:
+  /// `capacity` >= 1: the Service never constructs a zero-capacity
+  /// recorder (0 means "tracing off" = no recorder).
+  explicit SpanRecorder(std::size_t capacity);
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Mints the trace id for one request (1-based, monotonic).
+  std::uint64_t begin_trace() { return next_trace_.fetch_add(1); }
+  /// Mints a span id (1-based; 0 is reserved for "no parent").
+  std::uint32_t next_span_id() { return next_span_.fetch_add(1); }
+
+  /// Records one completed span; drops the oldest when full.
+  void emit(ServeSpan span);
+
+  /// Copy of the retained spans + drop accounting (GET /v1/trace).
+  ServeSpanLog snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint32_t> next_span_{1};
+
+  mutable Mutex mu_;
+  std::deque<ServeSpan> ring_ PTB_GUARDED_BY(mu_);
+  std::uint64_t emitted_ PTB_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ PTB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ptb::serve

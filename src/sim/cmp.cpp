@@ -796,6 +796,10 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
       };
   // ptb-lint: parallel-region-end(shard_job)
 
+  const bool progress_on = opts.observer != nullptr &&
+                           opts.observer->progress != nullptr &&
+                           opts.observer->progress_every > 0;
+
   for (; now < cfg_.max_cycles && finished_count < n; ++now) {
     // Checkpoint capture: top of the loop body, before the cycle executes,
     // so a restored run replays `checkpoint_at` onward (checkpoint.hpp).
@@ -851,6 +855,23 @@ RunResult CmpSimulator::run(const RunOptions& opts) {
     finished_count = 0;
     for (CoreId i = 0; i < n; ++i) {
       finished_count += f.finished[i] != 0 ? 1u : 0u;
+    }
+    // Progress callback (RunObserver): fires at the sequential point in
+    // both detailed and fast-forward cycles so a sampled run still
+    // reports. Read-only over deterministic state — emitting progress can
+    // never change a result byte.
+    if (progress_on && (now + 1) % opts.observer->progress_every == 0) {
+      RunProgress p;
+      p.cycle = now + 1;
+      p.max_cycles = cfg_.max_cycles;
+      p.cores_finished = finished_count;
+      p.num_cores = n;
+      for (CoreId i = 0; i < n; ++i) p.committed += cores_[i]->committed;
+      p.ipc = static_cast<double>(p.committed) /
+              static_cast<double>(now + 1);
+      p.watts = acct.power_stat().mean();
+      p.detailed = cycle_detailed;
+      opts.observer->progress(p);
     }
     // Fast-forward cycles end here: the architectural planes above ran
     // exactly; the power/control/accounting phases below are skipped with

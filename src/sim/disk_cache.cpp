@@ -410,4 +410,46 @@ std::string cached_run_payload(const DiskRunCache& cache,
   });
 }
 
+std::string cached_run_payload(const DiskRunCache& cache,
+                               const WorkloadProfile& profile,
+                               const SimConfig& cfg, bool& hit,
+                               const RunObserver* observer) {
+  if (observer == nullptr) {
+    return cached_run_payload(cache, profile, cfg, hit);
+  }
+  // Open-coded get_or_compute with the same counter semantics (load bumps
+  // hit/miss/corrupt, store bumps stores + quota enforcement), bracketing
+  // each host-level stage for the observer. The payload bytes are
+  // byte-identical to the plain overload: stages only wrap the calls.
+  const auto begin = [&](const char* stage) {
+    if (observer->stage_enter) observer->stage_enter(stage);
+  };
+  const auto end = [&](const char* stage) {
+    if (observer->stage_exit) observer->stage_exit(stage);
+  };
+  const std::uint64_t key = DiskRunCache::run_key(profile.name, cfg);
+  std::string payload;
+  begin("cache_probe");
+  const bool loaded = cache.load(key, payload);
+  end("cache_probe");
+  if (loaded) {
+    hit = true;
+    return payload;
+  }
+  hit = false;
+  begin("simulate");
+  RunOptions opts;
+  opts.stats = true;  // the artifact carries the StatsDump JSON
+  opts.observer = observer;
+  const RunResult r = run_one(profile, cfg, opts);
+  end("simulate");
+  begin("serialize");
+  payload = RunArtifact::from_result(profile.name, cfg, r).to_payload();
+  end("serialize");
+  begin("cache_publish");
+  cache.store(key, payload);
+  end("cache_publish");
+  return payload;
+}
+
 }  // namespace ptb

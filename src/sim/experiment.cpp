@@ -129,14 +129,24 @@ RunResult run_one(const WorkloadProfile& profile, const SimConfig& cfg,
     // technique/budget point of a sweep — and, through ptb-serve's cache
     // directory, every later daemon process too.
     const std::uint64_t fp = checkpoint_fingerprint(cfg, profile.name, 0);
+    // The warm-restore attempt is a host-level stage the serve plane
+    // traces (RunObserver): the span covers the image load plus the state
+    // restore, with a hit only when both succeed. Observation only — the
+    // restored run is byte-identical with or without an observer.
+    const RunObserver* obs = opts.observer;
+    if (obs != nullptr && obs->stage_enter) obs->stage_enter("warm_restore");
     std::string frame;
     if (warm->load_warm_checkpoint(fp, frame)) {
       CmpSimulator sim(cfg, profile);
       // A frame that passed the disk-level checks can still be stale
       // (e.g. the machine config changed): fall through to a fresh
       // simulator below — a failed restore leaves `sim` unusable.
-      if (sim.restore_checkpoint(frame)) return sim.run(opts);
+      if (sim.restore_checkpoint(frame)) {
+        if (obs != nullptr && obs->stage_exit) obs->stage_exit("warm_restore");
+        return sim.run(opts);
+      }
     }
+    if (obs != nullptr && obs->stage_exit) obs->stage_exit("warm_restore");
     CmpSimulator sim(cfg, profile);
     if (opts.checkpoint_out == nullptr) {
       // Capture the warm point on the way through and publish it.

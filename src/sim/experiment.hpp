@@ -326,6 +326,18 @@ std::string cached_run_payload(const DiskRunCache& cache,
                                const WorkloadProfile& profile,
                                const SimConfig& cfg, bool& hit);
 
+/// Observed variant (ISSUE 10): identical semantics, counters and bytes,
+/// but brackets the pipeline's host-level stages through `observer` —
+/// "cache_probe" around the disk lookup, then on a miss "simulate"
+/// (run_one, which nests "warm_restore" when a warm-checkpoint image is
+/// consulted), "serialize" and "cache_publish" — and threads the observer
+/// into RunOptions so its progress callback fires from the cycle loop.
+/// A null observer falls back to the plain overload above.
+std::string cached_run_payload(const DiskRunCache& cache,
+                               const WorkloadProfile& profile,
+                               const SimConfig& cfg, bool& hit,
+                               const RunObserver* observer);
+
 /// Runs every suite benchmark under each technique at `cores`, normalized
 /// against base runs from `cache`. All (benchmark x technique) cells plus
 /// any missing base runs are submitted to `pool` up front and execute

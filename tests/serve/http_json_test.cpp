@@ -75,6 +75,49 @@ TEST(HttpResponseRender, CarriesStatusLengthAndClose) {
   EXPECT_EQ(wire.substr(wire.size() - r.body.size()), r.body);
 }
 
+TEST(HttpResponseRender, StreamHeadUsesChunkedWithoutLength) {
+  HttpResponse r;
+  r.content_type = "text/event-stream";
+  r.headers.emplace_back("Cache-Control", "no-store");
+  const std::string head = render_http_stream_head(r);
+  EXPECT_NE(head.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Cache-Control: no-store\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n") << "head only, no body";
+}
+
+// --- chunked transfer decoding ----------------------------------------------
+
+TEST(HttpDechunk, ReassemblesMultipleChunksAndIgnoresExtensions) {
+  std::string out, err;
+  // Sizes are hex; ";ext=1" is a legal chunk extension; trailers after the
+  // terminal chunk are discarded.
+  ASSERT_TRUE(http_dechunk(
+      "5\r\nhello\r\n6;ext=1\r\n world\r\nB\r\n, streaming\r\n0\r\n"
+      "X-Trailer: 1\r\n\r\n",
+      out, err))
+      << err;
+  EXPECT_EQ(out, "hello world, streaming");
+}
+
+TEST(HttpDechunk, EmptyBodyIsJustTheTerminalChunk) {
+  std::string out = "sentinel", err;
+  ASSERT_TRUE(http_dechunk("0\r\n\r\n", out, err)) << err;
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HttpDechunk, RejectsMalformedFraming) {
+  std::string out, err;
+  EXPECT_FALSE(http_dechunk("", out, err));            // no size line
+  EXPECT_FALSE(http_dechunk("zz\r\nhi\r\n", out, err));  // bad hex
+  EXPECT_FALSE(http_dechunk("5\r\nhi", out, err));     // truncated data
+  EXPECT_FALSE(http_dechunk("2\r\nhiX\r\n0\r\n\r\n", out, err))
+      << "chunk data must end with CRLF";
+  EXPECT_FALSE(http_dechunk("5\r\nhello\r\n", out, err))
+      << "missing terminal chunk";
+}
+
 // --- enum codecs ------------------------------------------------------------
 
 TEST(EnumCodec, RoundTripsAndRejects) {

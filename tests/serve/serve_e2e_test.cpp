@@ -6,6 +6,12 @@
 // is the source of truth. The remaining cases cover /metrics exposition,
 // the admission cap, the sweep route and the error surface (routing is
 // also exercised without sockets through Server::handle).
+//
+// The observability plane is pinned here too: the live job event stream
+// (progress before terminal; "aborted" on drain), span-tree structural
+// determinism across identical requests, byte-identical artifacts with
+// tracing on vs off (the observe-only contract), and the structured
+// access log.
 #include "serve/server.hpp"
 
 #include <gtest/gtest.h>
@@ -15,16 +21,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "serve/http.hpp"
+#include "trace/serve_span.hpp"
 
 namespace ptb::serve {
 namespace {
@@ -254,6 +265,294 @@ TEST(ServeE2E, AsyncSubmitThenPollJob) {
   EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos) << status;
   EXPECT_NE(status.find("\"completed\":1"), std::string::npos) << status;
   server.stop();
+}
+
+// The request's trace id from the X-Ptb-Trace response header (0 when the
+// header is absent, i.e. tracing off — span ids are minted from 1).
+std::uint64_t trace_id_of(const HttpResponse& r) {
+  const std::string* t = find_header(r, "x-ptb-trace");
+  return t == nullptr ? 0 : std::strtoull(t->c_str(), nullptr, 16);
+}
+
+// Sorted root-relative name paths ("request/simulate/...") of every span
+// in `trace_id`: the tree's *structure*, with all timing erased.
+std::vector<std::string> span_paths(const ServeSpanLog& log,
+                                    std::uint64_t trace_id) {
+  std::map<std::uint32_t, const ServeSpan*> by_id;
+  for (const ServeSpan& s : log.spans) {
+    if (s.trace_id == trace_id) by_id[s.span_id] = &s;
+  }
+  std::vector<std::string> paths;
+  for (const auto& [id, s] : by_id) {
+    std::string path = s->name;
+    for (const ServeSpan* p = s; p->parent_id != 0;) {
+      const auto parent = by_id.find(p->parent_id);
+      if (parent == by_id.end()) break;
+      p = parent->second;
+      path = p->name + "/" + path;
+    }
+    paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(ServeE2E, EventsStreamProgressThenTerminal) {
+  ServiceOptions opts = test_opts(fresh_cache_dir("events"));
+  opts.progress_every_cycles = 2000;  // ~10 progress events over 20k cycles
+  Server server(opts, "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const HttpResponse accepted =
+      must_request(server.port(), "POST", "/v1/run", kRunBody);
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::string* job = find_header(accepted, "x-ptb-job");
+  ASSERT_NE(job, nullptr);
+
+  // The stream replays the job's retained feed from seq 1 and then blocks
+  // until the terminal event, so this single blocking GET is race-free no
+  // matter how fast the simulation finished. The client de-chunks
+  // transparently (the streaming response has no Content-Length).
+  const HttpResponse stream = must_request(
+      server.port(), "GET", "/v1/jobs/" + *job + "/events");
+  ASSERT_EQ(stream.status, 200);
+  EXPECT_NE(stream.content_type.find("text/event-stream"),
+            std::string::npos);
+  const std::string* te = find_header(stream, "transfer-encoding");
+  ASSERT_NE(te, nullptr) << "stream must use chunked transfer-encoding";
+  EXPECT_NE(te->find("chunked"), std::string::npos);
+
+  const std::size_t progress = stream.body.find("event: progress");
+  const std::size_t unit = stream.body.find("event: unit");
+  const std::size_t done = stream.body.find("event: done");
+  ASSERT_NE(progress, std::string::npos) << stream.body;
+  ASSERT_NE(unit, std::string::npos) << stream.body;
+  ASSERT_NE(done, std::string::npos) << stream.body;
+  EXPECT_LT(progress, done) << "progress must precede the terminal event";
+  EXPECT_LT(unit, done);
+  // Progress payloads carry the live simulation counters.
+  for (const char* field : {"\"cycle\":", "\"max_cycles\":", "\"ipc\":",
+                            "\"watts\":", "\"phase\":"}) {
+    EXPECT_NE(stream.body.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(stream.body.find("\"state\":\"done\""), std::string::npos);
+  // Seq numbers start dense from 1.
+  EXPECT_NE(stream.body.find("id: 1\n"), std::string::npos);
+
+  // The stream counted as a streaming response, not a latency sample. The
+  // transport bumps the counter after closing the stream's socket, so the
+  // client can observe its own EOF first: poll briefly.
+  std::string streams;
+  for (int i = 0; i < 200 && streams != "1"; ++i) {
+    streams = series_value(must_request(server.port(), "GET", "/metrics").body,
+                           "ptb_serve_http_streams");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(streams, "1");
+  server.stop();
+}
+
+TEST(ServeE2E, EventsStreamGetsAbortedOnDrain) {
+  // One worker, two long units: unit 0 is still simulating and unit 1
+  // still queued when the server drains. stop() must fail the queued unit
+  // and emit a terminal "aborted" event so the open stream closes instead
+  // of hanging until the client gives up (the satellite contract).
+  ServiceOptions opts = test_opts(fresh_cache_dir("aborted"));
+  opts.sim_workers = 1;
+  opts.host_tokens = 1;
+  Server server(opts, "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const std::string body =
+      "{\"requests\":["
+      "{\"benchmark\":\"fft\",\"config\":{\"num_cores\":2,"
+      "\"max_cycles\":1500000}},"
+      "{\"benchmark\":\"fft\",\"config\":{\"num_cores\":2,"
+      "\"max_cycles\":1600000}}]}";
+  const HttpResponse accepted =
+      must_request(server.port(), "POST", "/v1/sweep", body);
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::string* jobp = find_header(accepted, "x-ptb-job");
+  ASSERT_NE(jobp, nullptr);
+  const std::string job = *jobp;
+
+  const std::uint16_t port = server.port();
+  std::string stream_body;
+  std::thread streamer([&] {
+    HttpResponse resp;
+    std::string serr;
+    if (http_request("127.0.0.1", port, "GET", "/v1/jobs/" + job + "/events",
+                     "", {}, resp, serr)) {
+      stream_body = resp.body;
+    }
+  });
+  // Let the stream attach and unit 0 start; unit 1 (1.6M cycles behind a
+  // single worker) cannot have been picked up yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();  // finishes unit 0, fails unit 1, aborts open feeds
+  streamer.join();
+
+  EXPECT_NE(stream_body.find("event: aborted"), std::string::npos)
+      << stream_body;
+  EXPECT_NE(stream_body.find("\"state\":\"aborted\""), std::string::npos);
+  const std::string status = server.service().job_status_json(job);
+  EXPECT_NE(status.find("\"state\":\"failed\""), std::string::npos) << status;
+  EXPECT_NE(status.find("service shutting down"), std::string::npos)
+      << status;
+}
+
+TEST(ServeE2E, SpanTreesAreStructurallyDeterministic) {
+  Server server(test_opts(fresh_cache_dir("spans")), "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  const HttpResponse miss =
+      must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody);
+  ASSERT_EQ(miss.status, 200);
+  const HttpResponse hit1 =
+      must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody);
+  const HttpResponse hit2 =
+      must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody);
+  ASSERT_EQ(hit1.status, 200);
+  ASSERT_EQ(hit2.status, 200);
+
+  const std::uint64_t t_miss = trace_id_of(miss);
+  const std::uint64_t t_hit1 = trace_id_of(hit1);
+  const std::uint64_t t_hit2 = trace_id_of(hit2);
+  ASSERT_NE(t_miss, 0u) << "tracing is on by default";
+  ASSERT_NE(t_hit1, 0u);
+  ASSERT_NE(t_hit2, 0u);
+  ASSERT_NE(t_hit1, t_hit2) << "each request gets its own trace";
+
+  const HttpResponse tr = must_request(server.port(), "GET", "/v1/trace");
+  ASSERT_EQ(tr.status, 200);
+  EXPECT_NE(tr.content_type.find("application/octet-stream"),
+            std::string::npos);
+  ServeSpanLog log;
+  ASSERT_TRUE(ServeSpanLog::deserialize(tr.body, log))
+      << "GET /v1/trace bytes must round-trip through ServeSpanLog";
+
+  // The miss ran the full pipeline: every stage nests under the root (the
+  // acceptance bar is >= 6 nested stage spans for a cache-miss run).
+  const std::vector<std::string> miss_paths = span_paths(log, t_miss);
+  for (const char* path :
+       {"request", "request/parse", "request/queue_wait",
+        "request/admission_wait", "request/cache_probe", "request/simulate",
+        "request/serialize", "request/cache_publish"}) {
+    EXPECT_NE(std::find(miss_paths.begin(), miss_paths.end(), path),
+              miss_paths.end())
+        << path;
+  }
+  std::size_t nested = 0;
+  for (const std::string& p : miss_paths) {
+    if (p.find('/') != std::string::npos) ++nested;
+  }
+  EXPECT_GE(nested, 6u);
+
+  // Two identical cache-hit requests produce *structurally identical*
+  // trees — same names, same nesting — regardless of scheduler timing
+  // (admission_wait is always emitted, zero-length when never blocked).
+  const std::vector<std::string> p1 = span_paths(log, t_hit1);
+  const std::vector<std::string> p2 = span_paths(log, t_hit2);
+  ASSERT_FALSE(p1.empty());
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(std::find(p1.begin(), p1.end(), "request/cache_probe"),
+            p1.end());
+  for (const std::string& p : p1) {
+    EXPECT_EQ(p.find("simulate"), std::string::npos)
+        << "a cache hit must not simulate: " << p;
+  }
+
+  // The Perfetto rendering of the same snapshot names the stages.
+  const HttpResponse pj =
+      must_request(server.port(), "GET", "/v1/trace?format=json");
+  ASSERT_EQ(pj.status, 200);
+  EXPECT_NE(pj.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(pj.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(pj.body.find("\"name\":\"simulate\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ServeE2E, TracingOnOffProducesByteIdenticalArtifacts) {
+  // The observe-only contract: a daemon with the whole observability plane
+  // disabled answers the same request with the same bytes. Fresh cache
+  // dirs on both sides, so both simulate.
+  ServiceOptions off = test_opts(fresh_cache_dir("obs_off"));
+  off.trace_spans = 0;
+  off.progress_every_cycles = 0;
+  Server traced(test_opts(fresh_cache_dir("obs_on")), "127.0.0.1", 0, 2);
+  Server dark(off, "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(traced.start(err)) << err;
+  ASSERT_TRUE(dark.start(err)) << err;
+
+  const HttpResponse a =
+      must_request(traced.port(), "POST", "/v1/run?wait=1", kRunBody);
+  const HttpResponse b =
+      must_request(dark.port(), "POST", "/v1/run?wait=1", kRunBody);
+  ASSERT_EQ(a.status, 200);
+  ASSERT_EQ(b.status, 200);
+  EXPECT_EQ(*find_header(a, "x-ptb-cache"), "miss");
+  EXPECT_EQ(*find_header(b, "x-ptb-cache"), "miss");
+  EXPECT_EQ(a.body, b.body)
+      << "tracing must not perturb the simulation artifact";
+
+  EXPECT_NE(find_header(a, "x-ptb-trace"), nullptr);
+  EXPECT_EQ(find_header(b, "x-ptb-trace"), nullptr)
+      << "no trace ids when tracing is off";
+  EXPECT_EQ(must_request(dark.port(), "GET", "/v1/trace").status, 404);
+  traced.stop();
+  dark.stop();
+}
+
+TEST(ServeE2E, AccessLogWritesOneJsonLinePerRequest) {
+  const std::string log_path =
+      testing::TempDir() + "/ptb_serve_e2e_access.jsonl";
+  std::filesystem::remove(log_path);
+  ServiceOptions opts = test_opts(fresh_cache_dir("accesslog"));
+  opts.log_file = log_path;
+  opts.log_level = LogLevel::kDebug;
+  Server server(opts, "127.0.0.1", 0, 2);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+
+  ASSERT_EQ(must_request(server.port(), "POST", "/v1/run?wait=1", kRunBody)
+                .status,
+            200);
+  ASSERT_EQ(must_request(server.port(), "GET", "/healthz").status, 200);
+  server.stop();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open()) << log_path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u) << "one line per logged request";
+
+  // Every line is a complete JSON document.
+  for (const std::string& l : lines) {
+    json::Value doc;
+    std::string jerr;
+    EXPECT_TRUE(json::parse(l, doc, jerr)) << jerr << ": " << l;
+  }
+  const std::string& run = lines[0];
+  for (const char* field :
+       {"\"ts_ms\":", "\"trace\":\"", "\"tenant\":\"default\"",
+        "\"method\":\"POST\"", "\"path\":\"/v1/run\"",
+        "\"query\":\"wait=1\"", "\"status\":200", "\"dur_ms\":",
+        "\"cache\":\"miss\"", "\"job\":\"j"}) {
+    EXPECT_NE(run.find(field), std::string::npos) << field << " in " << run;
+  }
+  // Debug level enriches job-bearing lines with the admission footprint
+  // and the summed per-stage durations.
+  EXPECT_NE(run.find("\"tokens_held\":1"), std::string::npos) << run;
+  EXPECT_NE(run.find("\"stages\":{"), std::string::npos) << run;
+  EXPECT_NE(run.find("\"simulate\":"), std::string::npos) << run;
+  EXPECT_NE(lines[1].find("\"path\":\"/healthz\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"stages\""), std::string::npos)
+      << "no job, no stage breakdown";
 }
 
 // Routing error surface, exercised without sockets through handle().

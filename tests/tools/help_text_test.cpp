@@ -54,7 +54,7 @@ TEST(HelpText, TraceHelpDocumentsEverySubcommand) {
   const std::string h = rendered(ptb::tools::kTraceUsage);
   // One entry per dispatch branch in tools/ptb_trace.cpp main().
   for (const char* cmd : {"summary", "flows", "dvfs", "spin", "deficit",
-                          "export-json", "export-csv"}) {
+                          "export-json", "export-csv", "serve"}) {
     EXPECT_NE(h.find(cmd), std::string::npos) << cmd;
   }
   EXPECT_NE(h.find("--core"), std::string::npos);
@@ -93,13 +93,14 @@ TEST(HelpText, ServeHelpDocumentsEveryFlagAndRoute) {
   // (tools/ptb_serve.cpp main()).
   for (const char* flag :
        {"--listen", "--port", "--jobs", "--host-tokens", "--policy",
-        "--cache-dir", "--cache-max-bytes", "--queue-max", "--http-threads"}) {
+        "--cache-dir", "--cache-max-bytes", "--queue-max", "--http-threads",
+        "--trace-spans", "--progress-cycles", "--log-file", "--log-level"}) {
     EXPECT_NE(h.find(flag), std::string::npos) << flag;
   }
   // One entry per route Server::handle dispatches.
   for (const char* route :
-       {"/v1/run", "/v1/sweep", "/v1/jobs/{id}", "/v1/results/{key}",
-        "/metrics", "/healthz"}) {
+       {"/v1/run", "/v1/sweep", "/v1/jobs/{id}", "/v1/jobs/{id}/events",
+        "/v1/results/{key}", "/v1/trace", "/metrics", "/healthz"}) {
     EXPECT_NE(h.find(route), std::string::npos) << route;
   }
 }
@@ -129,9 +130,9 @@ TEST(HelpText, GoldenShape) {
   const std::string trace = rendered(ptb::tools::kTraceUsage);
   const std::string stats = rendered(ptb::tools::kStatsUsage);
   const std::string serve = rendered(ptb::tools::kServeUsage);
-  EXPECT_EQ(lines_of(trace).size(), 13u);
+  EXPECT_EQ(lines_of(trace).size(), 16u);
   EXPECT_EQ(lines_of(stats).size(), 14u);
-  EXPECT_EQ(lines_of(serve).size(), 22u);
+  EXPECT_EQ(lines_of(serve).size(), 33u);
 }
 
 }  // namespace

@@ -24,8 +24,12 @@ inline constexpr char kTraceUsage[] =
     "  export-json TRACE OUT    Chrome trace-event / Perfetto JSON\n"
     "  export-csv TRACE OUT     flat CSV (cycle,category,event,core,arg,"
     "value)\n"
-    "TRACE is a file written by a bench binary's --trace flag; OUT may be "
-    "'-'\n"
+    "  serve TRACE OUT          ptb-serve span log (GET /v1/trace) to "
+    "Perfetto\n"
+    "                           JSON: one thread track per request trace\n"
+    "TRACE is a file written by a bench binary's --trace flag (for `serve`: "
+    "the\n"
+    "bytes of GET /v1/trace); OUT may be '-'\n"
     "for stdout. Traces carry a format version; a trace written by a "
     "different\n"
     "(older or newer) build is rejected as unparseable rather than "
@@ -81,8 +85,22 @@ inline constexpr char kServeUsage[] =
     "  --queue-max N    queued-unit cap before requests get 429 (default "
     "256)\n"
     "  --http-threads N HTTP worker threads (default 4)\n"
+    "  --trace-spans N  request-span ring capacity for GET /v1/trace\n"
+    "                   (default 4096; 0 disables tracing entirely)\n"
+    "  --progress-cycles N\n"
+    "                   simulated cycles between job progress events "
+    "(default\n"
+    "                   5000; 0 disables progress events)\n"
+    "  --log-file PATH  structured JSON access log, one line per request\n"
+    "                   ('-' = stderr; default: no access log)\n"
+    "  --log-level L    access-log level: error | info | debug (default "
+    "info;\n"
+    "                   debug adds per-stage durations and tokens held)\n"
     "Serves POST /v1/run, POST /v1/sweep, GET /v1/jobs/{id},\n"
-    "GET /v1/results/{key}, GET /metrics (Prometheus), GET /healthz.\n"
+    "GET /v1/jobs/{id}/events (live progress stream, chunked SSE framing),\n"
+    "GET /v1/results/{key}, GET /v1/trace (request-span log; ?format=json "
+    "for\n"
+    "Perfetto), GET /metrics (Prometheus), GET /healthz.\n"
     "Repeat requests are answered from the cache byte-identically; corrupt\n"
     "cache entries are rejected and re-simulated, never served. Simulations\n"
     "restore a warm-checkpoint image from the cache dir instead of "

@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
   std::string cache_dir = ".ptb-cache";
   std::uint64_t cache_max_bytes = 0;  // 0 = unbounded
   ptb::PtbPolicy policy = ptb::PtbPolicy::kToAll;
+  std::uint32_t trace_spans = 4096;     // 0 = tracing off
+  std::uint32_t progress_cycles = 5000;  // 0 = no progress events
+  std::string log_file;                  // "" = access log off
+  ptb::serve::LogLevel log_level = ptb::serve::LogLevel::kInfo;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +122,36 @@ int main(int argc, char** argv) {
                      argv[0], v);
         return 2;
       }
+    } else if (arg == "--trace-spans") {
+      const char* v = need_value();
+      if (v == nullptr || !parse_u32_flag(argv[0], "--trace-spans", v, 0,
+                                          1u << 24, trace_spans)) {
+        return 2;
+      }
+    } else if (arg == "--progress-cycles") {
+      const char* v = need_value();
+      if (v == nullptr || !parse_u32_flag(argv[0], "--progress-cycles", v, 0,
+                                          1u << 30, progress_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--log-file") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      log_file = v;
+      if (log_file.empty()) {
+        std::fprintf(stderr, "%s: bad --log-file value (empty)\n", argv[0]);
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      if (!ptb::serve::parse_log_level(v, log_level)) {
+        std::fprintf(stderr,
+                     "%s: bad --log-level value '%s' (expected error, info "
+                     "or debug)\n",
+                     argv[0], v);
+        return 2;
+      }
     } else if (arg == "--policy") {
       const char* v = need_value();
       if (v == nullptr) return 2;
@@ -151,6 +185,10 @@ int main(int argc, char** argv) {
   sopts.admission_policy = policy;
   sopts.queue_max = queue_max;
   sopts.cache_max_bytes = cache_max_bytes;
+  sopts.trace_spans = trace_spans;
+  sopts.progress_every_cycles = progress_cycles;
+  sopts.log_file = log_file;
+  sopts.log_level = log_level;
 
   // Warm-checkpoint images share the cache directory: every simulation
   // this daemon runs restores the post-warmup state instead of replaying

@@ -8,6 +8,8 @@
 //   ptb-trace deficit TRACE            budget-deficit histogram
 //   ptb-trace export-json TRACE OUT    Chrome/Perfetto JSON (OUT '-' = stdout)
 //   ptb-trace export-csv TRACE OUT     flat CSV              (OUT '-' = stdout)
+//   ptb-trace serve TRACE OUT          ptb-serve span log (GET /v1/trace) ->
+//                                      Perfetto JSON         (OUT '-' = stdout)
 //
 // Exits nonzero on an unreadable/corrupt trace or bad usage.
 #include <cstdio>
@@ -19,6 +21,7 @@
 #include "tool_util.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
+#include "trace/serve_span.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -38,6 +41,25 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0], 2);
   const std::string cmd = argv[1];
   const std::string path = argv[2];
+
+  // The serve span log is a different binary format (PTBSPANL, not the
+  // simulator's event trace): dispatch before the EventTrace parse.
+  if (cmd == "serve") {
+    if (argc != 4) return usage(argv[0], 2);
+    ptb::ServeSpanLog log;
+    if (!ptb::ServeSpanLog::load(path, log)) {
+      std::fprintf(stderr,
+                   "%s: cannot parse '%s' as a ptb-serve span log (fetch "
+                   "one with GET /v1/trace)\n",
+                   argv[0], path.c_str());
+      return 1;
+    }
+    if (!ptb::tools::write_text(argv[3], ptb::serve_spans_chrome_json(log))) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], argv[3]);
+      return 1;
+    }
+    return 0;
+  }
 
   ptb::EventTrace trace;
   if (!ptb::EventTrace::load(path, trace)) {
